@@ -1,0 +1,345 @@
+// Benchmarks regenerating the paper's evaluation (§6), one benchmark
+// family per figure, plus the ablations DESIGN.md lists. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics: chunk_reads/op (engine I/O), disk_ms/op (simulated
+// seek model, Fig. 12), peak_chunks (co-resident chunks under the
+// chosen read order). cmd/benchfig prints the same series as CSV at a
+// larger default scale.
+package olap_test
+
+import (
+	"sync"
+	"testing"
+
+	"whatifolap/internal/bench"
+	"whatifolap/internal/core"
+	"whatifolap/internal/dimension"
+	"whatifolap/internal/perspective"
+	"whatifolap/internal/simdisk"
+	"whatifolap/internal/workload"
+)
+
+// benchConfig is a reduced scale so `go test -bench=.` stays fast; the
+// cmd/benchfig harness defaults to the larger ConfigDefault.
+func benchConfig() workload.WorkforceConfig {
+	return workload.WorkforceConfig{
+		Employees: 1020, Departments: 51, ChangingEmployees: 250,
+		MinMoves: 1, MaxMoves: 11, Months: 12, Accounts: 4, Scenarios: 1,
+		Seed: 1,
+	}
+}
+
+var (
+	wfOnce sync.Once
+	wf     *workload.Workforce
+	wfErr  error
+)
+
+func benchWorkforce(b *testing.B) *workload.Workforce {
+	b.Helper()
+	wfOnce.Do(func() { wf, wfErr = workload.NewWorkforce(benchConfig()) })
+	if wfErr != nil {
+		b.Fatal(wfErr)
+	}
+	return wf
+}
+
+func newBenchEngine(b *testing.B) *core.Engine {
+	b.Helper()
+	e, err := core.New(benchWorkforce(b).Cube, workload.DimDepartment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func perspectivesPrefix(k int) []int {
+	ps := make([]int, k)
+	for i := range ps {
+		ps[i] = i
+	}
+	return ps
+}
+
+// --- Fig. 11: query time vs. number of perspectives (§6.1) ---
+
+func BenchmarkFig11MultipleMDX(b *testing.B) {
+	w := benchWorkforce(b)
+	e := newBenchEngine(b)
+	for _, k := range []int{1, 2, 4, 6, 8, 12} {
+		b.Run(subK(k), func(b *testing.B) {
+			var reads int
+			for i := 0; i < b.N; i++ {
+				v, err := e.SimulateMultiMDX(w.Changing, perspectivesPrefix(k), perspective.NonVisual)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reads = v.Stats.ChunksRead
+			}
+			b.ReportMetric(float64(reads), "chunk_reads/op")
+		})
+	}
+}
+
+func BenchmarkFig11Static(b *testing.B) {
+	w := benchWorkforce(b)
+	e := newBenchEngine(b)
+	for _, k := range []int{1, 2, 4, 6, 8, 12} {
+		b.Run(subK(k), func(b *testing.B) {
+			var reads int
+			for i := 0; i < b.N; i++ {
+				v, err := e.ExecPerspective(core.PerspectiveQuery{
+					Members: w.Changing, Perspectives: perspectivesPrefix(k),
+					Sem: perspective.Static, Mode: perspective.NonVisual,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reads = v.Stats.ChunksRead
+			}
+			b.ReportMetric(float64(reads), "chunk_reads/op")
+		})
+	}
+}
+
+func BenchmarkFig11Forward(b *testing.B) {
+	w := benchWorkforce(b)
+	e := newBenchEngine(b)
+	for _, k := range []int{1, 2, 4, 6, 8, 12} {
+		b.Run(subK(k), func(b *testing.B) {
+			var reads int
+			for i := 0; i < b.N; i++ {
+				v, err := e.ExecPerspective(core.PerspectiveQuery{
+					Members: w.Changing, Perspectives: perspectivesPrefix(k),
+					Sem: perspective.Forward, Mode: perspective.NonVisual,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reads = v.Stats.ChunksRead
+			}
+			b.ReportMetric(float64(reads), "chunk_reads/op")
+		})
+	}
+}
+
+// --- Fig. 12: query time vs. related-chunk separation (§6.2) ---
+
+func BenchmarkFig12Separation(b *testing.B) {
+	cfg := bench.Fig12Defaults()
+	cfg.BaseSeparation = 500 // keep bench cubes small
+	// Rescale the seek cap so the curve saturates inside this smaller
+	// sweep, like the full-size harness run.
+	cfg.Model.SeekCap = cfg.Model.PerChunk * float64(cfg.BaseSeparation) * 3.5
+	for mult := 1; mult <= cfg.MaxMultiple; mult++ {
+		b.Run(subK(mult), func(b *testing.B) {
+			one := cfg
+			one.MaxMultiple = 1
+			one.BaseSeparation = cfg.BaseSeparation * mult
+			var diskMS float64
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.Fig12(one, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				diskMS = rows[0].DiskMS
+			}
+			b.ReportMetric(diskMS, "disk_ms/op")
+		})
+	}
+}
+
+// --- Fig. 13: query time vs. varying members in scope (§6.3) ---
+
+func BenchmarkFig13Members(b *testing.B) {
+	w := benchWorkforce(b)
+	e := newBenchEngine(b)
+	ps := []int{0, 3, 6, 9}
+	for _, n := range []int{50, 100, 150, 200, 250} {
+		b.Run(subK(n), func(b *testing.B) {
+			var inst int
+			for i := 0; i < b.N; i++ {
+				v, err := e.ExecPerspective(core.PerspectiveQuery{
+					Members: w.Changing[:n], Perspectives: ps,
+					Sem: perspective.Static, Mode: perspective.NonVisual,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				inst = v.Stats.SourceInstances
+			}
+			b.ReportMetric(float64(inst), "instances")
+		})
+	}
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationPebbling(b *testing.B) {
+	w := benchWorkforce(b)
+	for _, order := range []core.ReadOrder{core.OrderPebbling, core.OrderVaryingFirst,
+		core.OrderVaryingLast, core.OrderCanonical} {
+		b.Run(order.String(), func(b *testing.B) {
+			e := newBenchEngine(b)
+			e.SetReadOrder(order)
+			disk := simdisk.MustNew(simdisk.DefaultModel())
+			e.AttachDisk(disk)
+			var peak int
+			var diskMS float64
+			for i := 0; i < b.N; i++ {
+				disk.Reset()
+				v, err := e.ExecPerspective(core.PerspectiveQuery{
+					Members: w.Changing, Perspectives: []int{0, 6},
+					Sem: perspective.Forward, Mode: perspective.NonVisual,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = v.Stats.PeakResidentChunks
+				diskMS = v.Stats.DiskCostMs
+			}
+			b.ReportMetric(float64(peak), "peak_chunks")
+			b.ReportMetric(diskMS, "disk_ms/op")
+		})
+	}
+}
+
+func BenchmarkAblationMode(b *testing.B) {
+	// Visual mode re-aggregates quarter cells over the perspective
+	// cube; non-visual reads the input scope. The benchmark times the
+	// evaluation of all quarter-level aggregates for 20 changing
+	// employees.
+	w := benchWorkforce(b)
+	for _, mode := range []perspective.Mode{perspective.NonVisual, perspective.Visual} {
+		b.Run(mode.String(), func(b *testing.B) {
+			e := newBenchEngine(b)
+			v, err := e.ExecPerspective(core.PerspectiveQuery{
+				Members: w.Changing[:20], Perspectives: []int{0, 6},
+				Sem: perspective.Forward, Mode: mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dept := w.Cube.DimByName(workload.DimDepartment)
+			period := w.Cube.DimByName(workload.DimPeriod)
+			quarters := period.LevelMembers(1)
+			tuple := make([]dimension.MemberID, w.Cube.NumDims())
+			for i := range tuple {
+				tuple[i] = w.Cube.Dim(i).Leaf(0).ID
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, name := range w.Changing[:20] {
+					for _, instID := range dept.Instances(name) {
+						for _, q := range quarters {
+							tuple[0] = instID
+							tuple[1] = q
+							if _, err := v.Cell(tuple); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationChunkRep(b *testing.B) {
+	w := benchWorkforce(b)
+	for _, compress := range []bool{false, true} {
+		name := "auto"
+		if compress {
+			name = "compressed"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := w.Cube
+			if compress {
+				c = w.Cube.Clone()
+				// CompressAll is on the concrete chunk store.
+				type compressor interface{ ForceSparseAll() int }
+				c.Store().(compressor).ForceSparseAll()
+			}
+			e, err := core.New(c, workload.DimDepartment)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExecPerspective(core.PerspectiveQuery{
+					Members: w.Changing, Perspectives: []int{0, 6},
+					Sem: perspective.Forward, Mode: perspective.NonVisual,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationCompression(b *testing.B) {
+	// Materialized overlay vs. relocation-mapping representation of the
+	// perspective cube (§8 future work).
+	w := benchWorkforce(b)
+	e := newBenchEngine(b)
+	q := core.PerspectiveQuery{
+		Members: w.Changing, Perspectives: []int{0, 6},
+		Sem: perspective.Forward, Mode: perspective.NonVisual,
+	}
+	b.Run("materialized", func(b *testing.B) {
+		var bytes int
+		for i := 0; i < b.N; i++ {
+			v, err := e.ExecPerspective(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = v.Stats.CellsRelocated * (4*w.Cube.NumDims() + 8)
+		}
+		b.ReportMetric(float64(bytes), "repr_bytes")
+	})
+	b.Run("compressed", func(b *testing.B) {
+		var bytes int
+		for i := 0; i < b.N; i++ {
+			v, err := e.ExecPerspectiveCompressed(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = v.Stats.CompressedBytes
+		}
+		b.ReportMetric(float64(bytes), "repr_bytes")
+	})
+}
+
+// --- Supporting micro-benchmarks ---
+
+func BenchmarkEngineFig4PaperCube(b *testing.B) {
+	// The paper's tiny example cube end to end: a sanity baseline.
+	w := benchWorkforce(b)
+	_ = w
+	e := newBenchEngine(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExecPerspective(core.PerspectiveQuery{
+			Members: wf.Changing[:1], Perspectives: []int{1, 3},
+			Sem: perspective.Forward, Mode: perspective.Visual,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func subK(k int) string {
+	const digits = "0123456789"
+	if k == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = digits[k%10]
+		k /= 10
+	}
+	return string(buf[i:])
+}

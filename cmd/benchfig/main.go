@@ -1,0 +1,196 @@
+// Command benchfig regenerates the paper's evaluation figures (§6) as
+// data series printed to stdout, plus the ablation studies listed in
+// DESIGN.md. Absolute numbers differ from the paper's 2008 Essbase
+// testbed; the shapes (linearity, who wins, where curves converge or
+// plateau) are the reproduction target — see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchfig -fig 11            # perspectives vs. query time (§6.1)
+//	benchfig -fig 12            # chunk co-location vs. query time (§6.2)
+//	benchfig -fig 13            # varying members vs. query time (§6.3)
+//	benchfig -fig ablation-pebble | ablation-mode | ablation-rep
+//	benchfig -fig all
+//	benchfig -fig 11 -employees 20250 -accounts 100 -scenarios 5  # paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whatifolap/internal/bench"
+	"whatifolap/internal/simdisk"
+	"whatifolap/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, ablation-pebble, ablation-mode, ablation-rep, all")
+		reps      = flag.Int("reps", 3, "repetitions per point (fastest wins)")
+		employees = flag.Int("employees", 0, "workforce scale override")
+		accounts  = flag.Int("accounts", 0, "accounts override")
+		scenarios = flag.Int("scenarios", 0, "scenarios override")
+		seed      = flag.Int64("seed", 0, "workload seed override")
+	)
+	flag.Parse()
+
+	cfg := workload.ConfigDefault()
+	if *employees > 0 {
+		cfg.Employees = *employees
+	}
+	if *accounts > 0 {
+		cfg.Accounts = *accounts
+	}
+	if *scenarios > 0 {
+		cfg.Scenarios = *scenarios
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	needWorkforce := map[string]bool{
+		"11": true, "13": true, "ablation-pebble": true,
+		"ablation-mode": true, "ablation-rep": true,
+		"ablation-compress": true, "all": true,
+	}
+	var w *workload.Workforce
+	if needWorkforce[*fig] {
+		fmt.Fprintf(os.Stderr, "benchfig: generating workforce (%d employees, %d accounts, %d scenarios)...\n",
+			cfg.Employees, cfg.Accounts, cfg.Scenarios)
+		var err error
+		w, err = workload.NewWorkforce(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch *fig {
+	case "11":
+		fig11(w, *reps)
+	case "12":
+		fig12(*reps)
+	case "13":
+		fig13(w, *reps)
+	case "ablation-pebble":
+		ablationPebble(w)
+	case "ablation-mode":
+		ablationMode(w, *reps)
+	case "ablation-rep":
+		ablationRep(w, *reps)
+	case "ablation-compress":
+		ablationCompress(w, *reps)
+	case "all":
+		fig11(w, *reps)
+		fig12(*reps)
+		fig13(w, *reps)
+		ablationPebble(w)
+		ablationMode(w, *reps)
+		ablationRep(w, *reps)
+		ablationCompress(w, *reps)
+	default:
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+func fig11(w *workload.Workforce, reps int) {
+	fmt.Println("# Fig 11 — number of perspectives vs. query time (§6.1)")
+	fmt.Println("# query over all changing employees; strategies: Multiple MDX simulation,")
+	fmt.Println("# direct static, direct dynamic forward")
+	fmt.Println("perspectives,multiple_mdx_ms,static_ms,forward_ms,sim_chunk_reads,static_chunk_reads")
+	rows, err := bench.Fig11(w, 12, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%d,%.3f,%.3f,%.3f,%d,%d\n",
+			r.Perspectives, r.MultipleMS, r.StaticMS, r.ForwardMS, r.SimChunkReads, r.StaticChunkReads)
+	}
+	fmt.Println()
+}
+
+func fig12(reps int) {
+	fmt.Println("# Fig 12 — related-chunk co-location vs. query time (§6.2)")
+	fmt.Println("# single employee with two instances, dynamic forward, 4 perspectives;")
+	fmt.Println("# separation grown in multiples of the base; disk cost from the seek model")
+	fmt.Println("multiple,separation_chunks,total_chunks,disk_ms,wall_ms")
+	rows, err := bench.Fig12(bench.Fig12Defaults(), reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%d,%d,%d,%.3f,%.3f\n", r.Multiple, r.SeparationChunks, r.TotalChunks, r.DiskMS, r.WallMS)
+	}
+	fmt.Println()
+}
+
+func fig13(w *workload.Workforce, reps int) {
+	fmt.Println("# Fig 13 — varying member instances vs. query time (§6.3)")
+	fmt.Println("# static, 4 perspectives {Jan,Apr,Jul,Oct}, scope grown 50..250")
+	fmt.Println("members,wall_ms,instances,chunk_reads")
+	rows, err := bench.Fig13(w, 50, 250, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%d,%.3f,%d,%d\n", r.Members, r.WallMS, r.Instances, r.ChunksRead)
+	}
+	fmt.Println()
+}
+
+func ablationPebble(w *workload.Workforce) {
+	fmt.Println("# Ablation — chunk read order (§5.2, Lemma 5.1)")
+	fmt.Println("order,peak_resident_chunks,disk_ms,seek_chunks")
+	rows, err := bench.AblationPebbling(w, simdisk.DefaultModel())
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%.3f,%d\n", r.Order, r.PeakChunks, r.DiskMS, r.SeekChunks)
+	}
+	fmt.Println()
+}
+
+func ablationMode(w *workload.Workforce, reps int) {
+	fmt.Println("# Ablation — visual vs. non-visual aggregate evaluation (§3.3)")
+	fmt.Println("mode,wall_ms")
+	rows, err := bench.AblationMode(w, 50, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s,%.3f\n", r.Mode, r.WallMS)
+	}
+	fmt.Println()
+}
+
+func ablationRep(w *workload.Workforce, reps int) {
+	fmt.Println("# Ablation — dense vs. sparse chunk representation")
+	fmt.Println("representation,store_bytes,query_ms")
+	rows, err := bench.AblationChunkRep(w, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%.3f\n", r.Representation, r.StoreBytes, r.QueryMS)
+	}
+	fmt.Println()
+}
+
+func ablationCompress(w *workload.Workforce, reps int) {
+	fmt.Println("# Ablation — perspective-cube compression (§8 future work)")
+	fmt.Println("representation,bytes,build_ms,read_ms")
+	rows, err := bench.AblationCompression(w, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%.3f,%.3f\n", r.Representation, r.Bytes, r.BuildMS, r.ReadMS)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfig:", err)
+	os.Exit(1)
+}

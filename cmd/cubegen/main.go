@@ -1,0 +1,109 @@
+// Command cubegen generates the benchmark and example datasets and
+// writes them in the dump format cmd/whatif loads.
+//
+// Examples:
+//
+//	cubegen -kind workforce -out wf.dump
+//	cubegen -kind workforce -employees 20250 -accounts 100 -scenarios 5 -out paper.dump
+//	cubegen -kind retail-time -out retail.dump
+//	cubegen -kind retail-market -out bundles.dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	olap "whatifolap"
+	"whatifolap/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "workforce", "dataset: workforce, retail-time or retail-market")
+		out       = flag.String("out", "", "output file (default stdout)")
+		format    = flag.String("format", "text", "output format: text (auditable) or binary (compact, chunked cubes only)")
+		employees = flag.Int("employees", 0, "workforce: total employees (0 = default)")
+		depts     = flag.Int("departments", 0, "workforce: departments")
+		changing  = flag.Int("changing", 0, "workforce: changing employees")
+		months    = flag.Int("months", 0, "months / time extent")
+		accounts  = flag.Int("accounts", 0, "workforce: leaf accounts")
+		scenarios = flag.Int("scenarios", 0, "workforce: scenarios")
+		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
+	)
+	flag.Parse()
+
+	var c *olap.Cube
+	var err error
+	switch *kind {
+	case "workforce":
+		cfg := olap.WorkforceDefault()
+		override(&cfg.Employees, *employees)
+		override(&cfg.Departments, *depts)
+		override(&cfg.ChangingEmployees, *changing)
+		override(&cfg.Months, *months)
+		override(&cfg.Accounts, *accounts)
+		override(&cfg.Scenarios, *scenarios)
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		var w *olap.Workforce
+		w, err = olap.NewWorkforce(cfg)
+		if err == nil {
+			c = w.Cube
+			fmt.Fprintf(os.Stderr, "cubegen: workforce %d employees / %d departments / %d changing, %d cells\n",
+				cfg.Employees, cfg.Departments, cfg.ChangingEmployees, c.NumCells())
+		}
+	case "retail-time", "retail-market":
+		cfg := olap.RetailDefault()
+		override(&cfg.Months, *months)
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		var rt *olap.Retail
+		if *kind == "retail-time" {
+			rt, err = olap.NewRetailByTime(cfg)
+		} else {
+			rt, err = olap.NewRetailByMarket(cfg)
+		}
+		if err == nil {
+			c = rt.Cube
+			fmt.Fprintf(os.Stderr, "cubegen: %s, %d cells, moving products %v\n", *kind, c.NumCells(), rt.Moving)
+		}
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cubegen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cubegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		err = workload.Save(c, w)
+	case "binary":
+		err = workload.SaveBinary(c, w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cubegen:", err)
+		os.Exit(1)
+	}
+}
+
+func override(dst *int, v int) {
+	if v > 0 {
+		*dst = v
+	}
+}

@@ -1,0 +1,155 @@
+// Command whatif runs extended-MDX what-if queries against a cube.
+//
+// The cube comes from one of three sources: the paper's running example
+// (-paper), a generated workforce dataset (-workforce), or a dump file
+// written by cubegen (-load). Queries are read from -query, from files
+// given as arguments, or interactively from stdin (one query per
+// semicolon).
+//
+// Examples:
+//
+//	whatif -paper -query 'WITH PERSPECTIVE {(Feb),(Apr)} FOR Organization
+//	    DYNAMIC FORWARD VISUAL
+//	    SELECT {Descendants([Time],1,SELF_AND_AFTER)} ON COLUMNS,
+//	           {[PTE].Children} ON ROWS
+//	    FROM W WHERE ([Location].[NY],[Measures].[Salary])'
+//
+//	cubegen -kind workforce -out wf.dump
+//	whatif -load wf.dump -chunked < queries.mdx
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	olap "whatifolap"
+	"whatifolap/internal/mdx"
+	"whatifolap/internal/workload"
+)
+
+func main() {
+	var (
+		paper     = flag.Bool("paper", false, "use the paper's Fig. 1/2 example warehouse")
+		wf        = flag.Bool("workforce", false, "generate the default workforce dataset")
+		load      = flag.String("load", "", "load a cube dump written by cubegen")
+		chunked   = flag.Bool("chunked", true, "back the cube with chunked storage (enables the engine)")
+		query     = flag.String("query", "", "run a single query and exit")
+		showStats = flag.Bool("stats", false, "print engine statistics after each query")
+		explain   = flag.Bool("explain", false, "print the evaluation path and optimized plan before each result")
+	)
+	flag.Parse()
+
+	c, err := openCube(*paper, *wf, *load, *chunked)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+	ev := olap.NewEvaluator(c)
+
+	run := func(src string) {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			return
+		}
+		q, err := mdx.Parse(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whatif:", err)
+			return
+		}
+		if *explain {
+			if ex, err := ev.Explain(q); err == nil {
+				fmt.Print(ex)
+			}
+		}
+		grid, stats, err := ev.RunQueryStats(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whatif:", err)
+			return
+		}
+		fmt.Print(grid)
+		if *showStats {
+			fmt.Printf("-- scope=%d members, instances=%d, chunks read=%d, cells relocated=%d, merge edges=%d, peak resident=%d\n",
+				stats.MembersInScope, stats.SourceInstances, stats.ChunksRead,
+				stats.CellsRelocated, stats.MergeEdges, stats.PeakResidentChunks)
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *query != "":
+		run(*query)
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whatif:", err)
+				os.Exit(1)
+			}
+			for _, src := range strings.Split(string(data), ";") {
+				run(src)
+			}
+		}
+	default:
+		repl(os.Stdin, run)
+	}
+}
+
+func openCube(paper, wf bool, load string, chunked bool) (*olap.Cube, error) {
+	switch {
+	case load != "":
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		// Sniff the binary magic; fall back to the text dump format.
+		br := bufio.NewReader(f)
+		if magic, err := br.Peek(8); err == nil && string(magic) == "WOLAPBIN" {
+			return workload.LoadBinary(br)
+		}
+		var chunkDims []int
+		if chunked {
+			chunkDims = []int{}
+		}
+		return workload.Load(br, chunkDims)
+	case wf:
+		w, err := olap.NewWorkforce(olap.WorkforceDefault())
+		if err != nil {
+			return nil, err
+		}
+		return w.Cube, nil
+	case paper:
+		if chunked {
+			return olap.PaperWarehouseChunked(), nil
+		}
+		return olap.PaperWarehouse(), nil
+	default:
+		return nil, fmt.Errorf("choose a cube source: -paper, -workforce or -load FILE")
+	}
+}
+
+func repl(r io.Reader, run func(string)) {
+	fmt.Println("whatif: enter extended-MDX queries terminated by ';' (Ctrl-D to exit)")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			buf.WriteString(line[:i])
+			run(buf.String())
+			buf.Reset()
+			buf.WriteString(line[i+1:])
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		run(buf.String())
+	}
+}

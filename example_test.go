@@ -1,0 +1,95 @@
+package olap_test
+
+import (
+	"fmt"
+
+	olap "whatifolap"
+)
+
+// ExampleQuery reproduces the paper's Fig. 4 headline cell: under a
+// forward perspective at {Feb, Apr}, (PTE/Joe, Mar) inherits the salary
+// Joe earned as a contractor in March.
+func ExampleQuery() {
+	c := olap.PaperWarehouse()
+	grid, err := olap.Query(c, `
+WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+SELECT {[Time].[Qtr1].[Mar], [Time].[Qtr1]} ON COLUMNS,
+       {[PTE].[Joe]} ON ROWS
+FROM Warehouse
+WHERE ([Location].[NY], [Measures].[Salary])`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("Mar=%g Qtr1=%g\n", grid.Values[0][0], grid.Values[0][1])
+	// Output: Mar=30 Qtr1=40
+}
+
+// ExampleApplyPerspectives runs the same scenario through the algebra
+// API and evaluates an aggregate in both modes.
+func ExampleApplyPerspectives() {
+	c := olap.PaperWarehouse()
+	out, err := olap.ApplyPerspectives(c, "Organization", olap.Forward, []int{1, 3}) // Feb, Apr
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ids := []olap.MemberID{
+		out.DimByName("Organization").MustLookup("PTE/Joe"),
+		out.DimByName("Location").MustLookup("NY"),
+		out.DimByName("Time").MustLookup("Qtr1"),
+		out.DimByName("Measures").MustLookup("Salary"),
+	}
+	visual, _ := olap.CellValue(c, out, ids, olap.Visual)
+	nonVisual, _ := olap.CellValue(c, out, ids, olap.NonVisual)
+	fmt.Printf("visual=%g non-visual=%g\n", visual, nonVisual)
+	// Output: visual=40 non-visual=10
+}
+
+// ExampleApplyChanges hypothetically reclassifies Lisa from FTE to PTE
+// in April (a positive scenario) and reads the moved cell.
+func ExampleApplyChanges() {
+	c := olap.PaperWarehouse()
+	out, err := olap.ApplyChanges(c, "Organization", []olap.Change{
+		{Member: "Lisa", OldParent: "FTE", NewParent: "PTE", T: 3}, // April
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	org := out.DimByName("Organization")
+	ids := []olap.MemberID{
+		org.MustLookup("PTE/Lisa"),
+		out.DimByName("Location").MustLookup("NY"),
+		out.DimByName("Time").MustLookup("May"),
+		out.DimByName("Measures").MustLookup("Salary"),
+	}
+	fmt.Printf("PTE/Lisa in May: %g\n", out.Value(ids))
+	// Output: PTE/Lisa in May: 10
+}
+
+// ExampleApplyTransfer runs the paper's data-driven scenario: 10% of
+// PTE salaries in NY during Q1 go to MA instead.
+func ExampleApplyTransfer() {
+	c := olap.PaperWarehouse()
+	out, err := olap.ApplyTransfer(c, olap.Transfer{
+		Dim: "Location", From: "NY", To: "MA", Fraction: 0.10,
+		Scope: []olap.ScopeCond{
+			{Dim: "Organization", Member: "PTE"},
+			{Dim: "Time", Member: "Qtr1"},
+			{Dim: "Measures", Member: "Salary"},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ids := []olap.MemberID{
+		out.DimByName("Organization").MustLookup("PTE/Tom"),
+		out.DimByName("Location").MustLookup("MA"),
+		out.DimByName("Time").MustLookup("Jan"),
+		out.DimByName("Measures").MustLookup("Salary"),
+	}
+	fmt.Printf("Tom's reallocated MA salary in Jan: %g\n", out.Value(ids))
+	// Output: Tom's reallocated MA salary in Jan: 1
+}

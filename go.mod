@@ -1,0 +1,3 @@
+module whatifolap
+
+go 1.22

@@ -1,0 +1,455 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+
+	"whatifolap/internal/bitset"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+	"whatifolap/internal/paperdata"
+	"whatifolap/internal/perspective"
+)
+
+// cellIDs resolves a 4-tuple (org, loc, time, measure) against the paper
+// warehouse schema.
+func cellIDs(c *cube.Cube, org, loc string, month int, meas string) []dimension.MemberID {
+	return []dimension.MemberID{
+		c.Dim(0).MustLookup(org),
+		c.Dim(1).MustLookup(loc),
+		c.Dim(2).Leaf(month).ID,
+		c.Dim(3).MustLookup(meas),
+	}
+}
+
+// nonLeafIDs resolves a tuple with arbitrary member refs (leaf or not).
+func nonLeafIDs(c *cube.Cube, refs ...string) []dimension.MemberID {
+	out := make([]dimension.MemberID, len(refs))
+	for i, r := range refs {
+		out[i] = c.Dim(i).MustLookup(r)
+	}
+	return out
+}
+
+func TestSelectMemberIs(t *testing.T) {
+	c := paperdata.Warehouse()
+	out, err := Select(c, "Organization", MemberIs{Ref: "Joe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three Joe instances stay; everyone else's data is gone.
+	if v := out.Value(cellIDs(out, "FTE/Joe", "NY", paperdata.Jan, "Salary")); v != 10 {
+		t.Fatalf("FTE/Joe Jan = %v, want 10", v)
+	}
+	if v := out.Value(cellIDs(out, "Contractor/Joe", "NY", paperdata.Mar, "Salary")); v != 30 {
+		t.Fatalf("Contractor/Joe Mar = %v, want 30", v)
+	}
+	if v := out.Value(cellIDs(out, "FTE/Lisa", "NY", paperdata.Jan, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("Lisa should be removed, got %v", v)
+	}
+}
+
+func TestSelectByPathKeepsSingleInstance(t *testing.T) {
+	c := paperdata.Warehouse()
+	out, err := Select(c, "Organization", MemberIs{Ref: "PTE/Joe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := out.Value(cellIDs(out, "PTE/Joe", "NY", paperdata.Feb, "Salary")); v != 10 {
+		t.Fatalf("PTE/Joe Feb = %v, want 10", v)
+	}
+	if v := out.Value(cellIDs(out, "FTE/Joe", "NY", paperdata.Jan, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("FTE/Joe should be removed, got %v", v)
+	}
+}
+
+func TestSelectDescendantOf(t *testing.T) {
+	c := paperdata.Warehouse()
+	out, err := Select(c, "Organization", DescendantOf{Ref: "FTE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := out.Value(cellIDs(out, "FTE/Lisa", "NY", paperdata.Feb, "Salary")); v != 10 {
+		t.Fatalf("Lisa Feb = %v, want 10", v)
+	}
+	if v := out.Value(cellIDs(out, "PTE/Tom", "NY", paperdata.Feb, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("Tom should be removed, got %v", v)
+	}
+}
+
+func TestSelectVSIntersects(t *testing.T) {
+	c := paperdata.Warehouse()
+	// Instances valid in Feb or Apr: PTE/Joe (Feb), Contractor/Joe (Apr)
+	// and all the always-valid members, but not FTE/Joe (Jan only).
+	out, err := Select(c, "Organization", VSIntersects{ParamOrdinals: []int{paperdata.Feb, paperdata.Apr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := out.Value(cellIDs(out, "FTE/Joe", "NY", paperdata.Jan, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("FTE/Joe should be removed, got %v", v)
+	}
+	if v := out.Value(cellIDs(out, "PTE/Joe", "NY", paperdata.Feb, "Salary")); v != 10 {
+		t.Fatalf("PTE/Joe Feb = %v, want 10", v)
+	}
+}
+
+func TestSelectValueCond(t *testing.T) {
+	c := paperdata.Warehouse()
+	// "salary over 20 in some month in NY" selects only Contractor/Joe
+	// (Mar salary 30).
+	out, err := Select(c, "Organization", ValueCond{
+		Fix:   map[string]string{"Location": "NY", "Measures": "Salary"},
+		Op:    GT,
+		Const: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := out.Value(cellIDs(out, "Contractor/Joe", "NY", paperdata.Mar, "Salary")); v != 30 {
+		t.Fatalf("Contractor/Joe Mar = %v, want 30", v)
+	}
+	if v := out.Value(cellIDs(out, "FTE/Lisa", "NY", paperdata.Jan, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("Lisa should be removed, got %v", v)
+	}
+}
+
+func TestSelectBooleanCombinators(t *testing.T) {
+	c := paperdata.Warehouse()
+	p := Or{
+		L: And{L: DescendantOf{Ref: "PTE"}, R: Not{X: MemberIs{Ref: "Joe"}}},
+		R: MemberIs{Ref: "Jane"},
+	}
+	out, err := Select(c, "Organization", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := out.Value(cellIDs(out, "PTE/Tom", "NY", paperdata.Jan, "Salary")); v != 10 {
+		t.Fatalf("Tom = %v, want 10", v)
+	}
+	if v := out.Value(cellIDs(out, "Contractor/Jane", "NY", paperdata.Jan, "Salary")); v != 10 {
+		t.Fatalf("Jane = %v, want 10", v)
+	}
+	if v := out.Value(cellIDs(out, "PTE/Joe", "NY", paperdata.Feb, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("PTE/Joe should be removed, got %v", v)
+	}
+}
+
+func TestSelectUnknownDimension(t *testing.T) {
+	c := paperdata.Warehouse()
+	if _, err := Select(c, "Nope", MemberIs{Ref: "x"}); err == nil {
+		t.Fatal("unknown dimension should fail")
+	}
+}
+
+// TestPaperFig4ForwardVisual reproduces the paper's Fig. 4 discussion:
+// with Cin = the Fig. 2 warehouse, P = {Feb, Apr}, forward semantics and
+// visual mode, "the leaf cell (PTE/Joe, Mar) has value 30 (instead of
+// ⊥), inherited from the corresponding cell (Contractor/Joe, Mar). Note
+// that (PTE/Joe, Jan) remains ⊥ since PTE/Joe was not valid in Jan."
+func TestPaperFig4ForwardVisual(t *testing.T) {
+	cin := paperdata.Warehouse()
+	cout, err := ApplyPerspectives(cin, "Organization", perspective.Forward,
+		[]int{paperdata.Feb, paperdata.Apr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline inheritance.
+	if v := cout.Value(cellIDs(cout, "PTE/Joe", "NY", paperdata.Mar, "Salary")); v != 30 {
+		t.Fatalf("(PTE/Joe, Mar) = %v, want 30 inherited from Contractor/Joe", v)
+	}
+	if v := cout.Value(cellIDs(cout, "PTE/Joe", "NY", paperdata.Jan, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("(PTE/Joe, Jan) = %v, want ⊥", v)
+	}
+	// PTE/Joe keeps its own Feb value.
+	if v := cout.Value(cellIDs(cout, "PTE/Joe", "NY", paperdata.Feb, "Salary")); v != 10 {
+		t.Fatalf("(PTE/Joe, Feb) = %v, want 10", v)
+	}
+	// Contractor/Joe covers [Apr, ∞): keeps Apr and Jun, May stays ⊥.
+	if v := cout.Value(cellIDs(cout, "Contractor/Joe", "NY", paperdata.Apr, "Salary")); v != 10 {
+		t.Fatalf("(Contractor/Joe, Apr) = %v, want 10", v)
+	}
+	if v := cout.Value(cellIDs(cout, "Contractor/Joe", "NY", paperdata.May, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("(Contractor/Joe, May) = %v, want ⊥", v)
+	}
+	// Contractor/Joe's own Mar value moved away to PTE/Joe.
+	if v := cout.Value(cellIDs(cout, "Contractor/Joe", "NY", paperdata.Mar, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("(Contractor/Joe, Mar) = %v, want ⊥ (moved to PTE/Joe)", v)
+	}
+	// FTE/Joe is dropped entirely.
+	if v := cout.Value(cellIDs(cout, "FTE/Joe", "NY", paperdata.Jan, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("(FTE/Joe, Jan) = %v, want ⊥ (instance dropped)", v)
+	}
+
+	// Visual mode: Q1 for PTE/Joe = Feb 10 + Mar 30 = 40.
+	q1, err := CellValue(cin, cout, nonLeafIDs(cout, "PTE/Joe", "NY", "Qtr1", "Salary"), perspective.Visual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != 40 {
+		t.Fatalf("visual Q1(PTE/Joe) = %v, want 40", q1)
+	}
+	// Non-visual mode retains the input aggregate: PTE/Joe's original
+	// Q1 = 10 (Feb only).
+	q1nv, err := CellValue(cin, cout, nonLeafIDs(cout, "PTE/Joe", "NY", "Qtr1", "Salary"), perspective.NonVisual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1nv != 10 {
+		t.Fatalf("non-visual Q1(PTE/Joe) = %v, want 10", q1nv)
+	}
+	// PTE group total under visual: Tom (10+10+10) + Joe (40) = 70.
+	pte, err := CellValue(cin, cout, nonLeafIDs(cout, "PTE", "NY", "Qtr1", "Salary"), perspective.Visual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pte != 70 {
+		t.Fatalf("visual Q1(PTE) = %v, want 70", pte)
+	}
+
+	// The output binding reflects the transformed validity sets.
+	ob := cout.BindingFor("Organization")
+	if ob == nil {
+		t.Fatal("output cube lost its binding")
+	}
+	pteJoe := cout.Dim(0).MustLookup("PTE/Joe")
+	if vs := ob.ValiditySet(pteJoe); !vs.Contains(paperdata.Mar) || vs.Contains(paperdata.Apr) {
+		t.Fatalf("output VS(PTE/Joe) = %v, want {Feb, Mar}", vs)
+	}
+}
+
+func TestStaticPerspectiveKeepsOriginalValues(t *testing.T) {
+	cin := paperdata.Warehouse()
+	cout, err := ApplyPerspectives(cin, "Organization", perspective.Static, []int{paperdata.Jan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cout.Value(cellIDs(cout, "FTE/Joe", "NY", paperdata.Jan, "Salary")); v != 10 {
+		t.Fatalf("(FTE/Joe, Jan) = %v, want 10", v)
+	}
+	for _, who := range []string{"PTE/Joe", "Contractor/Joe"} {
+		for m := paperdata.Jan; m <= paperdata.Jun; m++ {
+			if v := cout.Value(cellIDs(cout, who, "NY", m, "Salary")); !cube.IsNull(v) {
+				t.Fatalf("(%s,%d) = %v, want ⊥ (row removed)", who, m, v)
+			}
+		}
+	}
+	// Untouched members keep all values.
+	if v := cout.Value(cellIDs(cout, "FTE/Lisa", "NY", paperdata.Jun, "Salary")); v != 10 {
+		t.Fatalf("Lisa Jun = %v, want 10", v)
+	}
+}
+
+func TestBackwardPerspectiveValues(t *testing.T) {
+	cin := paperdata.Warehouse()
+	cout, err := ApplyPerspectives(cin, "Organization", perspective.Backward, []int{paperdata.Apr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contractor/Joe (valid at Apr) covers the past: inherits Jan's
+	// value from FTE/Joe and Feb's from PTE/Joe.
+	if v := cout.Value(cellIDs(cout, "Contractor/Joe", "NY", paperdata.Jan, "Salary")); v != 10 {
+		t.Fatalf("(Contractor/Joe, Jan) = %v, want 10 inherited from FTE/Joe", v)
+	}
+	if v := cout.Value(cellIDs(cout, "Contractor/Joe", "NY", paperdata.Feb, "Salary")); v != 10 {
+		t.Fatalf("(Contractor/Joe, Feb) = %v, want 10 inherited from PTE/Joe", v)
+	}
+	if v := cout.Value(cellIDs(cout, "Contractor/Joe", "NY", paperdata.Mar, "Salary")); v != 30 {
+		t.Fatalf("(Contractor/Joe, Mar) = %v, want 30 (own value)", v)
+	}
+	if v := cout.Value(cellIDs(cout, "FTE/Joe", "NY", paperdata.Jan, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("(FTE/Joe, Jan) should be ⊥ after backward relocation, got %v", v)
+	}
+}
+
+// TestPaperFig5PositiveScenario exercises the split operator on the
+// paper's positive-scenario example (§3.4): R = {(Lisa, FTE, PTE, Apr)} —
+// Lisa is hypothetically reclassified from FTE to PTE in April.
+func TestPaperFig5PositiveScenario(t *testing.T) {
+	cin := paperdata.Warehouse()
+	cout, err := ApplyChanges(cin, "Organization", []Change{
+		{Member: "Lisa", OldParent: "FTE", NewParent: "PTE", T: paperdata.Apr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FTE/Lisa keeps Jan..Mar; PTE/Lisa owns Apr..Jun.
+	for m := paperdata.Jan; m <= paperdata.Mar; m++ {
+		if v := cout.Value(cellIDs(cout, "FTE/Lisa", "NY", m, "Salary")); v != 10 {
+			t.Fatalf("(FTE/Lisa,%d) = %v, want 10", m, v)
+		}
+	}
+	for m := paperdata.Apr; m <= paperdata.Jun; m++ {
+		if v := cout.Value(cellIDs(cout, "FTE/Lisa", "NY", m, "Salary")); !cube.IsNull(v) {
+			t.Fatalf("(FTE/Lisa,%d) = %v, want ⊥ after split", m, v)
+		}
+		if v := cout.Value(cellIDs(cout, "PTE/Lisa", "NY", m, "Salary")); v != 10 {
+			t.Fatalf("(PTE/Lisa,%d) = %v, want 10", m, v)
+		}
+	}
+	// Validity sets split accordingly.
+	b := cout.BindingFor("Organization")
+	fteL := cout.Dim(0).MustLookup("FTE/Lisa")
+	pteL := cout.Dim(0).MustLookup("PTE/Lisa")
+	if vs := b.ValiditySet(fteL); vs.Contains(paperdata.Apr) || !vs.Contains(paperdata.Mar) {
+		t.Fatalf("VS(FTE/Lisa) = %v", vs)
+	}
+	if vs := b.ValiditySet(pteL); !vs.Contains(paperdata.Apr) || vs.Contains(paperdata.Mar) {
+		t.Fatalf("VS(PTE/Lisa) = %v", vs)
+	}
+
+	// Visual mode sees the move in the aggregates: Q2 PTE = Tom 30 +
+	// Lisa 30 + (no Joe under PTE in Q2) = 60.
+	q2, err := CellValue(cin, cout, nonLeafIDs(cout, "PTE", "NY", "Qtr2", "Salary"), perspective.Visual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != 60 {
+		t.Fatalf("visual Q2(PTE) = %v, want 60", q2)
+	}
+	// Non-visual keeps the original total (Tom 30 only).
+	q2nv, err := CellValue(cin, cout, nonLeafIDs(cout, "PTE", "NY", "Qtr2", "Salary"), perspective.NonVisual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2nv != 30 {
+		t.Fatalf("non-visual Q2(PTE) = %v, want 30", q2nv)
+	}
+	// The input cube is untouched.
+	if _, err := cin.Dim(0).Lookup("PTE/Lisa"); err == nil {
+		t.Fatal("split mutated the input dimension")
+	}
+}
+
+// TestSplitChained reproduces scenario S1 of the introduction: "What if
+// Tom became a contractor from March onward and became an FTE July
+// onward?"
+func TestSplitChained(t *testing.T) {
+	cin := paperdata.Warehouse()
+	cout, err := ApplyChanges(cin, "Organization", []Change{
+		{Member: "Tom", OldParent: "PTE", NewParent: "Contractor", T: paperdata.Mar},
+		{Member: "Tom", OldParent: "Contractor", NewParent: "FTE", T: paperdata.Jul},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cout.BindingFor("Organization")
+	pte := cout.Dim(0).MustLookup("PTE/Tom")
+	con := cout.Dim(0).MustLookup("Contractor/Tom")
+	fte := cout.Dim(0).MustLookup("FTE/Tom")
+	if vs := b.ValiditySet(pte); !(vs.Contains(paperdata.Jan) && vs.Contains(paperdata.Feb) && !vs.Contains(paperdata.Mar)) {
+		t.Fatalf("VS(PTE/Tom) = %v, want {Jan,Feb}", vs)
+	}
+	if vs := b.ValiditySet(con); !(vs.Contains(paperdata.Mar) && vs.Contains(paperdata.Jun) && !vs.Contains(paperdata.Jul)) {
+		t.Fatalf("VS(Contractor/Tom) = %v, want {Mar..Jun}", vs)
+	}
+	if vs := b.ValiditySet(fte); !(vs.Contains(paperdata.Jul) && vs.Contains(paperdata.Dec) && !vs.Contains(paperdata.Jun)) {
+		t.Fatalf("VS(FTE/Tom) = %v, want {Jul..Dec}", vs)
+	}
+	// Data follows: Tom's Mar..Jun salaries land under Contractor.
+	if v := cout.Value(cellIDs(cout, "Contractor/Tom", "NY", paperdata.Apr, "Salary")); v != 10 {
+		t.Fatalf("(Contractor/Tom, Apr) = %v, want 10", v)
+	}
+	if v := cout.Value(cellIDs(cout, "PTE/Tom", "NY", paperdata.Apr, "Salary")); !cube.IsNull(v) {
+		t.Fatalf("(PTE/Tom, Apr) = %v, want ⊥", v)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	cin := paperdata.Warehouse()
+	if _, err := ApplyChanges(cin, "Location", []Change{{Member: "x", OldParent: "a", NewParent: "b", T: 0}}); err == nil {
+		t.Fatal("split on dimension without binding should fail")
+	}
+	if _, err := ApplyChanges(cin, "Organization", []Change{{Member: "Lisa", OldParent: "PTE", NewParent: "FTE", T: 0}}); err == nil {
+		t.Fatal("split of non-existent instance should fail")
+	}
+	if _, err := ApplyChanges(cin, "Organization", []Change{{Member: "Lisa", OldParent: "FTE", NewParent: "PTE", T: 99}}); err == nil {
+		t.Fatal("out-of-range moment should fail")
+	}
+	if _, err := ApplyChanges(cin, "Organization", []Change{{Member: "Lisa", OldParent: "FTE", NewParent: "Contractor/Jane", T: 3}}); err == nil {
+		t.Fatal("leaf new parent should fail")
+	}
+	// Empty change list is the identity.
+	out, err := ApplyChanges(cin, "Organization", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCells() != cin.NumCells() {
+		t.Fatal("empty split should copy the cube")
+	}
+}
+
+// Property-like test: relocate conserves the multiset of non-null leaf
+// values restricted to moments covered by the output validity sets, and
+// never invents cells.
+func TestRelocateConservation(t *testing.T) {
+	cin := paperdata.Warehouse()
+	for _, sem := range []perspective.Semantics{perspective.Static, perspective.Forward,
+		perspective.ExtendedForward, perspective.Backward, perspective.ExtendedBackward} {
+		for _, ps := range [][]int{{paperdata.Jan}, {paperdata.Feb, paperdata.Apr}, {paperdata.Mar, paperdata.Jun}} {
+			cout, err := ApplyPerspectives(cin, "Organization", sem, ps)
+			if err != nil {
+				t.Fatalf("%v %v: %v", sem, ps, err)
+			}
+			if cout.NumCells() > cin.NumCells() {
+				t.Fatalf("%v %v: output has more cells (%d) than input (%d)",
+					sem, ps, cout.NumCells(), cin.NumCells())
+			}
+			// Every output cell's value must exist at the same
+			// (location, time, measure) for some instance in the input.
+			sumIn, sumOut := 0.0, 0.0
+			cin.Store().NonNull(func(a []int, v float64) bool { sumIn += v; return true })
+			cout.Store().NonNull(func(a []int, v float64) bool { sumOut += v; return true })
+			if sumOut > sumIn+1e-9 {
+				t.Fatalf("%v %v: output sum %v exceeds input %v", sem, ps, sumOut, sumIn)
+			}
+			if math.IsNaN(sumOut) {
+				t.Fatalf("%v %v: NaN leaked into store", sem, ps)
+			}
+		}
+	}
+}
+
+func TestRelocateIdentityWhenVSUnchanged(t *testing.T) {
+	cin := paperdata.Warehouse()
+	b := cin.BindingFor("Organization")
+	// A nil VSFunc result means "keep the input validity set", so the
+	// relocation is the identity on cell data.
+	cout, err := Relocate(cin, b, func(id dimension.MemberID) *bitset.Set { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cout.NumCells() != cin.NumCells() {
+		t.Fatalf("identity relocate changed cell count: %d -> %d", cin.NumCells(), cout.NumCells())
+	}
+	cin.Store().NonNull(func(addr []int, v float64) bool {
+		if got := cout.Leaf(addr); got != v {
+			t.Fatalf("identity relocate changed cell %v: %v -> %v", addr, v, got)
+		}
+		return true
+	})
+}
+
+func BenchmarkApplyPerspectivesForward(b *testing.B) {
+	cin := paperdata.Warehouse()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyPerspectives(cin, "Organization", perspective.Forward,
+			[]int{paperdata.Feb, paperdata.Apr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitTwoChanges(b *testing.B) {
+	cin := paperdata.Warehouse()
+	changes := []Change{
+		{Member: "Lisa", OldParent: "FTE", NewParent: "PTE", T: paperdata.Apr},
+		{Member: "Tom", OldParent: "PTE", NewParent: "Contractor", T: paperdata.Mar},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(cin, "Organization", changes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

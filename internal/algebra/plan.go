@@ -1,0 +1,326 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/perspective"
+)
+
+// This file implements the paper's first future-work item (§8):
+// "Further optimization of what-if queries by manipulation of the
+// proposed algebraic operators." What-if queries are represented as
+// operator plans; Optimize rewrites a plan into an equivalent cheaper
+// one using the algebraic identities proved by the operator
+// definitions; Execute evaluates a plan against an input cube.
+
+// Plan is a what-if operator expression over an input cube.
+type Plan interface {
+	planNode()
+	String() string
+}
+
+// PlanInput is the leaf of every plan: the input cube itself.
+type PlanInput struct{}
+
+// PlanSelect applies σ_Pred on dimension Dim.
+type PlanSelect struct {
+	Dim   string
+	Pred  Predicate
+	Child Plan
+}
+
+// PlanPerspective applies the negative-scenario pipeline
+// ρ(·, Φ_Sem(VSin, Points)) for the named varying dimension.
+type PlanPerspective struct {
+	Varying string
+	Sem     perspective.Semantics
+	Points  []int
+	Child   Plan
+}
+
+// PlanChanges applies the positive-scenario split S(·, Changes).
+type PlanChanges struct {
+	Varying string
+	Changes []Change
+	Child   Plan
+}
+
+// PlanTransfer applies a data-driven reallocation (the Transfer
+// operator).
+type PlanTransfer struct {
+	Transfer Transfer
+	Child    Plan
+}
+
+func (PlanInput) planNode()        {}
+func (*PlanSelect) planNode()      {}
+func (*PlanPerspective) planNode() {}
+func (*PlanChanges) planNode()     {}
+func (*PlanTransfer) planNode()    {}
+
+// String renders the plan as a nested operator expression.
+func (PlanInput) String() string { return "Cin" }
+func (p *PlanSelect) String() string {
+	return fmt.Sprintf("σ[%s: %s](%s)", p.Dim, p.Pred, p.Child)
+}
+func (p *PlanPerspective) String() string {
+	return fmt.Sprintf("ρΦ[%s %v P=%v](%s)", p.Varying, p.Sem, p.Points, p.Child)
+}
+func (p *PlanChanges) String() string {
+	return fmt.Sprintf("S[%s |R|=%d](%s)", p.Varying, len(p.Changes), p.Child)
+}
+func (p *PlanTransfer) String() string {
+	return fmt.Sprintf("T[%g of %s: %s→%s](%s)",
+		p.Transfer.Fraction, p.Transfer.Dim, p.Transfer.From, p.Transfer.To, p.Child)
+}
+
+// Execute evaluates the plan bottom-up against the input cube.
+func Execute(p Plan, cin *cube.Cube) (*cube.Cube, error) {
+	switch x := p.(type) {
+	case PlanInput:
+		return cin, nil
+	case *PlanInput:
+		return cin, nil
+	case *PlanSelect:
+		c, err := Execute(x.Child, cin)
+		if err != nil {
+			return nil, err
+		}
+		return Select(c, x.Dim, x.Pred)
+	case *PlanPerspective:
+		c, err := Execute(x.Child, cin)
+		if err != nil {
+			return nil, err
+		}
+		return ApplyPerspectives(c, x.Varying, x.Sem, x.Points)
+	case *PlanChanges:
+		c, err := Execute(x.Child, cin)
+		if err != nil {
+			return nil, err
+		}
+		return ApplyChanges(c, x.Varying, x.Changes)
+	case *PlanTransfer:
+		c, err := Execute(x.Child, cin)
+		if err != nil {
+			return nil, err
+		}
+		return ApplyTransfer(c, x.Transfer)
+	}
+	return nil, fmt.Errorf("algebra: unknown plan node %T", p)
+}
+
+// Rewrite records one optimization step for explain output.
+type Rewrite struct {
+	Rule   string
+	Detail string
+}
+
+// Optimize rewrites the plan using the algebraic identities below and
+// returns the optimized plan with the applied rewrites, outermost
+// first. The identities and their justifications:
+//
+//  1. select-fusion: σ_p(σ_q(C)) = σ_{p∧q}(C) on the same dimension —
+//     immediate from Definition 4.1 (active iff active and satisfies).
+//
+//  2. static-as-selection: a static perspective equals a validity-set
+//     selection, ρ(C, Φs(VSin, P)) = σ_{VS∩P≠∅}(C): Definition 4.2
+//     makes Φs the identity on validity sets and Definition 3.4 keeps
+//     survivors' original values, which is exactly what σ with a
+//     VSIntersects predicate retains. Selections are cheaper: no
+//     relocation table, no instance merging.
+//
+//  3. full-cover elimination: a dynamic perspective whose point set
+//     includes every parameter leaf is the identity — every instance is
+//     its own most recent perspective at each moment of its validity,
+//     so Stretch(d) reproduces VS(d) (Definition 4.3 with P = I).
+//
+//  4. select-pushdown: σ_p(ρΦ(C)) = ρΦ(σ_p(C)) when p is structural
+//     (depends only on member identity/hierarchy, not on cell values or
+//     validity sets) and either selects on a non-varying dimension or
+//     is member-closed on the varying one (keeps or drops all instances
+//     of each member together). Relocation moves values only between
+//     instances of one member at fixed coordinates elsewhere, so a
+//     selection that never separates siblings commutes with it.
+//     Pushing selections down shrinks the cube before the expensive
+//     relocation.
+//
+// Point sets are also normalized (sorted, deduplicated) so plans
+// compare structurally.
+func Optimize(p Plan) (Plan, []Rewrite) {
+	var applied []Rewrite
+	// Iterate to a fixed point; each pass applies each rule at most
+	// once per node, and every rule strictly shrinks or reorders the
+	// plan, so this terminates.
+	for i := 0; i < 16; i++ {
+		var changed bool
+		p, changed = rewrite(p, &applied)
+		if !changed {
+			break
+		}
+	}
+	return p, applied
+}
+
+func rewrite(p Plan, applied *[]Rewrite) (Plan, bool) {
+	switch x := p.(type) {
+	case PlanInput, *PlanInput:
+		return p, false
+
+	case *PlanSelect:
+		child, changed := rewrite(x.Child, applied)
+		x = &PlanSelect{Dim: x.Dim, Pred: x.Pred, Child: child}
+		// Rule 1: select-fusion.
+		if inner, ok := x.Child.(*PlanSelect); ok && inner.Dim == x.Dim {
+			*applied = append(*applied, Rewrite{
+				Rule:   "select-fusion",
+				Detail: fmt.Sprintf("σ∘σ on %s fused into one conjunctive selection", x.Dim),
+			})
+			return &PlanSelect{
+				Dim:   x.Dim,
+				Pred:  And{L: x.Pred, R: inner.Pred},
+				Child: inner.Child,
+			}, true
+		}
+		// Rule 4: select-pushdown below a perspective.
+		if persp, ok := x.Child.(*PlanPerspective); ok && pushable(x, persp) {
+			*applied = append(*applied, Rewrite{
+				Rule:   "select-pushdown",
+				Detail: fmt.Sprintf("σ on %s pushed below the %v perspective on %s", x.Dim, persp.Sem, persp.Varying),
+			})
+			return &PlanPerspective{
+				Varying: persp.Varying,
+				Sem:     persp.Sem,
+				Points:  persp.Points,
+				Child:   &PlanSelect{Dim: x.Dim, Pred: x.Pred, Child: persp.Child},
+			}, true
+		}
+		return x, changed
+
+	case *PlanPerspective:
+		child, changed := rewrite(x.Child, applied)
+		points := normalizePoints(x.Points)
+		x = &PlanPerspective{Varying: x.Varying, Sem: x.Sem, Points: points, Child: child}
+		// Rule 2: static-as-selection.
+		if x.Sem == perspective.Static {
+			*applied = append(*applied, Rewrite{
+				Rule:   "static-as-selection",
+				Detail: fmt.Sprintf("static perspective on %s replaced by σ with a validity-set predicate", x.Varying),
+			})
+			return &PlanSelect{
+				Dim:   x.Varying,
+				Pred:  VSIntersects{ParamOrdinals: points},
+				Child: x.Child,
+			}, true
+		}
+		return x, changed
+
+	case *PlanChanges:
+		child, changed := rewrite(x.Child, applied)
+		return &PlanChanges{Varying: x.Varying, Changes: x.Changes, Child: child}, changed
+
+	case *PlanTransfer:
+		child, changed := rewrite(x.Child, applied)
+		return &PlanTransfer{Transfer: x.Transfer, Child: child}, changed
+	}
+	return p, false
+}
+
+// EliminateFullCover applies rule 3 for a concrete cube (the rule needs
+// the parameter dimension's extent, which the plan alone does not
+// carry): dynamic perspectives whose point set covers every parameter
+// leaf are removed. It returns the rewritten plan.
+func EliminateFullCover(p Plan, cin *cube.Cube) (Plan, []Rewrite) {
+	var applied []Rewrite
+	var walk func(Plan) Plan
+	walk = func(p Plan) Plan {
+		switch x := p.(type) {
+		case *PlanSelect:
+			return &PlanSelect{Dim: x.Dim, Pred: x.Pred, Child: walk(x.Child)}
+		case *PlanChanges:
+			return &PlanChanges{Varying: x.Varying, Changes: x.Changes, Child: walk(x.Child)}
+		case *PlanTransfer:
+			return &PlanTransfer{Transfer: x.Transfer, Child: walk(x.Child)}
+		case *PlanPerspective:
+			child := walk(x.Child)
+			if x.Sem == perspective.Forward || x.Sem == perspective.Backward {
+				if b := cin.BindingFor(x.Varying); b != nil {
+					if len(normalizePoints(x.Points)) == b.Param.NumLeaves() {
+						applied = append(applied, Rewrite{
+							Rule:   "full-cover-elimination",
+							Detail: fmt.Sprintf("%v perspective on %s covers all of %s; dropped as identity", x.Sem, x.Varying, b.Param.Name()),
+						})
+						return child
+					}
+				}
+			}
+			return &PlanPerspective{Varying: x.Varying, Sem: x.Sem, Points: x.Points, Child: child}
+		default:
+			return p
+		}
+	}
+	return walk(p), applied
+}
+
+// pushable reports whether a selection commutes with a perspective
+// (rule 4's side conditions).
+func pushable(sel *PlanSelect, persp *PlanPerspective) bool {
+	if !structural(sel.Pred) {
+		return false
+	}
+	if sel.Dim != persp.Varying {
+		return true
+	}
+	return memberClosed(sel.Pred)
+}
+
+// structural reports whether the predicate depends only on member
+// identity and hierarchy — not on cell values (ValueCond) or validity
+// sets (VSIntersects), both of which a perspective transforms.
+func structural(p Predicate) bool {
+	switch x := p.(type) {
+	case MemberIs, DescendantOf:
+		return true
+	case And:
+		return structural(x.L) && structural(x.R)
+	case Or:
+		return structural(x.L) && structural(x.R)
+	case Not:
+		return structural(x.X)
+	}
+	return false
+}
+
+// memberClosed reports whether the predicate keeps or drops all
+// instances of each varying member together. A base-name MemberIs
+// (no '/') matches every instance of the member; a path MemberIs or a
+// DescendantOf can separate siblings classified under different
+// parents.
+func memberClosed(p Predicate) bool {
+	switch x := p.(type) {
+	case MemberIs:
+		return !strings.Contains(x.Ref, "/")
+	case And:
+		return memberClosed(x.L) && memberClosed(x.R)
+	case Or:
+		return memberClosed(x.L) && memberClosed(x.R)
+	case Not:
+		return memberClosed(x.X)
+	}
+	return false
+}
+
+func normalizePoints(ps []int) []int {
+	out := append([]int(nil), ps...)
+	sort.Ints(out)
+	dedup := out[:0]
+	for i, p := range out {
+		if i > 0 && p == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	return dedup
+}

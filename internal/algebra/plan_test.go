@@ -1,0 +1,373 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/paperdata"
+	"whatifolap/internal/perspective"
+)
+
+// equalLeafCells compares two cubes' leaf stores cell-for-cell through
+// member paths (dimension objects may differ after split).
+func equalLeafCells(t *testing.T, a, b *cube.Cube) bool {
+	t.Helper()
+	count := func(c *cube.Cube) int { return c.NumCells() }
+	if count(a) != count(b) {
+		t.Logf("cell counts differ: %d vs %d", count(a), count(b))
+		return false
+	}
+	ok := true
+	a.Store().NonNull(func(addr []int, v float64) bool {
+		// Translate a's address to b through paths.
+		baddr := make([]int, len(addr))
+		for i, o := range addr {
+			p := a.Dim(i).Path(a.Dim(i).Leaf(o).ID)
+			id, err := b.Dim(i).Lookup(p)
+			if err != nil {
+				t.Logf("b lacks member %s", p)
+				ok = false
+				return false
+			}
+			baddr[i] = b.Dim(i).Member(id).LeafOrdinal
+		}
+		if got := b.Leaf(baddr); math.Abs(got-v) > 1e-9 || math.IsNaN(got) {
+			t.Logf("cell %v: %v vs %v", addr, v, got)
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func TestOptimizeStaticAsSelection(t *testing.T) {
+	plan := &PlanPerspective{
+		Varying: "Organization",
+		Sem:     perspective.Static,
+		Points:  []int{paperdata.Feb, paperdata.Jan, paperdata.Feb},
+		Child:   PlanInput{},
+	}
+	opt, rewrites := Optimize(plan)
+	if len(rewrites) != 1 || rewrites[0].Rule != "static-as-selection" {
+		t.Fatalf("rewrites = %+v", rewrites)
+	}
+	sel, ok := opt.(*PlanSelect)
+	if !ok {
+		t.Fatalf("optimized plan = %s", opt)
+	}
+	vs, ok := sel.Pred.(VSIntersects)
+	if !ok || len(vs.ParamOrdinals) != 2 {
+		t.Fatalf("predicate = %v (points should be normalized)", sel.Pred)
+	}
+	// Equivalence on the paper cube.
+	cin := paperdata.Warehouse()
+	ref, err := Execute(plan, cin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(opt, cin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalLeafCells(t, ref, got) {
+		t.Fatal("static-as-selection changed the result")
+	}
+}
+
+func TestOptimizeSelectFusion(t *testing.T) {
+	plan := &PlanSelect{
+		Dim:  "Organization",
+		Pred: DescendantOf{Ref: "FTE"},
+		Child: &PlanSelect{
+			Dim:   "Organization",
+			Pred:  Not{X: MemberIs{Ref: "Sue"}},
+			Child: PlanInput{},
+		},
+	}
+	opt, rewrites := Optimize(plan)
+	if len(rewrites) != 1 || rewrites[0].Rule != "select-fusion" {
+		t.Fatalf("rewrites = %+v", rewrites)
+	}
+	if _, ok := opt.(*PlanSelect).Child.(PlanInput); !ok {
+		t.Fatalf("fusion should leave a single selection: %s", opt)
+	}
+	cin := paperdata.Warehouse()
+	ref, _ := Execute(plan, cin)
+	got, _ := Execute(opt, cin)
+	if !equalLeafCells(t, ref, got) {
+		t.Fatal("select-fusion changed the result")
+	}
+}
+
+func TestOptimizeSelectPushdown(t *testing.T) {
+	// A base-name selection on the varying dimension commutes with the
+	// forward perspective.
+	plan := &PlanSelect{
+		Dim:  "Organization",
+		Pred: MemberIs{Ref: "Joe"},
+		Child: &PlanPerspective{
+			Varying: "Organization",
+			Sem:     perspective.Forward,
+			Points:  []int{paperdata.Feb, paperdata.Apr},
+			Child:   PlanInput{},
+		},
+	}
+	opt, rewrites := Optimize(plan)
+	if len(rewrites) != 1 || rewrites[0].Rule != "select-pushdown" {
+		t.Fatalf("rewrites = %+v", rewrites)
+	}
+	if _, ok := opt.(*PlanPerspective); !ok {
+		t.Fatalf("perspective should now be outermost: %s", opt)
+	}
+	cin := paperdata.Warehouse()
+	ref, err := Execute(plan, cin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(opt, cin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalLeafCells(t, ref, got) {
+		t.Fatal("select-pushdown changed the result")
+	}
+}
+
+func TestOptimizePushdownOtherDimension(t *testing.T) {
+	// Structural selections on non-varying dimensions always push.
+	plan := &PlanSelect{
+		Dim:  "Location",
+		Pred: DescendantOf{Ref: "East"},
+		Child: &PlanPerspective{
+			Varying: "Organization",
+			Sem:     perspective.Backward,
+			Points:  []int{paperdata.Jun},
+			Child:   PlanInput{},
+		},
+	}
+	opt, rewrites := Optimize(plan)
+	if len(rewrites) != 1 || rewrites[0].Rule != "select-pushdown" {
+		t.Fatalf("rewrites = %+v", rewrites)
+	}
+	cin := paperdata.Warehouse()
+	ref, _ := Execute(plan, cin)
+	got, _ := Execute(opt, cin)
+	if !equalLeafCells(t, ref, got) {
+		t.Fatal("pushdown on other dimension changed the result")
+	}
+}
+
+func TestOptimizeRefusesUnsafePushdowns(t *testing.T) {
+	persp := &PlanPerspective{
+		Varying: "Organization",
+		Sem:     perspective.Forward,
+		Points:  []int{paperdata.Feb},
+		Child:   PlanInput{},
+	}
+	for name, pred := range map[string]Predicate{
+		// A path selection separates instances of one member.
+		"path-member": MemberIs{Ref: "PTE/Joe"},
+		// Hierarchy selections can separate siblings too.
+		"descendant-of": DescendantOf{Ref: "PTE"},
+		// Value predicates read cells the perspective moves.
+		"value": ValueCond{Fix: map[string]string{"Measures": "Salary"}, Op: GT, Const: 5},
+		// Validity-set predicates read metadata the perspective rewrites.
+		"vs": VSIntersects{ParamOrdinals: []int{paperdata.Feb}},
+	} {
+		plan := &PlanSelect{Dim: "Organization", Pred: pred, Child: persp}
+		opt, rewrites := Optimize(plan)
+		if len(rewrites) != 0 {
+			t.Errorf("%s: unsafe pushdown applied: %+v", name, rewrites)
+		}
+		if _, ok := opt.(*PlanSelect); !ok {
+			t.Errorf("%s: selection should stay outermost", name)
+		}
+	}
+}
+
+// TestUnsafePushdownWouldBeWrong demonstrates that the side condition is
+// necessary: pushing a path selection below a forward perspective
+// changes the answer, because the selection removes the sibling rows the
+// relocation pulls from.
+func TestUnsafePushdownWouldBeWrong(t *testing.T) {
+	cin := paperdata.Warehouse()
+	persp := &PlanPerspective{
+		Varying: "Organization",
+		Sem:     perspective.Forward,
+		Points:  []int{paperdata.Feb},
+		Child:   PlanInput{},
+	}
+	after := &PlanSelect{Dim: "Organization", Pred: MemberIs{Ref: "PTE/Joe"}, Child: persp}
+	before := &PlanPerspective{
+		Varying: "Organization",
+		Sem:     perspective.Forward,
+		Points:  []int{paperdata.Feb},
+		Child:   &PlanSelect{Dim: "Organization", Pred: MemberIs{Ref: "PTE/Joe"}, Child: PlanInput{}},
+	}
+	a, err := Execute(after, cin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(before, cin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the correct order, PTE/Joe inherits Contractor/Joe's March
+	// value; pushed down, Contractor/Joe's data was removed first.
+	ids := func(c *cube.Cube) []int {
+		return []int{
+			c.Dim(0).Member(c.Dim(0).MustLookup("PTE/Joe")).LeafOrdinal,
+			c.Dim(1).Member(c.Dim(1).MustLookup("NY")).LeafOrdinal,
+			paperdata.Mar,
+			c.Dim(3).Member(c.Dim(3).MustLookup("Salary")).LeafOrdinal,
+		}
+	}
+	if got := a.Leaf(ids(a)); got != 30 {
+		t.Fatalf("correct order: (PTE/Joe, Mar) = %v, want 30", got)
+	}
+	if got := b.Leaf(ids(b)); !cube.IsNull(got) {
+		t.Fatalf("pushed-down order: (PTE/Joe, Mar) = %v, want ⊥ (demonstrating non-equivalence)", got)
+	}
+}
+
+func TestEliminateFullCover(t *testing.T) {
+	cin := paperdata.Warehouse()
+	all := make([]int, 12)
+	for i := range all {
+		all[i] = i
+	}
+	plan := &PlanPerspective{
+		Varying: "Organization",
+		Sem:     perspective.Forward,
+		Points:  all,
+		Child:   PlanInput{},
+	}
+	opt, rewrites := EliminateFullCover(plan, cin)
+	if len(rewrites) != 1 || rewrites[0].Rule != "full-cover-elimination" {
+		t.Fatalf("rewrites = %+v", rewrites)
+	}
+	if _, ok := opt.(PlanInput); !ok {
+		t.Fatalf("full-cover plan should reduce to the input: %s", opt)
+	}
+	// Semantics check: the full-cover perspective really is the
+	// identity on leaf cells.
+	ref, err := Execute(plan, cin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalLeafCells(t, ref, cin) {
+		t.Fatal("full-cover forward perspective should be the identity")
+	}
+	// Partial cover is not eliminated.
+	plan.Points = all[:6]
+	if _, rewrites := EliminateFullCover(plan, cin); len(rewrites) != 0 {
+		t.Fatal("partial cover must not be eliminated")
+	}
+}
+
+func TestPlanStrings(t *testing.T) {
+	p := &PlanSelect{
+		Dim:  "Organization",
+		Pred: MemberIs{Ref: "Joe"},
+		Child: &PlanChanges{
+			Varying: "Organization",
+			Changes: []Change{{Member: "Lisa", OldParent: "FTE", NewParent: "PTE", T: 3}},
+			Child: &PlanPerspective{
+				Varying: "Organization", Sem: perspective.Forward, Points: []int{1},
+				Child: PlanInput{},
+			},
+		},
+	}
+	s := p.String()
+	for _, want := range []string{"σ[", "S[", "ρΦ[", "Cin"} {
+		if !containsStr(s, want) {
+			t.Fatalf("plan string %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// randomPlan builds a random valid plan over the paper warehouse using
+// only rewrite-eligible and -ineligible operators.
+func randomPlan(r *rand.Rand) Plan {
+	var p Plan = PlanInput{}
+	sems := []perspective.Semantics{perspective.Static, perspective.Forward,
+		perspective.ExtendedForward, perspective.Backward, perspective.ExtendedBackward}
+	preds := []Predicate{
+		MemberIs{Ref: "Joe"},
+		MemberIs{Ref: "Lisa"},
+		DescendantOf{Ref: "FTE"},
+		DescendantOf{Ref: "East"},
+		Not{X: MemberIs{Ref: "Sue"}},
+	}
+	dims := []string{"Organization", "Organization", "Organization", "Location"}
+	depth := 1 + r.Intn(4)
+	for i := 0; i < depth; i++ {
+		switch r.Intn(3) {
+		case 0:
+			j := r.Intn(len(preds))
+			dim := dims[j%len(dims)]
+			if _, isLoc := preds[j].(DescendantOf); isLoc && preds[j].(DescendantOf).Ref == "East" {
+				dim = "Location"
+			} else if dim == "Location" {
+				dim = "Organization"
+			}
+			p = &PlanSelect{Dim: dim, Pred: preds[j], Child: p}
+		case 1:
+			n := 1 + r.Intn(3)
+			pts := make([]int, n)
+			for k := range pts {
+				pts[k] = r.Intn(12)
+			}
+			p = &PlanPerspective{Varying: "Organization", Sem: sems[r.Intn(len(sems))], Points: pts, Child: p}
+		case 2:
+			p = &PlanChanges{
+				Varying: "Organization",
+				Changes: []Change{{Member: "Lisa", OldParent: "FTE", NewParent: "PTE", T: 1 + r.Intn(10)}},
+				Child:   p,
+			}
+		}
+	}
+	return p
+}
+
+// Property: Optimize preserves plan semantics on the paper warehouse
+// for random plans. Plans that fail to execute (e.g. a second split of
+// an already-moved Lisa) must fail identically in both versions.
+func TestQuickOptimizeEquivalence(t *testing.T) {
+	cin := paperdata.Warehouse()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		plan := randomPlan(r)
+		opt, _ := Optimize(plan)
+		ref, errRef := Execute(plan, cin)
+		got, errOpt := Execute(opt, cin)
+		if (errRef != nil) != (errOpt != nil) {
+			t.Logf("seed %d: error mismatch %v vs %v for %s", seed, errRef, errOpt, plan)
+			return false
+		}
+		if errRef != nil {
+			return true
+		}
+		if !equalLeafCells(t, ref, got) {
+			t.Logf("seed %d: plan %s -> %s", seed, plan, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

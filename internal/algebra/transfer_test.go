@@ -1,0 +1,120 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/paperdata"
+	"whatifolap/internal/perspective"
+)
+
+// TestTransferPaperExample replays the paper's §1 data-driven scenario:
+// 10% of PTEs' salary during the first quarter in NY is instead given
+// to PTEs in MA.
+func TestTransferPaperExample(t *testing.T) {
+	cin := paperdata.Warehouse()
+	out, err := ApplyTransfer(cin, Transfer{
+		Dim: "Location", From: "NY", To: "MA", Fraction: 0.10,
+		Scope: []cube.ScopeCond{
+			{Dim: "Organization", Member: "PTE"},
+			{Dim: "Time", Member: "Qtr1"},
+			{Dim: "Measures", Member: "Salary"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tom's January NY salary drops from 10 to 9; MA gains 1.
+	ny := cellIDs(out, "PTE/Tom", "NY", paperdata.Jan, "Salary")
+	ma := cellIDs(out, "PTE/Tom", "MA", paperdata.Jan, "Salary")
+	if v := out.Value(ny); math.Abs(v-9) > 1e-12 {
+		t.Fatalf("(Tom, NY, Jan) = %v, want 9", v)
+	}
+	if v := out.Value(ma); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("(Tom, MA, Jan) = %v, want 1 (created from ⊥)", v)
+	}
+	// Out-of-scope cells untouched: Tom's April salary, Lisa (FTE), and
+	// benefits.
+	if v := out.Value(cellIDs(out, "PTE/Tom", "NY", paperdata.Apr, "Salary")); v != 10 {
+		t.Fatalf("April out of Qtr1 scope moved: %v", v)
+	}
+	if v := out.Value(cellIDs(out, "FTE/Lisa", "NY", paperdata.Jan, "Salary")); v != 10 {
+		t.Fatalf("FTE out of PTE scope moved: %v", v)
+	}
+	if v := out.Value(cellIDs(out, "PTE/Tom", "NY", paperdata.Jan, "Benefits")); v != 2 {
+		t.Fatalf("Benefits out of Salary scope moved: %v", v)
+	}
+	// Conservation: total salary unchanged; visual aggregates shift
+	// between East states but not in the East total.
+	sum := func(c *cube.Cube) float64 {
+		s := 0.0
+		c.Store().NonNull(func(addr []int, v float64) bool { s += v; return true })
+		return s
+	}
+	if math.Abs(sum(cin)-sum(out)) > 1e-9 {
+		t.Fatalf("transfer not conservative: %v vs %v", sum(cin), sum(out))
+	}
+	east, err := CellValue(cin, out, nonLeafIDs(out, "PTE", "East", "Qtr1", "Salary"), perspective.Visual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eastBefore, err := CellValue(cin, cin, nonLeafIDs(cin, "PTE", "East", "Qtr1", "Salary"), perspective.Visual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(east-eastBefore) > 1e-9 {
+		t.Fatalf("East total changed: %v -> %v", eastBefore, east)
+	}
+	// The input cube is untouched.
+	if v := cin.Value(cellIDs(cin, "PTE/Tom", "NY", paperdata.Jan, "Salary")); v != 10 {
+		t.Fatal("ApplyTransfer mutated its input")
+	}
+}
+
+func TestTransferErrors(t *testing.T) {
+	cin := paperdata.Warehouse()
+	cases := []Transfer{
+		{Dim: "Nope", From: "NY", To: "MA", Fraction: 0.1},
+		{Dim: "Location", From: "NY", To: "MA", Fraction: 1.5},
+		{Dim: "Location", From: "East", To: "MA", Fraction: 0.1}, // non-leaf source
+		{Dim: "Location", From: "NY", To: "NY", Fraction: 0.1},
+		{Dim: "Location", From: "NY", To: "Missing", Fraction: 0.1},
+		{Dim: "Location", From: "NY", To: "MA", Fraction: 0.1,
+			Scope: []cube.ScopeCond{{Dim: "Bad", Member: "x"}}},
+		{Dim: "Location", From: "NY", To: "MA", Fraction: 0.1,
+			Scope: []cube.ScopeCond{{Dim: "Organization", Member: "Missing"}}},
+		// No matching cells: nobody has TX data.
+		{Dim: "Location", From: "TX", To: "MA", Fraction: 0.1},
+	}
+	for i, tr := range cases {
+		if _, err := ApplyTransfer(cin, tr); err == nil {
+			t.Errorf("case %d (%+v) should fail", i, tr)
+		}
+	}
+}
+
+func TestTransferComposesWithPerspectives(t *testing.T) {
+	// Data-driven and structural scenarios compose: reallocate, then ask
+	// a structural what-if on the result.
+	cin := paperdata.Warehouse()
+	moved, err := ApplyTransfer(cin, Transfer{
+		Dim: "Location", From: "NY", To: "MA", Fraction: 0.5,
+		Scope: []cube.ScopeCond{{Dim: "Measures", Member: "Salary"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ApplyPerspectives(moved, "Organization", perspective.Forward, []int{paperdata.Feb, paperdata.Apr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig. 4 inheritance now carries the halved value: (PTE/Joe,
+	// Mar, NY) = 15 instead of 30, and MA holds the other 15.
+	if v := out.Value(cellIDs(out, "PTE/Joe", "NY", paperdata.Mar, "Salary")); v != 15 {
+		t.Fatalf("(PTE/Joe, Mar, NY) = %v, want 15", v)
+	}
+	if v := out.Value(cellIDs(out, "PTE/Joe", "MA", paperdata.Mar, "Salary")); v != 15 {
+		t.Fatalf("(PTE/Joe, Mar, MA) = %v, want 15", v)
+	}
+}

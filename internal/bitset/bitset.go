@@ -1,0 +1,247 @@
+// Package bitset provides a compact bit set used to represent validity
+// sets of varying-dimension member instances over the leaf members of a
+// parameter dimension.
+//
+// A validity set VS(d) (paper §2) is the set of parameter-dimension leaf
+// members over which a member instance d is valid. Parameter leaves are
+// identified by their ordinal (0-based position in the dimension's leaf
+// order, which for ordered parameter dimensions such as Time coincides
+// with temporal order).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-universe bit set. The zero value is an empty set over an
+// empty universe; use New to create a set over a non-trivial universe.
+type Set struct {
+	n     int // universe size
+	words []uint64
+}
+
+// New returns an empty set over the universe {0, ..., n-1}.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative universe size %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set over {0,...,n-1} containing the given ordinals.
+// Out-of-range ordinals cause a panic, as they indicate a programming
+// error in ordinal assignment.
+func FromSlice(n int, ordinals []int) *Set {
+	s := New(n)
+	for _, o := range ordinals {
+		s.Add(o)
+	}
+	return s
+}
+
+// Universe returns the size of the set's universe.
+func (s *Set) Universe() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: ordinal %d out of universe [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts ordinal i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes ordinal i from the set.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether ordinal i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Len returns the number of ordinals in the set.
+func (s *Set) Len() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t contain the same ordinals over the same
+// universe.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) sameUniverse(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// UnionWith adds every element of t to s.
+func (s *Set) UnionWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// SubtractWith removes every element of t from s.
+func (s *Set) SubtractWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Union returns a new set s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	c := s.Clone()
+	c.UnionWith(t)
+	return c
+}
+
+// Intersect returns a new set s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	c := s.Clone()
+	c.IntersectWith(t)
+	return c
+}
+
+// Subtract returns a new set s \ t.
+func (s *Set) Subtract(t *Set) *Set {
+	c := s.Clone()
+	c.SubtractWith(t)
+	return c
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s *Set) Intersects(t *Set) bool {
+	s.sameUniverse(t)
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AddRange inserts all ordinals in the half-open interval [lo, hi).
+// Intervals of this form are the workhorse of forward-perspective
+// stretches [pᵢ, pᵢ₊₁).
+func (s *Set) AddRange(lo, hi int) {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitset: bad range [%d,%d) for universe %d", lo, hi, s.n))
+	}
+	for i := lo; i < hi; i++ {
+		// Fill whole words where possible.
+		if i%wordBits == 0 && i+wordBits <= hi {
+			s.words[i/wordBits] = ^uint64(0)
+			i += wordBits - 1
+			continue
+		}
+		s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Min returns the smallest ordinal in the set, or -1 if empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest ordinal in the set, or -1 if empty.
+func (s *Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every ordinal in the set in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Slice returns the ordinals in the set in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as a sorted ordinal list, e.g. "{0, 3, 5}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	s := New(10)
+	if !s.IsEmpty() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatalf("Min/Max of empty = %d/%d, want -1/-1", s.Min(), s.Max())
+	}
+	if s.Universe() != 10 {
+		t.Fatalf("Universe = %d, want 10", s.Universe())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 63, 64, 65, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) = true after Remove")
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(4)
+	if s.Contains(-1) || s.Contains(4) || s.Contains(100) {
+		t.Fatal("Contains should be false out of universe")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range should panic")
+		}
+	}()
+	New(4).Add(4)
+}
+
+func TestNewPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestMinMax(t *testing.T) {
+	s := FromSlice(200, []int{17, 64, 191})
+	if s.Min() != 17 {
+		t.Fatalf("Min = %d, want 17", s.Min())
+	}
+	if s.Max() != 191 {
+		t.Fatalf("Max = %d, want 191", s.Max())
+	}
+}
+
+func TestAddRange(t *testing.T) {
+	for _, tc := range []struct{ lo, hi int }{
+		{0, 0}, {0, 12}, {5, 70}, {63, 65}, {0, 256}, {100, 200},
+	} {
+		s := New(256)
+		s.AddRange(tc.lo, tc.hi)
+		if s.Len() != tc.hi-tc.lo {
+			t.Fatalf("AddRange(%d,%d): Len = %d, want %d", tc.lo, tc.hi, s.Len(), tc.hi-tc.lo)
+		}
+		for i := 0; i < 256; i++ {
+			want := i >= tc.lo && i < tc.hi
+			if s.Contains(i) != want {
+				t.Fatalf("AddRange(%d,%d): Contains(%d) = %v, want %v", tc.lo, tc.hi, i, s.Contains(i), want)
+			}
+		}
+	}
+}
+
+func TestAddRangePanicsBad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range should panic")
+		}
+	}()
+	New(10).AddRange(5, 11)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 64})
+	b := FromSlice(100, []int{3, 64, 99})
+	if got := a.Union(b).Slice(); len(got) != 5 {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Slice(); len(got) != 2 || got[0] != 3 || got[1] != 64 {
+		t.Fatalf("Intersect = %v, want [3 64]", got)
+	}
+	if got := a.Subtract(b).Slice(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Subtract = %v, want [1 2]", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	c := FromSlice(100, []int{50})
+	if a.Intersects(c) {
+		t.Fatal("Intersects disjoint = true, want false")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("universe mismatch should panic")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(10, []int{1, 2})
+	b := a.Clone()
+	b.Add(5)
+	if a.Contains(5) {
+		t.Fatal("Clone is not independent")
+	}
+	if !a.Equal(FromSlice(10, []int{1, 2})) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice(10, []int{1})
+	if a.Equal(FromSlice(11, []int{1})) {
+		t.Fatal("different universes should not be Equal")
+	}
+	if !a.Equal(FromSlice(10, []int{1})) {
+		t.Fatal("equal sets reported unequal")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromSlice(300, []int{299, 0, 150, 63, 64})
+	got := s.Slice()
+	want := []int{0, 63, 64, 150, 299}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{1, 3}).String(); got != "{1, 3}" {
+		t.Fatalf("String = %q, want {1, 3}", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+}
+
+// randomSet builds a reproducible random set for property tests.
+func randomSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickAlgebraLaws(t *testing.T) {
+	const n = 193
+	cfg := &quick.Config{MaxCount: 200}
+	// De Morgan-ish law: |A ∪ B| = |A| + |B| − |A ∩ B|.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r, n), randomSet(r, n)
+		return a.Union(b).Len() == a.Len()+b.Len()-a.Intersect(b).Len()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// (A \ B) ∩ B = ∅ and (A \ B) ∪ (A ∩ B) = A.
+	g := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r, n), randomSet(r, n)
+		diff := a.Subtract(b)
+		if diff.Intersects(b) {
+			return false
+		}
+		return diff.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(g, cfg); err != nil {
+		t.Error(err)
+	}
+	// Union is commutative and associative.
+	h := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomSet(r, n), randomSet(r, n), randomSet(r, n)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
+	}
+	if err := quick.Check(h, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddRangeMatchesLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo+1)
+		fast := New(n)
+		fast.AddRange(lo, hi)
+		slow := New(n)
+		for i := lo; i < hi; i++ {
+			slow.Add(i)
+		}
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinMaxConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 257)
+		sl := s.Slice()
+		if len(sl) == 0 {
+			return s.Min() == -1 && s.Max() == -1
+		}
+		return s.Min() == sl[0] && s.Max() == sl[len(sl)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomSet(r, 4096)
+	y := randomSet(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}

@@ -1,0 +1,235 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Spill tier: the paper's testbed holds a 20.2 GB cube behind a 256 MB
+// cube cache. SpillTo gives a Store the same discipline — a resident-
+// memory budget with least-recently-used chunks serialized to a backing
+// file and faulted back in on access. The spill file is append-only
+// (rewritten spans supersede older ones); it is a cache extension, not
+// a durability format — use workload.SaveBinary for persistence.
+
+// span locates one serialized chunk in the spill file.
+type span struct {
+	off int64
+	len int64
+}
+
+// spillTier manages the backing file and the LRU bookkeeping.
+type spillTier struct {
+	f      *os.File
+	end    int64
+	index  map[int]span // spilled chunk id -> file span
+	budget int          // resident byte budget
+	// lru tracks resident chunk ids, most recent last.
+	lru []int
+	// residentBytes approximates resident chunk memory.
+	residentBytes int
+	faults        int
+	evictions     int
+}
+
+// SpillTo attaches a backing file and a resident-memory budget to the
+// store. Chunks beyond the budget are serialized to the file and loaded
+// back on access. The file is truncated. A store can spill to at most
+// one file; calling SpillTo twice is an error.
+func (s *Store) SpillTo(path string, budgetBytes int) error {
+	if s.tier != nil {
+		return fmt.Errorf("chunk: store already spills to a file")
+	}
+	if budgetBytes <= 0 {
+		return fmt.Errorf("chunk: spill budget must be positive, got %d", budgetBytes)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	t := &spillTier{f: f, index: make(map[int]span), budget: budgetBytes}
+	for id, c := range s.chunks {
+		t.lru = append(t.lru, id)
+		t.residentBytes += c.MemBytes()
+	}
+	s.tier = t
+	s.maybeEvict()
+	return nil
+}
+
+// SpillStats reports the spill tier's state: resident and spilled chunk
+// counts, and how many faults (loads from file) have occurred. All
+// zeros when no tier is attached.
+func (s *Store) SpillStats() (resident, spilled, faults int) {
+	if s.tier == nil {
+		return len(s.chunks), 0, 0
+	}
+	return len(s.chunks), len(s.tier.index), s.tier.faults
+}
+
+// CloseSpill detaches and closes the spill file after faulting every
+// spilled chunk back into memory. The store remains fully usable.
+func (s *Store) CloseSpill() error {
+	if s.tier == nil {
+		return nil
+	}
+	// Lift the budget so faulting in does not re-evict mid-iteration.
+	s.tier.budget = int(^uint(0) >> 1)
+	ids := make([]int, 0, len(s.tier.index))
+	for id := range s.tier.index {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := s.faultIn(id); err != nil {
+			return err
+		}
+	}
+	err := s.tier.f.Close()
+	s.tier = nil
+	return err
+}
+
+// touch marks a resident chunk as recently used.
+func (t *spillTier) touch(id int) {
+	for i, x := range t.lru {
+		if x == id {
+			copy(t.lru[i:], t.lru[i+1:])
+			t.lru[len(t.lru)-1] = id
+			return
+		}
+	}
+	t.lru = append(t.lru, id)
+}
+
+// chunkAt returns the chunk for id, faulting it in from the spill file
+// when necessary. It returns nil when the chunk exists nowhere.
+func (s *Store) chunkAt(id int) *Chunk {
+	if c, ok := s.chunks[id]; ok {
+		if s.tier != nil {
+			s.tier.touch(id)
+		}
+		return c
+	}
+	if s.tier == nil {
+		return nil
+	}
+	c, err := s.faultIn(id)
+	if err != nil {
+		panic(fmt.Sprintf("chunk: spill fault for chunk %d: %v", id, err))
+	}
+	return c
+}
+
+// faultIn loads a spilled chunk into residence. It returns nil, nil when
+// the id is not in the spill index.
+func (s *Store) faultIn(id int) (*Chunk, error) {
+	t := s.tier
+	sp, ok := t.index[id]
+	if !ok {
+		return nil, nil
+	}
+	buf := make([]byte, sp.len)
+	if _, err := t.f.ReadAt(buf, sp.off); err != nil {
+		return nil, err
+	}
+	c, err := decodeChunk(buf, s.geom.ChunkCap())
+	if err != nil {
+		return nil, err
+	}
+	delete(t.index, id)
+	s.chunks[id] = c
+	t.residentBytes += c.MemBytes()
+	t.faults++
+	t.touch(id)
+	s.maybeEvict()
+	return c, nil
+}
+
+// maybeEvict spills least-recently-used chunks until the resident set
+// fits the budget (always keeping at least one chunk resident).
+func (s *Store) maybeEvict() {
+	t := s.tier
+	if t == nil {
+		return
+	}
+	for t.residentBytes > t.budget && len(t.lru) > 1 {
+		victim := t.lru[0]
+		t.lru = t.lru[1:]
+		c, ok := s.chunks[victim]
+		if !ok {
+			continue
+		}
+		buf := encodeChunk(c)
+		off := t.end
+		if _, err := t.f.WriteAt(buf, off); err != nil {
+			panic(fmt.Sprintf("chunk: spill write for chunk %d: %v", victim, err))
+		}
+		t.end += int64(len(buf))
+		t.index[victim] = span{off: off, len: int64(len(buf))}
+		t.residentBytes -= c.MemBytes()
+		t.evictions++
+		delete(s.chunks, victim)
+	}
+}
+
+// noteMutation updates spill accounting after a resident chunk changed
+// size, or after a chunk was created or deleted.
+func (s *Store) noteMutation(id int, delta int) {
+	if s.tier == nil {
+		return
+	}
+	s.tier.residentBytes += delta
+	if _, resident := s.chunks[id]; resident {
+		s.tier.touch(id)
+		// A resident write supersedes any stale spilled copy.
+		delete(s.tier.index, id)
+	} else {
+		// Deleted: drop from LRU and any stale spill span.
+		for i, x := range s.tier.lru {
+			if x == id {
+				s.tier.lru = append(s.tier.lru[:i], s.tier.lru[i+1:]...)
+				break
+			}
+		}
+		delete(s.tier.index, id)
+	}
+	s.maybeEvict()
+}
+
+// encodeChunk serializes a chunk in the sparse pair format.
+func encodeChunk(c *Chunk) []byte {
+	buf := make([]byte, 4, 4+12*c.Len())
+	binary.LittleEndian.PutUint32(buf, uint32(c.Len()))
+	var cell [12]byte
+	c.ForEach(func(off int, v float64) bool {
+		binary.LittleEndian.PutUint32(cell[0:4], uint32(off))
+		binary.LittleEndian.PutUint64(cell[4:12], math.Float64bits(v))
+		buf = append(buf, cell[:]...)
+		return true
+	})
+	return buf
+}
+
+// decodeChunk deserializes a chunk written by encodeChunk.
+func decodeChunk(buf []byte, capacity int) (*Chunk, error) {
+	if len(buf) < 4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) != 4+12*n {
+		return nil, fmt.Errorf("chunk: corrupt spill record: %d cells in %d bytes", n, len(buf))
+	}
+	c := NewSparse(capacity)
+	for i := 0; i < n; i++ {
+		off := int(binary.LittleEndian.Uint32(buf[4+12*i:]))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8+12*i:]))
+		if off >= capacity {
+			return nil, fmt.Errorf("chunk: corrupt spill record: offset %d beyond capacity %d", off, capacity)
+		}
+		c.Set(off, v)
+	}
+	return c, nil
+}

@@ -1,0 +1,206 @@
+package chunk
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func spillStore(t *testing.T, budget int) *Store {
+	t.Helper()
+	g := MustGeometry([]int{64}, []int{4}) // 16 chunks of 4 cells
+	s := NewStore(g)
+	if err := s.SpillTo(filepath.Join(t.TempDir(), "spill.bin"), budget); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpillEvictsUnderBudget(t *testing.T) {
+	// Budget for roughly 2 resident chunks (dense chunk = 32 B,
+	// sparse 12 B/cell).
+	s := spillStore(t, 70)
+	for i := 0; i < 64; i++ {
+		s.Set([]int{i}, float64(i+1))
+	}
+	resident, spilled, _ := s.SpillStats()
+	if spilled == 0 {
+		t.Fatalf("nothing spilled: resident=%d spilled=%d", resident, spilled)
+	}
+	if s.NumChunks() != 16 {
+		t.Fatalf("NumChunks = %d, want 16", s.NumChunks())
+	}
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d, want 64 (spilled cells must count)", s.Len())
+	}
+	// Every value readable; reads fault spilled chunks back in.
+	for i := 0; i < 64; i++ {
+		if got := s.Get([]int{i}); got != float64(i+1) {
+			t.Fatalf("Get(%d) = %v, want %v", i, got, float64(i+1))
+		}
+	}
+	if _, _, faults := s.SpillStats(); faults == 0 {
+		t.Fatal("full scan should have faulted spilled chunks")
+	}
+}
+
+func TestSpillNonNullAndClone(t *testing.T) {
+	s := spillStore(t, 70)
+	want := map[int]float64{}
+	for i := 0; i < 64; i += 3 {
+		s.Set([]int{i}, float64(i))
+		want[i] = float64(i)
+	}
+	delete(want, 0)
+	s.Set([]int{0}, math.NaN())
+	got := map[int]float64{}
+	s.NonNull(func(addr []int, v float64) bool {
+		got[addr[0]] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("NonNull visited %d cells, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("cell %d = %v, want %v", k, got[k], v)
+		}
+	}
+	cl := s.Clone()
+	for k, v := range want {
+		if cl.Get([]int{k}) != v {
+			t.Fatalf("clone cell %d differs", k)
+		}
+	}
+}
+
+func TestSpillRewriteSupersedesSpilledCopy(t *testing.T) {
+	s := spillStore(t, 70)
+	for i := 0; i < 64; i++ {
+		s.Set([]int{i}, 1)
+	}
+	// Overwrite a value in what is very likely a spilled chunk (the
+	// oldest), then verify the new value survives further evictions.
+	s.Set([]int{0}, 42)
+	for i := 0; i < 64; i++ {
+		s.Set([]int{i}, s.Get([]int{i})) // churn the LRU
+	}
+	if got := s.Get([]int{0}); got != 42 {
+		t.Fatalf("rewritten cell = %v, want 42", got)
+	}
+	// Deleting the last cell of a spilled chunk removes it everywhere.
+	s.Set([]int{0}, math.NaN())
+	s.Set([]int{1}, math.NaN())
+	s.Set([]int{2}, math.NaN())
+	s.Set([]int{3}, math.NaN())
+	for _, id := range s.ChunkIDs() {
+		if id == 0 {
+			t.Fatal("chunk 0 should be gone after deleting its cells")
+		}
+	}
+}
+
+func TestCloseSpill(t *testing.T) {
+	s := spillStore(t, 70)
+	for i := 0; i < 64; i++ {
+		s.Set([]int{i}, float64(i))
+	}
+	if err := s.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+	resident, spilled, _ := s.SpillStats()
+	if spilled != 0 || resident != 16 {
+		t.Fatalf("after CloseSpill: resident=%d spilled=%d", resident, spilled)
+	}
+	for i := 0; i < 64; i++ {
+		if s.Get([]int{i}) != float64(i) {
+			t.Fatal("data lost at CloseSpill")
+		}
+	}
+	// Idempotent on a store without a tier.
+	if err := s.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillErrors(t *testing.T) {
+	g := MustGeometry([]int{8}, []int{4})
+	s := NewStore(g)
+	if err := s.SpillTo(filepath.Join(t.TempDir(), "a"), 0); err == nil {
+		t.Fatal("zero budget should fail")
+	}
+	if err := s.SpillTo(filepath.Join(t.TempDir(), "b"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SpillTo(filepath.Join(t.TempDir(), "c"), 100); err == nil {
+		t.Fatal("double SpillTo should fail")
+	}
+	if err := s.SpillTo("/nonexistent/dir/x", 100); err == nil {
+		t.Fatal("unwritable path should fail")
+	}
+}
+
+func TestEncodeDecodeChunkRoundTrip(t *testing.T) {
+	c := NewSparse(100)
+	c.Set(3, 1.5)
+	c.Set(99, -2)
+	d, err := decodeChunk(encodeChunk(c), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Get(3) != 1.5 || d.Get(99) != -2 {
+		t.Fatal("round trip lost data")
+	}
+	// Corruption detection.
+	if _, err := decodeChunk([]byte{1}, 100); err == nil {
+		t.Fatal("short record should fail")
+	}
+	buf := encodeChunk(c)
+	if _, err := decodeChunk(buf[:len(buf)-1], 100); err == nil {
+		t.Fatal("truncated record should fail")
+	}
+	if _, err := decodeChunk(buf, 50); err == nil {
+		t.Fatal("offset beyond capacity should fail")
+	}
+}
+
+// Property: a spilled store behaves exactly like an unspilled one under
+// a random workload, for random tiny budgets.
+func TestQuickSpilledMatchesResident(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := MustGeometry([]int{40}, []int{1 + r.Intn(5)})
+		plain := NewStore(g)
+		spilled := NewStore(g)
+		dir := t.TempDir()
+		if err := spilled.SpillTo(filepath.Join(dir, "s.bin"), 24+r.Intn(100)); err != nil {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			a := []int{r.Intn(40)}
+			if r.Intn(4) == 0 {
+				plain.Set(a, math.NaN())
+				spilled.Set(a, math.NaN())
+			} else {
+				v := float64(1 + r.Intn(50))
+				plain.Set(a, v)
+				spilled.Set(a, v)
+			}
+		}
+		if plain.Len() != spilled.Len() || plain.NumChunks() != spilled.NumChunks() {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			a, b := plain.Get([]int{i}), spilled.Get([]int{i})
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

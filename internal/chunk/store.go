@@ -1,0 +1,238 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"whatifolap/internal/cube"
+)
+
+// Store is a chunked-array cell store. It implements cube.Store, so a
+// cube can be backed by chunked storage transparently, and additionally
+// exposes chunk-level access used by the perspective-cube engine:
+// enumeration in a dimension order, per-chunk reads with read
+// accounting, and eviction.
+type Store struct {
+	geom   *Geometry
+	chunks map[int]*Chunk // resident chunks by canonical ID
+
+	// reads counts chunk reads (ReadChunk calls); the engine and the
+	// co-location experiment use it to account I/O.
+	reads int
+	// readHook, when set, observes every chunk read with its canonical
+	// ID (the simulated disk attaches here).
+	readHook func(id int)
+	// tier, when non-nil, spills least-recently-used chunks to a file
+	// (SpillTo) so the resident set fits a memory budget.
+	tier *spillTier
+}
+
+// NewStore creates an empty chunked store with the given geometry.
+func NewStore(geom *Geometry) *Store {
+	return &Store{geom: geom, chunks: make(map[int]*Chunk)}
+}
+
+// Geometry returns the store's chunking geometry.
+func (s *Store) Geometry() *Geometry { return s.geom }
+
+// SetReadHook installs fn to observe chunk reads. Pass nil to remove.
+func (s *Store) SetReadHook(fn func(id int)) { s.readHook = fn }
+
+// Reads returns the number of chunk reads so far.
+func (s *Store) Reads() int { return s.reads }
+
+// ResetReads clears the read counter.
+func (s *Store) ResetReads() { s.reads = 0 }
+
+// Get implements cube.Store.
+func (s *Store) Get(addr []int) float64 {
+	ccoord := make([]int, s.geom.NumDims())
+	off := s.geom.Split(addr, ccoord)
+	c := s.chunkAt(s.geom.CanonicalID(ccoord))
+	if c == nil {
+		return math.NaN()
+	}
+	return c.Get(off)
+}
+
+// Set implements cube.Store.
+func (s *Store) Set(addr []int, v float64) {
+	ccoord := make([]int, s.geom.NumDims())
+	off := s.geom.Split(addr, ccoord)
+	id := s.geom.CanonicalID(ccoord)
+	c := s.chunkAt(id)
+	if c == nil {
+		if math.IsNaN(v) {
+			return
+		}
+		c = NewSparse(s.geom.ChunkCap())
+		s.chunks[id] = c
+	}
+	before := c.MemBytes()
+	c.Set(off, v)
+	if c.Len() == 0 {
+		delete(s.chunks, id)
+		s.noteMutation(id, -before)
+		return
+	}
+	s.noteMutation(id, c.MemBytes()-before)
+}
+
+// NonNull implements cube.Store. Chunks are visited in canonical ID
+// order; cells within a chunk in offset order, so iteration is
+// deterministic. Spilled chunks are faulted in as they are reached.
+func (s *Store) NonNull(fn func(addr []int, v float64) bool) {
+	ids := s.ChunkIDs()
+	addr := make([]int, s.geom.NumDims())
+	ccoord := make([]int, s.geom.NumDims())
+	for _, id := range ids {
+		c := s.chunkAt(id)
+		if c == nil {
+			continue
+		}
+		s.geom.CoordOf(id, ccoord)
+		stop := false
+		c.ForEach(func(off int, v float64) bool {
+			s.geom.Join(ccoord, off, addr)
+			if !fn(addr, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Len implements cube.Store. Spilled chunks contribute without being
+// loaded (their cell counts are implied by the span sizes).
+func (s *Store) Len() int {
+	n := 0
+	for _, c := range s.chunks {
+		n += c.Len()
+	}
+	if s.tier != nil {
+		for _, sp := range s.tier.index {
+			n += int((sp.len - 4) / 12)
+		}
+	}
+	return n
+}
+
+// Clone implements cube.Store. The clone is fully resident (no spill
+// tier); cloning a spilled store faults chunks through as needed.
+func (s *Store) Clone() cube.Store {
+	out := NewStore(s.geom)
+	for _, id := range s.ChunkIDs() {
+		if c := s.chunkAt(id); c != nil {
+			out.chunks[id] = c.Clone()
+		}
+	}
+	return out
+}
+
+// ChunkIDs returns the canonical IDs of the materialized chunks —
+// resident and spilled — sorted.
+func (s *Store) ChunkIDs() []int {
+	ids := make([]int, 0, len(s.chunks))
+	for id := range s.chunks {
+		ids = append(ids, id)
+	}
+	if s.tier != nil {
+		for id := range s.tier.index {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NumChunks returns the number of materialized chunks, resident or
+// spilled.
+func (s *Store) NumChunks() int {
+	n := len(s.chunks)
+	if s.tier != nil {
+		n += len(s.tier.index)
+	}
+	return n
+}
+
+// ReadChunk fetches the chunk with the given canonical ID, counting the
+// read and notifying the read hook (the simulated disk). A nil return
+// means the chunk is empty (not materialized).
+func (s *Store) ReadChunk(id int) *Chunk {
+	s.reads++
+	if s.readHook != nil {
+		s.readHook(id)
+	}
+	return s.chunkAt(id)
+}
+
+// PeekChunk fetches a chunk without read accounting (metadata scans).
+// Spilled chunks still fault in.
+func (s *Store) PeekChunk(id int) *Chunk { return s.chunkAt(id) }
+
+// PutChunk installs a chunk at the given canonical ID, replacing any
+// existing chunk. A nil or empty chunk deletes the slot. The chunk's
+// capacity must match the geometry's chunk capacity; a mismatch would
+// corrupt offset decoding.
+func (s *Store) PutChunk(id int, c *Chunk) {
+	if id < 0 || id >= s.geom.NumChunks() {
+		panic(fmt.Sprintf("chunk: PutChunk id %d out of range [0,%d)", id, s.geom.NumChunks()))
+	}
+	if c == nil || c.Len() == 0 {
+		before := 0
+		if cur, ok := s.chunks[id]; ok {
+			before = cur.MemBytes()
+		}
+		delete(s.chunks, id)
+		s.noteMutation(id, -before)
+		return
+	}
+	if c.Cap() != s.geom.ChunkCap() {
+		panic(fmt.Sprintf("chunk: PutChunk capacity %d does not match geometry chunk capacity %d", c.Cap(), s.geom.ChunkCap()))
+	}
+	before := 0
+	if cur, ok := s.chunks[id]; ok {
+		before = cur.MemBytes()
+	}
+	s.chunks[id] = c
+	s.noteMutation(id, c.MemBytes()-before)
+}
+
+// MemBytes estimates the store's resident size.
+func (s *Store) MemBytes() int {
+	n := 0
+	for _, c := range s.chunks {
+		n += c.MemBytes()
+	}
+	return n
+}
+
+// CompressAll converts all dense chunks under the density threshold to
+// sparse representation, returning the number converted. This is the
+// "cube reorganization" step of the co-location experiment.
+func (s *Store) CompressAll() int {
+	n := 0
+	for _, c := range s.chunks {
+		if c.Compress() {
+			n++
+		}
+	}
+	return n
+}
+
+// ForceSparseAll converts every chunk to the sparse representation
+// regardless of occupancy (representation ablation).
+func (s *Store) ForceSparseAll() int {
+	n := 0
+	for _, c := range s.chunks {
+		if c.ForceSparse() {
+			n++
+		}
+	}
+	return n
+}

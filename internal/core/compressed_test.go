@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/paperdata"
+	"whatifolap/internal/perspective"
+)
+
+// TestCompressedMatchesMaterialized compares the compressed view against
+// the materialized one cell-for-cell and on aggregates, for every
+// semantics and both modes.
+func TestCompressedMatchesMaterialized(t *testing.T) {
+	e := newEngine(t)
+	for _, sem := range []perspective.Semantics{perspective.Static, perspective.Forward,
+		perspective.ExtendedForward, perspective.Backward, perspective.ExtendedBackward} {
+		for _, ps := range [][]int{{paperdata.Jan}, {paperdata.Feb, paperdata.Apr}} {
+			for _, mode := range []perspective.Mode{perspective.Visual, perspective.NonVisual} {
+				q := PerspectiveQuery{Members: []string{"Joe"}, Perspectives: ps, Sem: sem, Mode: mode}
+				mat, err := e.ExecPerspective(q)
+				if err != nil {
+					t.Fatalf("%v %v: %v", sem, ps, err)
+				}
+				comp, err := e.ExecPerspectiveCompressed(q)
+				if err != nil {
+					t.Fatalf("%v %v compressed: %v", sem, ps, err)
+				}
+				// Same cell population.
+				if mat.Result().Store().Len() != comp.Result().Store().Len() {
+					t.Fatalf("%v %v: Len %d vs %d", sem, ps,
+						mat.Result().Store().Len(), comp.Result().Store().Len())
+				}
+				mat.Result().Store().NonNull(func(addr []int, want float64) bool {
+					if got := comp.Result().Store().Get(addr); math.Abs(got-want) > 1e-9 {
+						t.Fatalf("%v %v: cell %v = %v, want %v", sem, ps, addr, got, want)
+					}
+					return true
+				})
+				// Aggregate agreement through the mode-aware Cell.
+				for _, refs := range [][]string{
+					{"PTE", "NY", "Qtr1", "Salary"},
+					{"Contractor", "East", "Time", "Salary"},
+				} {
+					a, err := mat.CellRefs(refs[0], refs[1], refs[2], refs[3])
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := comp.CellRefs(refs[0], refs[1], refs[2], refs[3])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if cube.IsNull(a) != cube.IsNull(b) || (!cube.IsNull(a) && math.Abs(a-b) > 1e-9) {
+						t.Fatalf("%v %v %v: aggregate %v vs %v", sem, ps, refs, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompressedStats(t *testing.T) {
+	e := newEngine(t)
+	v, err := e.ExecPerspectiveCompressed(PerspectiveQuery{
+		Members:      []string{"Joe"},
+		Perspectives: []int{paperdata.Feb, paperdata.Apr},
+		Sem:          perspective.Forward,
+		Mode:         perspective.NonVisual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats.CompressedBytes <= 0 {
+		t.Fatal("compressed view should report its mapping footprint")
+	}
+	if v.Stats.ChunksRead != 0 || v.Stats.CellsRelocated != 0 {
+		t.Fatalf("compressed exec should do no materialization I/O: %+v", v.Stats)
+	}
+	if v.Stats.Ranges != 2 {
+		t.Fatalf("Ranges = %d, want 2", v.Stats.Ranges)
+	}
+}
+
+func TestCompressedFig4Values(t *testing.T) {
+	e := newEngine(t)
+	v, err := e.ExecPerspectiveCompressed(PerspectiveQuery{
+		Members:      []string{"Joe"},
+		Perspectives: []int{paperdata.Feb, paperdata.Apr},
+		Sem:          perspective.Forward,
+		Mode:         perspective.Visual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := v.CellRefs("PTE/Joe", "NY", "Mar", "Salary"); err != nil || got != 30 {
+		t.Fatalf("(PTE/Joe, Mar) = %v, %v; want 30", got, err)
+	}
+	if got, err := v.CellRefs("Contractor/Joe", "NY", "Mar", "Salary"); err != nil || !cube.IsNull(got) {
+		t.Fatalf("(Contractor/Joe, Mar) = %v, %v; want ⊥", got, err)
+	}
+	if got, err := v.CellRefs("PTE/Joe", "NY", "Qtr1", "Salary"); err != nil || got != 40 {
+		t.Fatalf("visual Q1(PTE/Joe) = %v, %v; want 40", got, err)
+	}
+}
+
+func TestCompressedReadOnlyAndClone(t *testing.T) {
+	e := newEngine(t)
+	v, err := e.ExecPerspectiveCompressed(PerspectiveQuery{
+		Members: []string{"Joe"}, Perspectives: []int{paperdata.Jan},
+		Sem: perspective.Forward, Mode: perspective.NonVisual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := v.Result().Store().Clone()
+	if snap.Len() != v.Result().Store().Len() {
+		t.Fatal("clone should materialize the same cells")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("writes through a compressed view should panic")
+		}
+	}()
+	v.Result().SetLeaf([]int{0, 0, 0, 0}, 1)
+}

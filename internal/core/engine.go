@@ -1,0 +1,571 @@
+package core
+
+import (
+	"fmt"
+
+	"whatifolap/internal/algebra"
+	"whatifolap/internal/chunk"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+	"whatifolap/internal/pebble"
+	"whatifolap/internal/perspective"
+	"whatifolap/internal/simdisk"
+)
+
+// ReadOrder selects how the engine orders chunk reads.
+type ReadOrder int
+
+const (
+	// OrderPebbling uses the paper's pebbling heuristic over the merge
+	// dependency graph (§5.2) — the default.
+	OrderPebbling ReadOrder = iota
+	// OrderVaryingFirst reads chunks sorted with the varying dimension
+	// varying fastest — the good sequential order of Lemma 5.1.
+	OrderVaryingFirst
+	// OrderVaryingLast reads chunks with the varying dimension varying
+	// slowest — the bad order of Lemma 5.1, kept for ablations.
+	OrderVaryingLast
+	// OrderCanonical reads chunks in canonical (schema row-major) ID
+	// order.
+	OrderCanonical
+)
+
+// String names the read order.
+func (o ReadOrder) String() string {
+	switch o {
+	case OrderPebbling:
+		return "pebbling"
+	case OrderVaryingFirst:
+		return "varying-first"
+	case OrderVaryingLast:
+		return "varying-last"
+	case OrderCanonical:
+		return "canonical"
+	}
+	return fmt.Sprintf("ReadOrder(%d)", int(o))
+}
+
+// Engine evaluates what-if queries over a chunk-backed cube with one
+// varying dimension binding. Engines are not safe for concurrent use,
+// and the underlying chunk store's read accounting is unsynchronized:
+// run concurrent queries against independent cube clones, not a shared
+// store.
+type Engine struct {
+	base    *cube.Cube
+	store   *chunk.Store
+	binding *dimension.Binding
+	vi, pi  int
+	order   ReadOrder
+	disk    *simdisk.Disk
+}
+
+// New creates an engine over a cube whose store is a *chunk.Store and
+// whose named varying dimension has a binding.
+func New(base *cube.Cube, varyingName string) (*Engine, error) {
+	st, ok := base.Store().(*chunk.Store)
+	if !ok {
+		return nil, fmt.Errorf("core: engine requires a chunk-backed cube, got %T", base.Store())
+	}
+	b := base.BindingFor(varyingName)
+	if b == nil {
+		return nil, fmt.Errorf("core: dimension %q has no varying binding", varyingName)
+	}
+	vi := base.DimIndex(b.Varying.Name())
+	pi := base.DimIndex(b.Param.Name())
+	if vi < 0 || pi < 0 {
+		return nil, fmt.Errorf("core: binding dimensions not in cube schema")
+	}
+	return &Engine{base: base, store: st, binding: b, vi: vi, pi: pi}, nil
+}
+
+// SetReadOrder selects the chunk read-order policy (default pebbling).
+func (e *Engine) SetReadOrder(o ReadOrder) { e.order = o }
+
+// AttachDisk routes all chunk reads through a simulated disk, whose
+// modeled cost appears in the view statistics.
+func (e *Engine) AttachDisk(d *simdisk.Disk) {
+	e.disk = d
+	if d == nil {
+		e.store.SetReadHook(nil)
+		return
+	}
+	e.store.SetReadHook(d.Hook())
+}
+
+// Binding returns the engine's varying/parameter binding.
+func (e *Engine) Binding() *dimension.Binding { return e.binding }
+
+// PerspectiveQuery is a negative-scenario what-if query (paper §3.3):
+// report the scoped members under perspectives P with the given
+// semantics and non-leaf evaluation mode.
+type PerspectiveQuery struct {
+	// Members are base names of varying-dimension members in the query
+	// scope. Empty means every member with more than one instance.
+	Members []string
+	// Perspectives are parameter-dimension leaf ordinals.
+	Perspectives []int
+	Sem          perspective.Semantics
+	Mode         perspective.Mode
+}
+
+// planPerspective resolves the query scope and builds the relocation
+// tables: for every source instance ordinal, the destination ordinal
+// per parameter leaf (-1 = cell vanishes).
+func (e *Engine) planPerspective(q PerspectiveQuery) (members []string, target map[int][]int, scoped []bool, err error) {
+	members = q.Members
+	if len(members) == 0 {
+		members = e.binding.Varying.VaryingMembers()
+	}
+	res, err := perspective.ApplyMembers(q.Sem, e.binding, q.Perspectives, members)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	varying := e.binding.Varying
+	nT := e.binding.Param.NumLeaves()
+
+	target = make(map[int][]int)
+	scoped = make([]bool, varying.NumLeaves())
+	for _, name := range members {
+		insts := varying.Instances(name)
+		for _, inst := range insts {
+			if o := varying.Member(inst).LeafOrdinal; o >= 0 {
+				scoped[o] = true
+			}
+		}
+		for t := 0; t < nT; t++ {
+			src := e.binding.InstanceAt(name, t)
+			if src == dimension.None {
+				continue
+			}
+			dst := dimension.None
+			for _, inst := range insts {
+				if vs := res.VSOut[inst]; vs != nil && vs.Contains(t) {
+					dst = inst
+					break
+				}
+			}
+			srcOrd := varying.Member(src).LeafOrdinal
+			row, ok := target[srcOrd]
+			if !ok {
+				row = make([]int, nT)
+				for i := range row {
+					row[i] = -1
+				}
+				target[srcOrd] = row
+			}
+			if dst != dimension.None {
+				row[t] = varying.Member(dst).LeafOrdinal
+			}
+		}
+	}
+	return members, target, scoped, nil
+}
+
+// ExecPerspective plans and runs a perspective query, returning the
+// perspective-cube view.
+func (e *Engine) ExecPerspective(q PerspectiveQuery) (*View, error) {
+	members, target, scoped, err := e.planPerspective(q)
+	if err != nil {
+		return nil, err
+	}
+	view, stats, err := e.run(target, scoped, nil, nil, q.Mode)
+	if err != nil {
+		return nil, err
+	}
+	stats.MembersInScope = len(members)
+	if q.Sem.Dynamic() {
+		if norm, err := perspective.NormalizePerspectives(e.binding.Param, q.Perspectives); err == nil {
+			stats.Ranges = len(norm)
+		}
+	}
+	view.Stats = stats
+	return view, nil
+}
+
+// ChangesQuery is a positive-scenario what-if query (paper §3.4): apply
+// the hypothetical reclassifications R(m, o, n, t) and report under the
+// given mode.
+type ChangesQuery struct {
+	Changes []algebra.Change
+	Mode    perspective.Mode
+}
+
+// ExecChanges plans and runs a positive-scenario query. The result
+// view's varying dimension is extended with the hypothetical instances.
+func (e *Engine) ExecChanges(q ChangesQuery) (*View, error) {
+	if len(q.Changes) == 0 {
+		return nil, fmt.Errorf("core: empty change relation")
+	}
+	plan, err := algebra.PlanSplit(e.binding, q.Changes)
+	if err != nil {
+		return nil, err
+	}
+	oldDim := e.binding.Varying
+	newDim := plan.Dim
+	nT := e.binding.Param.NumLeaves()
+
+	// Affected base members: those named by any change.
+	affected := map[string]bool{}
+	for _, ch := range q.Changes {
+		affected[ch.Member] = true
+	}
+	// Scope: every instance (old and new) of an affected member, in NEW
+	// ordinals.
+	scoped := make([]bool, newDim.NumLeaves())
+	for name := range affected {
+		for _, inst := range newDim.Instances(name) {
+			if o := newDim.Member(inst).LeafOrdinal; o >= 0 {
+				scoped[o] = true
+			}
+		}
+	}
+	// Relocation tables keyed by OLD ordinals, destinations in NEW
+	// ordinals. Affected instances without a redirect entry copy
+	// identically (the overlay owns their rows).
+	target := make(map[int][]int)
+	for name := range affected {
+		for _, inst := range oldDim.Instances(name) {
+			srcOrd := oldDim.Member(inst).LeafOrdinal
+			if srcOrd < 0 {
+				continue
+			}
+			row := make([]int, nT)
+			redir := plan.Redirect[inst]
+			for t := 0; t < nT; t++ {
+				dstID := inst
+				if redir != nil {
+					dstID = redir[t]
+				}
+				row[t] = newDim.Member(dstID).LeafOrdinal
+			}
+			target[srcOrd] = row
+		}
+	}
+	// Ordinal remap for unaffected rows: view ordinal -> base ordinal.
+	baseOrd := make([]int, newDim.NumLeaves())
+	for vo := range baseOrd {
+		id := newDim.Leaf(vo).ID
+		if int(id) < oldDim.NumMembers() {
+			baseOrd[vo] = oldDim.Member(id).LeafOrdinal
+		} else {
+			baseOrd[vo] = -1 // hypothetical instance
+		}
+	}
+	// Rebase bindings.
+	newBindings := make([]*dimension.Binding, 0, len(e.base.Bindings()))
+	for _, b := range e.base.Bindings() {
+		if b == e.binding {
+			newBindings = append(newBindings, plan.Binding)
+		} else {
+			newBindings = append(newBindings, b)
+		}
+	}
+	newDims := make([]*dimension.Dimension, e.base.NumDims())
+	copy(newDims, e.base.Dims())
+	newDims[e.vi] = newDim
+
+	view, stats, err := e.run(target, scoped, newDims, newBindings, q.Mode)
+	if err != nil {
+		return nil, err
+	}
+	stats.MembersInScope = len(affected)
+	view.Stats = stats
+	// Remap the view store through baseOrd.
+	view.result.Store().(*viewStore).baseOrd = baseOrd
+	return view, nil
+}
+
+// run executes the relocation plan: find relevant chunks, build the
+// merge dependency graph, order reads, and fill the overlay. When
+// newDims is nil the view shares the base cube's dimensions; otherwise
+// the view exposes newDims/newBindings (positive scenarios).
+func (e *Engine) run(target map[int][]int, scoped []bool, newDims []*dimension.Dimension,
+	newBindings []*dimension.Binding, mode perspective.Mode) (*View, Stats, error) {
+
+	g := e.store.Geometry()
+	cdV := g.ChunkDims[e.vi]
+	cdP := g.ChunkDims[e.pi]
+	var stats Stats
+
+	// Drop source rows that contribute nothing (every destination -1):
+	// e.g. under static semantics, instances not valid at any
+	// perspective. Confining reads to contributing rows is the paper's
+	// §6.3 point — work must track the varying members in scope.
+	for srcOrd, row := range target {
+		live := false
+		for _, dst := range row {
+			if dst >= 0 {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(target, srcOrd)
+		}
+	}
+
+	// Varying-dimension chunk indices holding source rows.
+	srcVCs := map[int]bool{}
+	for srcOrd := range target {
+		srcVCs[srcOrd/cdV] = true
+	}
+	stats.SourceInstances = len(target)
+
+	// Cross-chunk transfers: (vcSrc, vcDst, paramChunk) triples.
+	type triple struct{ vs, vd, pc int }
+	transfers := map[triple]bool{}
+	for srcOrd, row := range target {
+		vs := srcOrd / cdV
+		for t, dstOrd := range row {
+			if dstOrd < 0 {
+				continue
+			}
+			vd := dstOrd / cdV
+			if vd != vs {
+				transfers[triple{vs, vd, t / cdP}] = true
+			}
+		}
+	}
+
+	// Relevant chunks: materialized chunks whose varying coordinate
+	// holds source rows. Group them by their coordinates outside the
+	// varying dimension to find merge partners.
+	type group struct {
+		paramCoord int
+		byVC       map[int]int // varying chunk coord -> chunk ID
+	}
+	groups := map[string]*group{}
+	graph := pebble.NewGraph()
+	var relevant []int
+	ccoord := make([]int, g.NumDims())
+	for _, id := range e.store.ChunkIDs() {
+		g.CoordOf(id, ccoord)
+		if !srcVCs[ccoord[e.vi]] {
+			continue
+		}
+		relevant = append(relevant, id)
+		graph.AddNode(id)
+		key := restKey(ccoord, e.vi)
+		grp := groups[key]
+		if grp == nil {
+			grp = &group{paramCoord: ccoord[e.pi], byVC: map[int]int{}}
+			groups[key] = grp
+		}
+		grp.byVC[ccoord[e.vi]] = id
+	}
+	stats.RelevantChunks = len(relevant)
+
+	// Merge dependency edges: chunks in the same group whose varying
+	// coordinates exchange data at this group's parameter coordinate.
+	for tr := range transfers {
+		for _, grp := range groups {
+			if grp.paramCoord != tr.pc {
+				continue
+			}
+			a, okA := grp.byVC[tr.vs]
+			b, okB := grp.byVC[tr.vd]
+			if okA && okB && a != b {
+				if !graph.HasEdge(a, b) {
+					graph.AddEdge(a, b)
+					stats.MergeEdges++
+				}
+			}
+		}
+	}
+
+	// Read order.
+	var order []int
+	switch e.order {
+	case OrderPebbling:
+		sched := pebble.HeuristicPebble(graph)
+		order = sched.Order
+		stats.PeakResidentChunks = sched.Peak
+	default:
+		perm := e.readPermutation()
+		order = sortChunksByOrder(g, relevant, perm)
+		peak, err := pebble.VerifySchedule(graph, order)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: sequential schedule invalid: %w", err)
+		}
+		stats.PeakResidentChunks = peak
+	}
+
+	// Process chunks, relocating scoped cells into the overlay.
+	overlay := cube.NewMemStore(g.NumDims())
+	var diskBefore float64
+	if e.disk != nil {
+		diskBefore = e.disk.Stats().CostMs
+	}
+	addr := make([]int, g.NumDims())
+	out := make([]int, g.NumDims())
+	for _, id := range order {
+		ch := e.store.ReadChunk(id)
+		stats.ChunksRead++
+		if ch == nil {
+			continue
+		}
+		g.CoordOf(id, ccoord)
+		ch.ForEach(func(off int, v float64) bool {
+			g.Join(ccoord, off, addr)
+			row := target[addr[e.vi]]
+			if row == nil {
+				return true
+			}
+			dst := row[addr[e.pi]]
+			if dst < 0 {
+				return true
+			}
+			copy(out, addr)
+			out[e.vi] = dst
+			overlay.Set(out, v)
+			stats.CellsRelocated++
+			return true
+		})
+	}
+	if e.disk != nil {
+		stats.DiskCostMs = e.disk.Stats().CostMs - diskBefore
+	}
+
+	// Assemble the view cube.
+	vs := &viewStore{base: e.store, overlay: overlay, vi: e.vi, scoped: scoped}
+	var result *cube.Cube
+	if newDims == nil {
+		result = cube.NewWithStore(vs, e.base.Dims()...)
+		for _, b := range e.base.Bindings() {
+			if err := result.AddBinding(b); err != nil {
+				return nil, stats, err
+			}
+		}
+	} else {
+		result = cube.NewWithStore(vs, newDims...)
+		for _, b := range newBindings {
+			if err := result.AddBinding(b); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	result.SetRules(e.base.Rules())
+	return &View{input: e.base, result: result, mode: mode}, stats, nil
+}
+
+// readPermutation builds the dimension permutation for sequential read
+// orders: the first dimension varies fastest.
+func (e *Engine) readPermutation() []int {
+	n := e.base.NumDims()
+	var perm []int
+	switch e.order {
+	case OrderVaryingFirst:
+		// Varying first, then parameter, then the rest (Lemma 5.1's
+		// good order O1).
+		perm = append(perm, e.vi)
+		if e.pi != e.vi {
+			perm = append(perm, e.pi)
+		}
+		for d := 0; d < n; d++ {
+			if d != e.vi && d != e.pi {
+				perm = append(perm, d)
+			}
+		}
+	case OrderVaryingLast:
+		for d := 0; d < n; d++ {
+			if d != e.vi && d != e.pi {
+				perm = append(perm, d)
+			}
+		}
+		if e.pi != e.vi {
+			perm = append(perm, e.pi)
+		}
+		perm = append(perm, e.vi)
+	default: // OrderCanonical: schema row-major = last dim fastest.
+		for d := n - 1; d >= 0; d-- {
+			perm = append(perm, d)
+		}
+	}
+	return perm
+}
+
+func sortChunksByOrder(g *chunk.Geometry, ids []int, perm []int) []int {
+	type kv struct{ key, id int }
+	keyed := make([]kv, len(ids))
+	ccoord := make([]int, g.NumDims())
+	for i, id := range ids {
+		g.CoordOf(id, ccoord)
+		keyed[i] = kv{key: g.OrderID(ccoord, perm), id: id}
+	}
+	// Insertion-stable sort by key.
+	for i := 1; i < len(keyed); i++ {
+		for j := i; j > 0 && keyed[j].key < keyed[j-1].key; j-- {
+			keyed[j], keyed[j-1] = keyed[j-1], keyed[j]
+		}
+	}
+	out := make([]int, len(ids))
+	for i, k := range keyed {
+		out[i] = k.id
+	}
+	return out
+}
+
+// restKey encodes chunk coordinates with the varying dimension masked,
+// identifying a merge group.
+func restKey(ccoord []int, vi int) string {
+	b := make([]byte, 0, len(ccoord)*4)
+	for i, c := range ccoord {
+		if i == vi {
+			b = append(b, 0xff, 0xff, 0xff, 0xff) // masked coordinate
+			continue
+		}
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(b)
+}
+
+// SimulateMultiMDX evaluates a multi-perspective static query the naive
+// way the paper uses as its baseline (§6.1, the "Multiple MDX" line):
+// one single-perspective static query per perspective, post-processing
+// the individual result sets into a single result set. The combined
+// statistics sum the per-query work, exposing the repeated planning and
+// chunk reads that the direct implementation avoids.
+func (e *Engine) SimulateMultiMDX(members []string, perspectives []int, mode perspective.Mode) (*View, error) {
+	if len(perspectives) == 0 {
+		return nil, fmt.Errorf("core: empty perspective set")
+	}
+	var combined *View
+	var stats Stats
+	merged := cube.NewMemStore(e.base.NumDims())
+	for _, p := range perspectives {
+		v, err := e.ExecPerspective(PerspectiveQuery{
+			Members:      members,
+			Perspectives: []int{p},
+			Sem:          perspective.Static,
+			Mode:         mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats.Add(v.Stats)
+		// Post-process: fold this query's rows into the merged result
+		// set. Under static semantics a surviving instance keeps its
+		// original values, so overlapping rows agree and overwriting is
+		// sound.
+		ov := v.result.Store().(*viewStore).overlay
+		ov.NonNull(func(addr []int, val float64) bool {
+			merged.Set(addr, val)
+			stats.CellsRelocated++
+			return true
+		})
+		combined = v
+	}
+	// Reuse the last view's scope (identical across the runs) with the
+	// merged overlay.
+	last := combined.result.Store().(*viewStore)
+	vs := &viewStore{base: e.store, overlay: merged, vi: e.vi, scoped: last.scoped}
+	result := cube.NewWithStore(vs, e.base.Dims()...)
+	for _, b := range e.base.Bindings() {
+		if err := result.AddBinding(b); err != nil {
+			return nil, err
+		}
+	}
+	result.SetRules(e.base.Rules())
+	stats.MembersInScope = combined.Stats.MembersInScope
+	return &View{input: e.base, result: result, mode: mode, Stats: stats}, nil
+}

@@ -1,0 +1,327 @@
+package cube
+
+import (
+	"testing"
+
+	"whatifolap/internal/dimension"
+)
+
+// smallSchema builds a 3-dimensional test cube: Product (hierarchy),
+// Time (ordered), Measures.
+func smallSchema(t testing.TB) *Cube {
+	t.Helper()
+	prod := dimension.New("Product", false)
+	prod.MustAdd("", "Audio")
+	prod.MustAdd("Audio", "Radio")
+	prod.MustAdd("Audio", "CD")
+	prod.MustAdd("", "Video")
+	prod.MustAdd("Video", "TV")
+
+	tim := dimension.New("Time", true)
+	tim.MustAdd("", "Q1")
+	tim.MustAdd("Q1", "Jan")
+	tim.MustAdd("Q1", "Feb")
+	tim.MustAdd("", "Q2")
+	tim.MustAdd("Q2", "Mar")
+
+	meas := dimension.New("Measures", false)
+	meas.MarkMeasure()
+	meas.MustAdd("", "Sales")
+	meas.MustAdd("", "COGS")
+	meas.MustAdd("", "Margin")
+
+	return New(prod, tim, meas)
+}
+
+func ids(c *Cube, refs ...string) []dimension.MemberID {
+	out := make([]dimension.MemberID, len(refs))
+	for i, r := range refs {
+		out[i] = c.Dim(i).MustLookup(r)
+	}
+	return out
+}
+
+func TestCubeLeafAndDerivedCells(t *testing.T) {
+	c := smallSchema(t)
+	leaf := ids(c, "Radio", "Jan", "Sales")
+	if !c.IsLeafCell(leaf) {
+		t.Fatal("Radio/Jan/Sales should be a leaf cell")
+	}
+	c.SetValue(leaf, 100)
+	if got := c.Value(leaf); got != 100 {
+		t.Fatalf("Value = %v, want 100", got)
+	}
+	nonLeaf := ids(c, "Audio", "Jan", "Sales")
+	if c.IsLeafCell(nonLeaf) {
+		t.Fatal("Audio/Jan/Sales should be non-leaf")
+	}
+	if !IsNull(c.Value(nonLeaf)) {
+		t.Fatal("unmaterialized derived cell should be Null")
+	}
+	c.SetValue(nonLeaf, 250)
+	if got := c.Value(nonLeaf); got != 250 {
+		t.Fatalf("materialized derived Value = %v, want 250", got)
+	}
+	c.SetValue(nonLeaf, Null)
+	if !IsNull(c.Value(nonLeaf)) {
+		t.Fatal("clearing derived cell failed")
+	}
+}
+
+func TestOrdinalsRoundTrip(t *testing.T) {
+	c := smallSchema(t)
+	leaf := ids(c, "CD", "Mar", "COGS")
+	addr, ok := c.Ordinals(leaf)
+	if !ok {
+		t.Fatal("Ordinals of leaf tuple failed")
+	}
+	back := c.MemberTuple(addr)
+	for i := range leaf {
+		if back[i] != leaf[i] {
+			t.Fatalf("MemberTuple(Ordinals) = %v, want %v", back, leaf)
+		}
+	}
+	if _, ok := c.Ordinals(ids(c, "Audio", "Jan", "Sales")); ok {
+		t.Fatal("Ordinals should fail for non-leaf tuple")
+	}
+}
+
+func TestDimLookupHelpers(t *testing.T) {
+	c := smallSchema(t)
+	if c.DimIndex("Time") != 1 {
+		t.Fatalf("DimIndex(Time) = %d", c.DimIndex("Time"))
+	}
+	if c.DimIndex("Nope") != -1 {
+		t.Fatal("DimIndex of unknown should be -1")
+	}
+	if c.DimByName("Measures") == nil || c.DimByName("Nope") != nil {
+		t.Fatal("DimByName mismatch")
+	}
+}
+
+func TestRollupSumSkipsNull(t *testing.T) {
+	c := smallSchema(t)
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 10)
+	c.SetValue(ids(c, "CD", "Jan", "Sales"), 20)
+	// TV/Jan/Sales left Null.
+	got, err := c.Rules().EvalCell(c, c, ids(c, "Product", "Jan", "Sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("rollup = %v, want 30", got)
+	}
+	// All-null rollup is Null.
+	v, err := c.Rules().EvalCell(c, c, ids(c, "Video", "Jan", "Sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNull(v) {
+		t.Fatalf("all-null rollup = %v, want Null", v)
+	}
+}
+
+func TestRollupMultiDim(t *testing.T) {
+	c := smallSchema(t)
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 1)
+	c.SetValue(ids(c, "Radio", "Feb", "Sales"), 2)
+	c.SetValue(ids(c, "CD", "Jan", "Sales"), 4)
+	c.SetValue(ids(c, "TV", "Mar", "Sales"), 8)
+	got, err := c.Rules().EvalCell(c, c, ids(c, "Product", "Time", "Sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("grand total = %v, want 15", got)
+	}
+	q1, err := c.Rules().EvalCell(c, c, ids(c, "Audio", "Q1", "Sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != 7 {
+		t.Fatalf("Audio/Q1 = %v, want 7", q1)
+	}
+}
+
+func TestFormulaRule(t *testing.T) {
+	c := smallSchema(t)
+	c.Rules().MustAddFormula("Measures", "Margin", "Sales - COGS")
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 100)
+	c.SetValue(ids(c, "Radio", "Jan", "COGS"), 60)
+	got, err := c.Rules().EvalCell(c, c, ids(c, "Radio", "Jan", "Margin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Fatalf("Margin = %v, want 40", got)
+	}
+	// Formula at aggregate level: Sales and COGS roll up first.
+	c.SetValue(ids(c, "CD", "Jan", "Sales"), 50)
+	c.SetValue(ids(c, "CD", "Jan", "COGS"), 20)
+	agg, err := c.Rules().EvalCell(c, c, ids(c, "Audio", "Jan", "Margin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg != 70 {
+		t.Fatalf("Audio Margin = %v, want (150-80)=70", agg)
+	}
+}
+
+func TestScopedFormulaWins(t *testing.T) {
+	c := smallSchema(t)
+	// General rule plus a scoped override for Audio products
+	// (paper's "For Market = East, Margin = 0.93*Sales - COGS").
+	c.Rules().MustAddFormula("Measures", "Margin", "Sales - COGS")
+	c.Rules().MustAddFormula("Measures", "Margin", "0.5*Sales - COGS",
+		ScopeCond{Dim: "Product", Member: "Audio"})
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 100)
+	c.SetValue(ids(c, "Radio", "Jan", "COGS"), 10)
+	c.SetValue(ids(c, "TV", "Jan", "Sales"), 100)
+	c.SetValue(ids(c, "TV", "Jan", "COGS"), 10)
+	radio, err := c.Rules().EvalCell(c, c, ids(c, "Radio", "Jan", "Margin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radio != 40 {
+		t.Fatalf("scoped Margin = %v, want 40", radio)
+	}
+	tv, err := c.Rules().EvalCell(c, c, ids(c, "TV", "Jan", "Margin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv != 90 {
+		t.Fatalf("general Margin = %v, want 90", tv)
+	}
+}
+
+func TestFormulaNullPropagation(t *testing.T) {
+	c := smallSchema(t)
+	c.Rules().MustAddFormula("Measures", "Margin", "Sales - COGS")
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 100)
+	// COGS missing -> Margin is Null.
+	got, err := c.Rules().EvalCell(c, c, ids(c, "Radio", "Jan", "Margin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNull(got) {
+		t.Fatalf("Margin with Null operand = %v, want Null", got)
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	c := smallSchema(t)
+	c.Rules().MustAddFormula("Measures", "Margin", "Sales / COGS")
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 100)
+	c.SetValue(ids(c, "Radio", "Jan", "COGS"), 0)
+	got, err := c.Rules().EvalCell(c, c, ids(c, "Radio", "Jan", "Margin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNull(got) {
+		t.Fatalf("x/0 = %v, want Null", got)
+	}
+}
+
+func TestCyclicRulesFail(t *testing.T) {
+	c := smallSchema(t)
+	c.Rules().MustAddFormula("Measures", "Margin", "Sales")
+	c.Rules().MustAddFormula("Measures", "Sales", "Margin")
+	_, err := c.Rules().EvalCell(c, c, ids(c, "Radio", "Jan", "Margin"))
+	if err == nil {
+		t.Fatal("cyclic rules should error")
+	}
+}
+
+func TestAggOverrides(t *testing.T) {
+	c := smallSchema(t)
+	c.Rules().SetAgg("Sales", AggMax)
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 10)
+	c.SetValue(ids(c, "CD", "Jan", "Sales"), 30)
+	got, err := c.Rules().EvalCell(c, c, ids(c, "Audio", "Jan", "Sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("max rollup = %v, want 30", got)
+	}
+	c.Rules().SetAgg("Sales", AggAvg)
+	got, _ = c.Rules().EvalCell(c, c, ids(c, "Audio", "Jan", "Sales"))
+	if got != 20 {
+		t.Fatalf("avg rollup = %v, want 20", got)
+	}
+	c.Rules().SetAgg("Sales", AggMin)
+	got, _ = c.Rules().EvalCell(c, c, ids(c, "Audio", "Jan", "Sales"))
+	if got != 10 {
+		t.Fatalf("min rollup = %v, want 10", got)
+	}
+	c.Rules().SetAgg("Sales", AggCount)
+	got, _ = c.Rules().EvalCell(c, c, ids(c, "Audio", "Jan", "Sales"))
+	if got != 2 {
+		t.Fatalf("count rollup = %v, want 2", got)
+	}
+}
+
+func TestEvalOnSeparateDataCube(t *testing.T) {
+	// E(C1, C2): rule definitions from C1, values from C2 (paper §4.3).
+	c1 := smallSchema(t)
+	c2 := c1.Clone()
+	c1.SetValue(ids(c1, "Radio", "Jan", "Sales"), 1)
+	c2.SetValue(ids(c2, "Radio", "Jan", "Sales"), 100)
+	got, err := c1.Rules().EvalCell(c1, c2, ids(c1, "Audio", "Jan", "Sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Fatalf("eval over C2 = %v, want 100 (C2's data)", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := smallSchema(t)
+	leaf := ids(c, "Radio", "Jan", "Sales")
+	c.SetValue(leaf, 5)
+	d := c.Clone()
+	d.SetValue(leaf, 6)
+	if c.Value(leaf) != 5 {
+		t.Fatal("clone mutation leaked")
+	}
+	if c.NumCells() != 1 || d.NumCells() != 1 {
+		t.Fatalf("NumCells = %d/%d, want 1/1", c.NumCells(), d.NumCells())
+	}
+}
+
+func TestBindingRegistration(t *testing.T) {
+	c := smallSchema(t)
+	b := dimension.NewBinding(c.Dim(0), c.Dim(1))
+	if err := c.AddBinding(b); err != nil {
+		t.Fatalf("AddBinding: %v", err)
+	}
+	if c.BindingFor("Product") != b {
+		t.Fatal("BindingFor failed")
+	}
+	if c.BindingFor("Time") != nil {
+		t.Fatal("BindingFor(Time) should be nil")
+	}
+	// Foreign dimension rejected.
+	other := dimension.New("Other", false)
+	other.MustAdd("", "x")
+	if err := c.AddBinding(dimension.NewBinding(other, c.Dim(1))); err == nil {
+		t.Fatal("binding with foreign dimension should fail")
+	}
+}
+
+func TestDerivedCellsIteration(t *testing.T) {
+	c := smallSchema(t)
+	c.SetValue(ids(c, "Audio", "Jan", "Sales"), 7)
+	n := 0
+	c.DerivedCells(func(got []dimension.MemberID, v float64) bool {
+		n++
+		if v != 7 {
+			t.Fatalf("derived v = %v", v)
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("DerivedCells visited %d, want 1", n)
+	}
+}

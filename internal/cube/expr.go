@@ -1,0 +1,250 @@
+package cube
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a rule expression over cell values, e.g. the paper's
+// "Margin = Sales - COGS" or "0.93 * Sales - COGS". References name
+// members (normally measures); evaluation substitutes the referenced
+// member for the rule's target coordinate and reads the resulting cell.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Const is a numeric literal.
+type Const struct{ V float64 }
+
+// Ref references a member, optionally qualified with a dimension name
+// ("Measures.Sales"). Unqualified references resolve in the rule's
+// target dimension.
+type Ref struct {
+	Dim    string // optional dimension name
+	Member string
+}
+
+// Unary is a unary minus.
+type Unary struct{ X Expr }
+
+// Binary is an arithmetic operation: one of + - * /.
+type Binary struct {
+	Op   byte
+	L, R Expr
+}
+
+func (Const) exprNode()  {}
+func (Ref) exprNode()    {}
+func (Unary) exprNode()  {}
+func (Binary) exprNode() {}
+
+func (c Const) String() string { return strconv.FormatFloat(c.V, 'g', -1, 64) }
+func (r Ref) String() string {
+	if r.Dim != "" {
+		return "[" + r.Dim + "].[" + r.Member + "]"
+	}
+	return "[" + r.Member + "]"
+}
+func (u Unary) String() string { return "-(" + u.X.String() + ")" }
+func (b Binary) String() string {
+	return "(" + b.L.String() + " " + string(b.Op) + " " + b.R.String() + ")"
+}
+
+// ParseExpr parses a rule expression. The grammar is
+//
+//	expr   := term  (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := number | ref | '(' expr ')' | '-' factor
+//	ref    := ident | '[' name ']' ( '.' '[' name ']' )?
+//
+// where a two-part bracketed reference is dimension.member.
+func ParseExpr(src string) (Expr, error) {
+	p := &exprParser{src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("cube: trailing input %q in expression %q", p.src[p.pos:], src)
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr that panics on error; for statically known
+// rules in tests and examples.
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		op := p.peek()
+		if op != '+' && op != '-' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *exprParser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		op := p.peek()
+		if op != '*' && op != '/' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *exprParser) parseFactor() (Expr, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == 0:
+		return nil, fmt.Errorf("cube: unexpected end of expression %q", p.src)
+	case c == '-':
+		p.pos++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{X: x}, nil
+	case c == '(':
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("cube: missing ')' in expression %q", p.src)
+		}
+		p.pos++
+		return e, nil
+	case c == '[':
+		return p.parseBracketRef()
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumber()
+	case isIdentStart(rune(c)):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentPart(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		return Ref{Member: p.src[start:p.pos]}, nil
+	default:
+		return nil, fmt.Errorf("cube: unexpected character %q at %d in expression %q", c, p.pos, p.src)
+	}
+}
+
+func (p *exprParser) parseNumber() (Expr, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		if (c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, fmt.Errorf("cube: bad number %q in expression %q", p.src[start:p.pos], p.src)
+	}
+	return Const{V: v}, nil
+}
+
+func (p *exprParser) parseBracketRef() (Expr, error) {
+	first, err := p.bracketName()
+	if err != nil {
+		return nil, err
+	}
+	save := p.pos
+	p.skipSpace()
+	if p.peek() == '.' {
+		p.pos++
+		p.skipSpace()
+		if p.peek() == '[' {
+			second, err := p.bracketName()
+			if err != nil {
+				return nil, err
+			}
+			return Ref{Dim: first, Member: second}, nil
+		}
+		p.pos = save
+	}
+	return Ref{Member: first}, nil
+}
+
+func (p *exprParser) bracketName() (string, error) {
+	if p.peek() != '[' {
+		return "", fmt.Errorf("cube: expected '[' at %d in %q", p.pos, p.src)
+	}
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], ']')
+	if end < 0 {
+		return "", fmt.Errorf("cube: unterminated '[' in expression %q", p.src)
+	}
+	name := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	if name == "" {
+		return "", fmt.Errorf("cube: empty bracketed name in expression %q", p.src)
+	}
+	return name, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '%'
+}

@@ -1,0 +1,69 @@
+package cube
+
+import "testing"
+
+func TestParseExprForms(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"1", "1"},
+		{"Sales", "[Sales]"},
+		{"[Sales]", "[Sales]"},
+		{"[Measures].[Sales]", "[Measures].[Sales]"},
+		{"Sales - COGS", "([Sales] - [COGS])"},
+		{"0.93*Sales - COGS", "((0.93 * [Sales]) - [COGS])"},
+		{"Margin/COGS * 100", "(([Margin] / [COGS]) * 100)"},
+		{"-(Sales)", "-([Sales])"},
+		{"2e3 + 1", "(2000 + 1)"},
+		{"(Sales + COGS) * 2", "(([Sales] + [COGS]) * 2)"},
+		{"a_b% * 2", "([a_b%] * 2)"},
+		{"1 - 2 - 3", "((1 - 2) - 3)"},
+		{"1 + 2*3", "(1 + (2 * 3))"},
+	} {
+		e, err := ParseExpr(tc.src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", tc.src, err)
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("ParseExpr(%q) = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "(1", "[", "[]", "1 2", "@", "1..2", "Sales COGS",
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParseExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseExpr should panic on bad input")
+		}
+	}()
+	MustParseExpr("(")
+}
+
+func TestBracketDotWithoutBracketFallsBack(t *testing.T) {
+	// "[Sales].x" — the '.' is not followed by '[', so [Sales] is a plain
+	// ref and ".x" is trailing garbage.
+	if _, err := ParseExpr("[Sales].x"); err == nil {
+		t.Fatal("expected trailing-input error")
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	for f, want := range map[AggFunc]string{
+		AggSum: "sum", AggAvg: "avg", AggMin: "min", AggMax: "max", AggCount: "count",
+	} {
+		if f.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+	if AggFunc(99).String() != "AggFunc(99)" {
+		t.Errorf("unknown AggFunc String = %q", AggFunc(99).String())
+	}
+}

@@ -1,0 +1,22 @@
+package cube
+
+import "testing"
+
+// FuzzParseExpr asserts the rule-expression parser never panics.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"Sales - COGS", "0.93*Sales - COGS", "[Margin]/[COGS] * 100",
+		"-(a + b) * 2e3", "((((", "[", "[].[x]", "1..2", "a/0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err == nil && e == nil {
+			t.Fatal("nil expression without error")
+		}
+		if err == nil {
+			_ = e.String() // stringer must not panic either
+		}
+	})
+}

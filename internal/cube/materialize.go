@@ -1,0 +1,79 @@
+package cube
+
+import (
+	"fmt"
+
+	"whatifolap/internal/dimension"
+)
+
+// MaterializeAggregates evaluates and stores the derived cells for the
+// cross product of the given member sets (one per dimension, in schema
+// order; an empty set means that dimension's leaf members). Cells whose
+// every coordinate is a leaf are skipped — they are base cells. It
+// returns the number of cells materialized.
+//
+// This mirrors the aggregation-creation step of the paper's testbed
+// ("after creation of required aggregations the disk footprint of the
+// cube is 20.2G"): materialized values answer non-leaf reads directly —
+// the rule engine returns them without recomputation — and correspond
+// to non-visual semantics until rebuilt. After leaf updates, call
+// ClearAggregates and re-materialize.
+func (c *Cube) MaterializeAggregates(sets ...[]dimension.MemberID) (int, error) {
+	if len(sets) != len(c.dims) {
+		return 0, fmt.Errorf("cube: %d member sets for %d dimensions", len(sets), len(c.dims))
+	}
+	expanded := make([][]dimension.MemberID, len(sets))
+	for i, s := range sets {
+		if len(s) == 0 {
+			expanded[i] = append([]dimension.MemberID(nil), c.dims[i].Leaves()...)
+			continue
+		}
+		for _, id := range s {
+			if id < 0 || int(id) >= c.dims[i].NumMembers() {
+				return 0, fmt.Errorf("cube: member %d outside dimension %s", id, c.dims[i].Name())
+			}
+		}
+		expanded[i] = s
+	}
+	n := 0
+	ids := make([]dimension.MemberID, len(c.dims))
+	var walk func(dim int) error
+	walk = func(dim int) error {
+		if dim == len(c.dims) {
+			if c.IsLeafCell(ids) {
+				return nil
+			}
+			v, err := c.rules.EvalCell(c, c, ids)
+			if err != nil {
+				return err
+			}
+			if !IsNull(v) {
+				c.SetValue(ids, v)
+				n++
+			}
+			return nil
+		}
+		for _, id := range expanded[dim] {
+			ids[dim] = id
+			if err := walk(dim + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ClearAggregates drops every materialized derived cell, forcing
+// subsequent non-leaf reads to recompute from base cells.
+func (c *Cube) ClearAggregates() int {
+	n := len(c.derived)
+	c.derived = make(map[string]float64)
+	return n
+}
+
+// NumAggregates returns the number of materialized derived cells.
+func (c *Cube) NumAggregates() int { return len(c.derived) }

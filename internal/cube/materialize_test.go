@@ -1,0 +1,116 @@
+package cube
+
+import (
+	"testing"
+
+	"whatifolap/internal/dimension"
+)
+
+func TestMaterializeAggregates(t *testing.T) {
+	c := smallSchema(t)
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 10)
+	c.SetValue(ids(c, "CD", "Feb", "Sales"), 20)
+	c.SetValue(ids(c, "TV", "Mar", "Sales"), 40)
+
+	prod, tim := c.Dim(0), c.Dim(1)
+	// Materialize (product groups) × (quarters) × (leaf measures).
+	n, err := c.MaterializeAggregates(
+		prod.LevelMembers(1), // Audio, Video
+		tim.LevelMembers(1),  // Q1, Q2
+		nil,                  // leaf measures
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing materialized")
+	}
+	if c.NumAggregates() != n {
+		t.Fatalf("NumAggregates = %d, want %d", c.NumAggregates(), n)
+	}
+	// The stored aggregate answers directly.
+	audioQ1 := ids(c, "Audio", "Q1", "Sales")
+	if got := c.Value(audioQ1); got != 30 {
+		t.Fatalf("materialized Audio/Q1 = %v, want 30", got)
+	}
+	got, err := c.Rules().EvalCell(c, c, audioQ1)
+	if err != nil || got != 30 {
+		t.Fatalf("EvalCell over materialized = %v, %v; want 30", got, err)
+	}
+
+	// Materialized values are a snapshot: after a leaf update they are
+	// stale until cleared.
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 100)
+	got, _ = c.Rules().EvalCell(c, c, audioQ1)
+	if got != 30 {
+		t.Fatalf("stale aggregate should still answer: %v", got)
+	}
+	if cleared := c.ClearAggregates(); cleared != n {
+		t.Fatalf("ClearAggregates = %d, want %d", cleared, n)
+	}
+	got, _ = c.Rules().EvalCell(c, c, audioQ1)
+	if got != 120 {
+		t.Fatalf("after clear, recomputed Audio/Q1 = %v, want 120", got)
+	}
+}
+
+func TestMaterializeSkipsAllNullAndLeaves(t *testing.T) {
+	c := smallSchema(t)
+	c.SetValue(ids(c, "Radio", "Jan", "Sales"), 1)
+	// Video has no data: its aggregates must not be materialized as 0.
+	n, err := c.MaterializeAggregates(
+		[]dimension.MemberID{c.Dim(0).MustLookup("Video")},
+		c.Dim(1).LevelMembers(1),
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("materialized %d all-null cells", n)
+	}
+	// All-leaf tuples are skipped even when listed.
+	n, err = c.MaterializeAggregates(
+		[]dimension.MemberID{c.Dim(0).MustLookup("Radio")},
+		[]dimension.MemberID{c.Dim(1).MustLookup("Jan")},
+		[]dimension.MemberID{c.Dim(2).MustLookup("Sales")},
+	)
+	if err != nil || n != 0 {
+		t.Fatalf("leaf tuples should be skipped: n=%d err=%v", n, err)
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	c := smallSchema(t)
+	if _, err := c.MaterializeAggregates(nil, nil); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if _, err := c.MaterializeAggregates(
+		[]dimension.MemberID{999}, nil, nil); err == nil {
+		t.Fatal("bad member should fail")
+	}
+}
+
+func TestMaterializedVisibleToNonVisualOnly(t *testing.T) {
+	// Visual mode evaluates over the output cube, whose derived table is
+	// its own — input materialization must not leak into visual results
+	// computed on a different data cube.
+	c1 := smallSchema(t)
+	c1.SetValue(ids(c1, "Radio", "Jan", "Sales"), 10)
+	if _, err := c1.MaterializeAggregates(
+		[]dimension.MemberID{c1.Dim(0).MustLookup("Audio")},
+		[]dimension.MemberID{c1.Dim(1).MustLookup("Q1")},
+		nil,
+	); err != nil {
+		t.Fatal(err)
+	}
+	c2 := c1.CloneSchema() // empty data, shares rules
+	c2.SetValue(ids(c1, "Radio", "Jan", "Sales"), 99)
+	got, err := c1.Rules().EvalCell(c1, c2, ids(c1, "Audio", "Q1", "Sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("evaluation over c2 = %v, want 99 (c1's materialization must not leak)", got)
+	}
+}

@@ -1,0 +1,113 @@
+package cube
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Store holds the leaf (base) cells of a cube. Addresses are tuples of
+// leaf ordinals, one per dimension in schema order. Absent cells read as
+// Null.
+//
+// Two families of stores exist: the map-backed MemStore in this package,
+// suitable for example-scale cubes manipulated by the algebra operators,
+// and the chunked array store in internal/chunk used by the perspective
+// cube engine.
+type Store interface {
+	// Get returns the value at addr, or Null if the cell is absent.
+	Get(addr []int) float64
+	// Set writes v at addr. Setting Null deletes the cell.
+	Set(addr []int, v float64)
+	// NonNull calls fn for every present cell until fn returns false.
+	// Iteration order is unspecified. The addr slice passed to fn is
+	// reused between calls; fn must copy it to retain it.
+	NonNull(fn func(addr []int, v float64) bool)
+	// Len returns the number of present (non-null) cells.
+	Len() int
+	// Clone returns an independent deep copy.
+	Clone() Store
+}
+
+// EncodeAddr packs a leaf-ordinal address into a compact string key.
+// It is exported for stores and caches that key cells by address.
+func EncodeAddr(addr []int) string {
+	buf := make([]byte, 4*len(addr))
+	for i, a := range addr {
+		if a < 0 {
+			panic(fmt.Sprintf("cube: negative ordinal %d in address", a))
+		}
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(a))
+	}
+	return string(buf)
+}
+
+// DecodeAddr unpacks a key produced by EncodeAddr into dst, which must
+// have the correct length.
+func DecodeAddr(key string, dst []int) {
+	if len(key) != 4*len(dst) {
+		panic(fmt.Sprintf("cube: key length %d does not match address arity %d", len(key), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = int(binary.LittleEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+}
+
+// MemStore is a sparse map-backed Store.
+type MemStore struct {
+	arity int
+	cells map[string]float64
+}
+
+// NewMemStore creates an empty store for addresses of the given arity.
+func NewMemStore(arity int) *MemStore {
+	return &MemStore{arity: arity, cells: make(map[string]float64)}
+}
+
+func (s *MemStore) checkArity(addr []int) {
+	if len(addr) != s.arity {
+		panic(fmt.Sprintf("cube: address arity %d, store arity %d", len(addr), s.arity))
+	}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(addr []int) float64 {
+	s.checkArity(addr)
+	if v, ok := s.cells[EncodeAddr(addr)]; ok {
+		return v
+	}
+	return Null
+}
+
+// Set implements Store.
+func (s *MemStore) Set(addr []int, v float64) {
+	s.checkArity(addr)
+	k := EncodeAddr(addr)
+	if IsNull(v) {
+		delete(s.cells, k)
+		return
+	}
+	s.cells[k] = v
+}
+
+// NonNull implements Store.
+func (s *MemStore) NonNull(fn func(addr []int, v float64) bool) {
+	addr := make([]int, s.arity)
+	for k, v := range s.cells {
+		DecodeAddr(k, addr)
+		if !fn(addr, v) {
+			return
+		}
+	}
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int { return len(s.cells) }
+
+// Clone implements Store.
+func (s *MemStore) Clone() Store {
+	c := NewMemStore(s.arity)
+	for k, v := range s.cells {
+		c.cells[k] = v
+	}
+	return c
+}

@@ -1,0 +1,122 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMemStore(3)
+	addr := []int{1, 2, 3}
+	if !IsNull(s.Get(addr)) {
+		t.Fatal("absent cell should read Null")
+	}
+	s.Set(addr, 42)
+	if got := s.Get(addr); got != 42 {
+		t.Fatalf("Get = %v, want 42", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.Set(addr, Null)
+	if !IsNull(s.Get(addr)) || s.Len() != 0 {
+		t.Fatal("setting Null should delete the cell")
+	}
+}
+
+func TestMemStoreArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch should panic")
+		}
+	}()
+	NewMemStore(2).Set([]int{1}, 1)
+}
+
+func TestMemStoreNonNullAndClone(t *testing.T) {
+	s := NewMemStore(2)
+	s.Set([]int{0, 0}, 1)
+	s.Set([]int{1, 5}, 2)
+	seen := map[[2]int]float64{}
+	s.NonNull(func(addr []int, v float64) bool {
+		seen[[2]int{addr[0], addr[1]}] = v
+		return true
+	})
+	if len(seen) != 2 || seen[[2]int{0, 0}] != 1 || seen[[2]int{1, 5}] != 2 {
+		t.Fatalf("NonNull visited %v", seen)
+	}
+	c := s.Clone()
+	c.Set([]int{0, 0}, 99)
+	if s.Get([]int{0, 0}) != 1 {
+		t.Fatal("clone mutation leaked")
+	}
+	// Early stop.
+	n := 0
+	s.NonNull(func(addr []int, v float64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("NonNull early stop visited %d, want 1", n)
+	}
+}
+
+func TestEncodeDecodeAddrRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		addr := make([]int, n)
+		for i := range addr {
+			addr[i] = r.Intn(1 << 20)
+		}
+		got := make([]int, n)
+		DecodeAddr(EncodeAddr(addr), got)
+		for i := range addr {
+			if got[i] != addr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAddrNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative ordinal should panic")
+		}
+	}()
+	EncodeAddr([]int{-1})
+}
+
+func TestQuickMemStoreMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewMemStore(2)
+		ref := map[[2]int]float64{}
+		for i := 0; i < 200; i++ {
+			a := [2]int{r.Intn(5), r.Intn(5)}
+			if r.Intn(4) == 0 {
+				s.Set(a[:], Null)
+				delete(ref, a)
+			} else {
+				v := float64(r.Intn(100))
+				s.Set(a[:], v)
+				ref[a] = v
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for a, v := range ref {
+			if s.Get(a[:]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

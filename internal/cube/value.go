@@ -1,0 +1,16 @@
+// Package cube implements the multidimensional cube model of the paper:
+// cells addressed by member tuples, the meaningless value ⊥, leaf (base)
+// versus derived cells, and the rule engine that defines derived-cell
+// values (paper §2).
+package cube
+
+import "math"
+
+// Null is the paper's ⊥: the value of a meaningless cell, e.g. the
+// intersection of a member instance with a parameter leaf outside its
+// validity set. It is represented as a quiet NaN so dense float64 chunk
+// arrays can hold it without a companion bitmap.
+var Null = math.NaN()
+
+// IsNull reports whether v is the meaningless value ⊥.
+func IsNull(v float64) bool { return math.IsNaN(v) }

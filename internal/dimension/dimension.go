@@ -1,0 +1,488 @@
+// Package dimension implements the dimension model of the paper: member
+// hierarchies, leaf ordinals used for cell addressing, and — the paper's
+// key extension — member instances of varying dimensions together with
+// their validity sets over a parameter dimension.
+//
+// A member of a varying dimension that is reclassified under different
+// parents (e.g. employee Joe moving between FTE, PTE and Contractor)
+// appears as several leaf nodes with the same simple name but distinct
+// root-to-leaf paths. Each such node is a member instance; all instances
+// of a member share its base name. At any leaf of the parameter dimension
+// at most one instance of a member is valid (paper §2, §3.1).
+package dimension
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"whatifolap/internal/bitset"
+)
+
+// MemberID identifies a member (or member instance) within one dimension.
+// IDs are dense indices into the dimension's member table.
+type MemberID int32
+
+// None is the MemberID used where no member applies (e.g. the parent of
+// the root).
+const None MemberID = -1
+
+// Member is a node in a dimension hierarchy.
+type Member struct {
+	ID       MemberID
+	Name     string // simple name, e.g. "Joe"
+	Parent   MemberID
+	Children []MemberID
+	// Depth is the distance from the hierarchy root (root = 0).
+	Depth int
+	// LeafOrdinal is the member's position in the dimension's leaf order,
+	// or -1 for non-leaf members. Leaf ordinals address cube cells.
+	LeafOrdinal int
+}
+
+// IsLeaf reports whether the member has no children.
+func (m *Member) IsLeaf() bool { return len(m.Children) == 0 }
+
+// Dimension is a named hierarchy of members. The root member carries the
+// dimension's name and is not part of member paths.
+type Dimension struct {
+	name    string
+	ordered bool
+	measure bool
+
+	members []*Member
+	byPath  map[string]MemberID
+	// instances maps a base name to all leaf members carrying it, in
+	// insertion order. A member with len(instances[name]) > 1 is a
+	// varying member with multiple instances.
+	instances map[string][]MemberID
+	leaves    []MemberID
+}
+
+// New creates a dimension with only a root member. Ordered marks the
+// dimension as an ordered parameter dimension candidate (e.g. Time):
+// its leaf ordinals are interpreted as a temporal order by forward and
+// backward perspective semantics.
+func New(name string, ordered bool) *Dimension {
+	d := &Dimension{
+		name:      name,
+		ordered:   ordered,
+		byPath:    make(map[string]MemberID),
+		instances: make(map[string][]MemberID),
+	}
+	root := &Member{ID: 0, Name: name, Parent: None, Depth: 0, LeafOrdinal: -1}
+	d.members = append(d.members, root)
+	return d
+}
+
+// Name returns the dimension's name.
+func (d *Dimension) Name() string { return d.name }
+
+// Ordered reports whether the dimension is ordered (usable as an ordered
+// parameter dimension).
+func (d *Dimension) Ordered() bool { return d.ordered }
+
+// Measure reports whether the dimension is a measures dimension.
+func (d *Dimension) Measure() bool { return d.measure }
+
+// MarkMeasure flags the dimension as a measures dimension; rules treat
+// its members as computed quantities rather than aggregation targets.
+func (d *Dimension) MarkMeasure() { d.measure = true }
+
+// Root returns the ID of the hierarchy root.
+func (d *Dimension) Root() MemberID { return 0 }
+
+// Member returns the member with the given ID. It panics on an invalid
+// ID, which indicates corrupted addressing.
+func (d *Dimension) Member(id MemberID) *Member {
+	if id < 0 || int(id) >= len(d.members) {
+		panic(fmt.Sprintf("dimension %s: invalid member id %d", d.name, id))
+	}
+	return d.members[id]
+}
+
+// NumMembers returns the total number of members including the root.
+func (d *Dimension) NumMembers() int { return len(d.members) }
+
+// NumLeaves returns the number of leaf members (= the dimension's extent
+// in cell addressing).
+func (d *Dimension) NumLeaves() int { return len(d.leaves) }
+
+// Leaves returns the leaf member IDs in ordinal order. The returned slice
+// must not be modified.
+func (d *Dimension) Leaves() []MemberID { return d.leaves }
+
+// Leaf returns the leaf member at the given ordinal.
+func (d *Dimension) Leaf(ordinal int) *Member {
+	if ordinal < 0 || ordinal >= len(d.leaves) {
+		panic(fmt.Sprintf("dimension %s: leaf ordinal %d out of range [0,%d)", d.name, ordinal, len(d.leaves)))
+	}
+	return d.members[d.leaves[ordinal]]
+}
+
+// Path returns the root-to-member path of a member, e.g. "FTE/Joe". The
+// root itself has the empty path.
+func (d *Dimension) Path(id MemberID) string {
+	m := d.Member(id)
+	if m.Parent == None {
+		return ""
+	}
+	parts := []string{}
+	for m.Parent != None {
+		parts = append(parts, m.Name)
+		m = d.Member(m.Parent)
+	}
+	// Reverse.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// Add appends a new member with the given simple name under the parent
+// identified by parentPath ("" denotes the dimension root). It returns
+// the new member's ID. Adding a child under a member that was previously
+// a leaf promotes that member to non-leaf and renumbers leaf ordinals.
+//
+// Adding a leaf whose simple name already exists as a leaf elsewhere in
+// the hierarchy creates a new instance of that (varying) member.
+func (d *Dimension) Add(parentPath, name string) (MemberID, error) {
+	if name == "" {
+		return None, fmt.Errorf("dimension %s: empty member name", d.name)
+	}
+	if strings.Contains(name, "/") {
+		return None, fmt.Errorf("dimension %s: member name %q must not contain '/'", d.name, name)
+	}
+	parent, err := d.lookupPath(parentPath)
+	if err != nil {
+		return None, err
+	}
+	path := name
+	if parentPath != "" {
+		path = parentPath + "/" + name
+	}
+	if _, dup := d.byPath[path]; dup {
+		return None, fmt.Errorf("dimension %s: member path %q already exists", d.name, path)
+	}
+	p := d.Member(parent)
+	id := MemberID(len(d.members))
+	m := &Member{ID: id, Name: name, Parent: parent, Depth: p.Depth + 1, LeafOrdinal: -1}
+	d.members = append(d.members, m)
+	d.byPath[path] = id
+	wasLeaf := p.IsLeaf() && p.Parent != None
+	p.Children = append(p.Children, id)
+	if wasLeaf {
+		// Parent stops being a leaf; drop it from instance and leaf
+		// bookkeeping and renumber.
+		d.removeInstance(p.Name, p.ID)
+	}
+	d.instances[name] = append(d.instances[name], id)
+	d.renumberLeaves()
+	return id, nil
+}
+
+// MustAdd is Add that panics on error; it is intended for statically
+// known hierarchies in tests and examples.
+func (d *Dimension) MustAdd(parentPath, name string) MemberID {
+	id, err := d.Add(parentPath, name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (d *Dimension) removeInstance(name string, id MemberID) {
+	inst := d.instances[name]
+	for i, x := range inst {
+		if x == id {
+			d.instances[name] = append(inst[:i:i], inst[i+1:]...)
+			break
+		}
+	}
+	if len(d.instances[name]) == 0 {
+		delete(d.instances, name)
+	}
+}
+
+// renumberLeaves recomputes the leaf list and ordinals in depth-first
+// hierarchy order, which keeps siblings (and for ordered dimensions the
+// insertion order of time points) adjacent in cell addressing.
+func (d *Dimension) renumberLeaves() {
+	d.leaves = d.leaves[:0]
+	var walk func(id MemberID)
+	walk = func(id MemberID) {
+		m := d.members[id]
+		if m.IsLeaf() && m.Parent != None {
+			m.LeafOrdinal = len(d.leaves)
+			d.leaves = append(d.leaves, id)
+			return
+		}
+		m.LeafOrdinal = -1
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(0)
+}
+
+func (d *Dimension) lookupPath(path string) (MemberID, error) {
+	if path == "" {
+		return 0, nil
+	}
+	if id, ok := d.byPath[path]; ok {
+		return id, nil
+	}
+	return None, fmt.Errorf("dimension %s: no member with path %q", d.name, path)
+}
+
+// Lookup resolves a member reference. It accepts a full path ("FTE/Joe"),
+// a simple name when that name is unambiguous in the dimension ("Jane"),
+// or the dimension name itself (the root). Ambiguous simple names (a
+// varying member with several instances) are an error: the caller must
+// qualify the instance or use Instances.
+func (d *Dimension) Lookup(ref string) (MemberID, error) {
+	if ref == d.name {
+		return 0, nil
+	}
+	if id, ok := d.byPath[ref]; ok {
+		return id, nil
+	}
+	if !strings.Contains(ref, "/") {
+		// Simple-name resolution: unique across all members.
+		var found []MemberID
+		for _, m := range d.members[1:] {
+			if m.Name == ref {
+				found = append(found, m.ID)
+			}
+		}
+		switch len(found) {
+		case 1:
+			return found[0], nil
+		case 0:
+			return None, fmt.Errorf("dimension %s: no member named %q", d.name, ref)
+		default:
+			return None, fmt.Errorf("dimension %s: member name %q is ambiguous (%d instances); qualify with a parent path", d.name, ref, len(found))
+		}
+	}
+	return None, fmt.Errorf("dimension %s: no member with path %q", d.name, ref)
+}
+
+// MustLookup is Lookup that panics on error.
+func (d *Dimension) MustLookup(ref string) MemberID {
+	id, err := d.Lookup(ref)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Instances returns the IDs of all leaf members sharing the given base
+// name, in insertion order. For a non-varying member this is a single ID;
+// for an unknown name it is nil.
+func (d *Dimension) Instances(baseName string) []MemberID {
+	return d.instances[baseName]
+}
+
+// VaryingMembers returns the base names that have more than one instance,
+// sorted for determinism.
+func (d *Dimension) VaryingMembers() []string {
+	var names []string
+	for name, ids := range d.instances {
+		if len(ids) > 1 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsDescendant reports whether member id is a strict or non-strict
+// descendant of ancestor (a member is its own descendant).
+func (d *Dimension) IsDescendant(id, ancestor MemberID) bool {
+	for id != None {
+		if id == ancestor {
+			return true
+		}
+		id = d.Member(id).Parent
+	}
+	return false
+}
+
+// LeafDescendants returns the leaf ordinals of all leaf members under the
+// given member (the member itself if it is a leaf), in ordinal order.
+func (d *Dimension) LeafDescendants(id MemberID) []int {
+	var out []int
+	var walk func(MemberID)
+	walk = func(x MemberID) {
+		m := d.Member(x)
+		if m.IsLeaf() && m.Parent != None {
+			out = append(out, m.LeafOrdinal)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(id)
+	sort.Ints(out)
+	return out
+}
+
+// Height returns the number of edges on the longest root-to-leaf path of
+// the member's subtree: leaves have height 0.
+func (d *Dimension) Height(id MemberID) int {
+	m := d.Member(id)
+	if m.IsLeaf() {
+		return 0
+	}
+	h := 0
+	for _, c := range m.Children {
+		if ch := d.Height(c) + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// LevelMembers returns all members at the given level counted from the
+// leaves (Essbase convention: level 0 = leaf members), in hierarchy
+// order. The root is excluded.
+func (d *Dimension) LevelMembers(level int) []MemberID {
+	var out []MemberID
+	var walk func(MemberID)
+	walk = func(x MemberID) {
+		m := d.Member(x)
+		if m.Parent != None && d.Height(x) == level {
+			out = append(out, x)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// GenerationMembers returns all members at the given depth from the root
+// (generation 1 = children of the root), in hierarchy order.
+func (d *Dimension) GenerationMembers(gen int) []MemberID {
+	var out []MemberID
+	var walk func(MemberID)
+	walk = func(x MemberID) {
+		m := d.Member(x)
+		if m.Depth == gen && m.Parent != None {
+			out = append(out, x)
+		}
+		if m.Depth < gen {
+			for _, c := range m.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(0)
+	return out
+}
+
+// Clone returns a deep copy of the dimension. Algebra operators that
+// change hierarchy structure (split) clone before mutating so that input
+// cubes remain untouched.
+func (d *Dimension) Clone() *Dimension {
+	c := &Dimension{
+		name:      d.name,
+		ordered:   d.ordered,
+		measure:   d.measure,
+		members:   make([]*Member, len(d.members)),
+		byPath:    make(map[string]MemberID, len(d.byPath)),
+		instances: make(map[string][]MemberID, len(d.instances)),
+		leaves:    append([]MemberID(nil), d.leaves...),
+	}
+	for i, m := range d.members {
+		mm := *m
+		mm.Children = append([]MemberID(nil), m.Children...)
+		c.members[i] = &mm
+	}
+	for k, v := range d.byPath {
+		c.byPath[k] = v
+	}
+	for k, v := range d.instances {
+		c.instances[k] = append([]MemberID(nil), v...)
+	}
+	return c
+}
+
+// Binding declares that varying dimension Varying changes as a function
+// of parameter dimension Param, and records the validity set of every
+// leaf member instance of Varying over the leaves of Param (paper
+// Definition 2.1).
+type Binding struct {
+	Varying *Dimension
+	Param   *Dimension
+	// VS maps a leaf member (instance) of Varying to its validity set
+	// over Param's leaf ordinals. Instances absent from the map are valid
+	// everywhere (non-varying members need not be enumerated).
+	VS map[MemberID]*bitset.Set
+}
+
+// NewBinding creates an empty binding between a varying and a parameter
+// dimension.
+func NewBinding(varying, param *Dimension) *Binding {
+	return &Binding{Varying: varying, Param: param, VS: make(map[MemberID]*bitset.Set)}
+}
+
+// SetVS records the validity set of a member instance, given parameter
+// leaf ordinals.
+func (b *Binding) SetVS(instance MemberID, paramOrdinals ...int) {
+	b.VS[instance] = bitset.FromSlice(b.Param.NumLeaves(), paramOrdinals)
+}
+
+// ValiditySet returns the validity set of the given leaf member instance.
+// Members without an explicit entry are valid at every parameter leaf.
+func (b *Binding) ValiditySet(instance MemberID) *bitset.Set {
+	if vs, ok := b.VS[instance]; ok {
+		return vs
+	}
+	all := bitset.New(b.Param.NumLeaves())
+	all.AddRange(0, b.Param.NumLeaves())
+	return all
+}
+
+// InstanceAt returns the instance of the given base name valid at the
+// parameter leaf ordinal t, or None if no instance is valid there. This
+// is the d_t of the paper's relocate semantics.
+func (b *Binding) InstanceAt(baseName string, t int) MemberID {
+	for _, id := range b.Varying.Instances(baseName) {
+		if b.ValiditySet(id).Contains(t) {
+			return id
+		}
+	}
+	return None
+}
+
+// Validate checks the core invariant of the model: validity sets of
+// different instances of the same member never overlap (paper §2).
+func (b *Binding) Validate() error {
+	for _, name := range b.Varying.VaryingMembers() {
+		ids := b.Varying.Instances(name)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				vi, vj := b.ValiditySet(ids[i]), b.ValiditySet(ids[j])
+				if vi.Intersects(vj) {
+					return fmt.Errorf("binding %s/%s: instances %q and %q of member %q have overlapping validity sets %v and %v",
+						b.Varying.Name(), b.Param.Name(),
+						b.Varying.Path(ids[i]), b.Varying.Path(ids[j]), name, vi, vj)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the binding rebased onto the given cloned
+// dimensions (which must be clones of the binding's originals).
+func (b *Binding) Clone(varying, param *Dimension) *Binding {
+	c := NewBinding(varying, param)
+	for id, vs := range b.VS {
+		c.VS[id] = vs.Clone()
+	}
+	return c
+}

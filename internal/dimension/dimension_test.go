@@ -1,0 +1,302 @@
+package dimension
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildTime builds the paper's Time dimension: Qtr1..Qtr4 over Jan..Dec.
+func buildTime(t testing.TB) *Dimension {
+	t.Helper()
+	d := New("Time", true)
+	months := [][2]string{
+		{"Qtr1", "Jan"}, {"Qtr1", "Feb"}, {"Qtr1", "Mar"},
+		{"Qtr2", "Apr"}, {"Qtr2", "May"}, {"Qtr2", "Jun"},
+		{"Qtr3", "Jul"}, {"Qtr3", "Aug"}, {"Qtr3", "Sep"},
+		{"Qtr4", "Oct"}, {"Qtr4", "Nov"}, {"Qtr4", "Dec"},
+	}
+	seen := map[string]bool{}
+	for _, mq := range months {
+		if !seen[mq[0]] {
+			d.MustAdd("", mq[0])
+			seen[mq[0]] = true
+		}
+		d.MustAdd(mq[0], mq[1])
+	}
+	return d
+}
+
+// buildOrg builds the paper's Organization dimension of Fig 1 with Joe as
+// a varying member (instances under FTE, PTE and Contractor).
+func buildOrg(t testing.TB) *Dimension {
+	t.Helper()
+	d := New("Organization", false)
+	d.MustAdd("", "FTE")
+	d.MustAdd("FTE", "Joe")
+	d.MustAdd("FTE", "Lisa")
+	d.MustAdd("FTE", "Sue")
+	d.MustAdd("", "PTE")
+	d.MustAdd("PTE", "Tom")
+	d.MustAdd("PTE", "Dave")
+	d.MustAdd("PTE", "Joe")
+	d.MustAdd("", "Contractor")
+	d.MustAdd("Contractor", "Jane")
+	d.MustAdd("Contractor", "Joe")
+	return d
+}
+
+func TestLeafOrdinalsFollowHierarchyOrder(t *testing.T) {
+	d := buildTime(t)
+	if d.NumLeaves() != 12 {
+		t.Fatalf("NumLeaves = %d, want 12", d.NumLeaves())
+	}
+	wantOrder := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	for i, name := range wantOrder {
+		if got := d.Leaf(i).Name; got != name {
+			t.Fatalf("Leaf(%d) = %s, want %s", i, got, name)
+		}
+	}
+}
+
+func TestPathAndLookup(t *testing.T) {
+	d := buildOrg(t)
+	joeFTE := d.MustLookup("FTE/Joe")
+	if got := d.Path(joeFTE); got != "FTE/Joe" {
+		t.Fatalf("Path = %q, want FTE/Joe", got)
+	}
+	if _, err := d.Lookup("Joe"); err == nil {
+		t.Fatal("simple-name lookup of varying member should be ambiguous")
+	}
+	jane, err := d.Lookup("Jane")
+	if err != nil {
+		t.Fatalf("Lookup(Jane): %v", err)
+	}
+	if d.Path(jane) != "Contractor/Jane" {
+		t.Fatalf("Path(Jane) = %q", d.Path(jane))
+	}
+	if root, err := d.Lookup("Organization"); err != nil || root != d.Root() {
+		t.Fatalf("Lookup(dimension name) = %v, %v", root, err)
+	}
+	if _, err := d.Lookup("Nobody"); err == nil {
+		t.Fatal("Lookup of unknown member should fail")
+	}
+}
+
+func TestInstances(t *testing.T) {
+	d := buildOrg(t)
+	inst := d.Instances("Joe")
+	if len(inst) != 3 {
+		t.Fatalf("Instances(Joe) = %d, want 3", len(inst))
+	}
+	paths := []string{}
+	for _, id := range inst {
+		paths = append(paths, d.Path(id))
+	}
+	if strings.Join(paths, ",") != "FTE/Joe,PTE/Joe,Contractor/Joe" {
+		t.Fatalf("instance paths = %v", paths)
+	}
+	if vm := d.VaryingMembers(); len(vm) != 1 || vm[0] != "Joe" {
+		t.Fatalf("VaryingMembers = %v, want [Joe]", vm)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	d := New("D", false)
+	if _, err := d.Add("", ""); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := d.Add("", "a/b"); err == nil {
+		t.Fatal("name with slash should fail")
+	}
+	d.MustAdd("", "A")
+	if _, err := d.Add("", "A"); err == nil {
+		t.Fatal("duplicate path should fail")
+	}
+	if _, err := d.Add("Missing", "B"); err == nil {
+		t.Fatal("missing parent should fail")
+	}
+}
+
+func TestLeafPromotion(t *testing.T) {
+	d := New("D", false)
+	d.MustAdd("", "A")
+	if d.NumLeaves() != 1 {
+		t.Fatalf("NumLeaves = %d, want 1", d.NumLeaves())
+	}
+	// A was a leaf (and an instance); adding a child promotes it.
+	d.MustAdd("A", "B")
+	if d.NumLeaves() != 1 {
+		t.Fatalf("NumLeaves after promotion = %d, want 1", d.NumLeaves())
+	}
+	if d.Leaf(0).Name != "B" {
+		t.Fatalf("Leaf(0) = %s, want B", d.Leaf(0).Name)
+	}
+	a := d.MustLookup("A")
+	if d.Member(a).LeafOrdinal != -1 {
+		t.Fatal("promoted member should have LeafOrdinal -1")
+	}
+	if got := d.Instances("A"); len(got) != 0 {
+		t.Fatalf("Instances(A) after promotion = %v, want empty", got)
+	}
+}
+
+func TestIsDescendantAndLeafDescendants(t *testing.T) {
+	d := buildOrg(t)
+	fte := d.MustLookup("FTE")
+	joe := d.MustLookup("FTE/Joe")
+	if !d.IsDescendant(joe, fte) {
+		t.Fatal("FTE/Joe should be a descendant of FTE")
+	}
+	if !d.IsDescendant(joe, d.Root()) {
+		t.Fatal("every member is a descendant of the root")
+	}
+	if d.IsDescendant(fte, joe) {
+		t.Fatal("FTE is not a descendant of FTE/Joe")
+	}
+	got := d.LeafDescendants(fte)
+	if len(got) != 3 {
+		t.Fatalf("LeafDescendants(FTE) = %v, want 3 leaves", got)
+	}
+}
+
+func TestHeightLevelsGenerations(t *testing.T) {
+	d := buildTime(t)
+	if h := d.Height(d.Root()); h != 2 {
+		t.Fatalf("Height(root) = %d, want 2", h)
+	}
+	if got := d.LevelMembers(0); len(got) != 12 {
+		t.Fatalf("LevelMembers(0) = %d, want 12", len(got))
+	}
+	if got := d.LevelMembers(1); len(got) != 4 {
+		t.Fatalf("LevelMembers(1) = %d, want 4 quarters", len(got))
+	}
+	if got := d.GenerationMembers(1); len(got) != 4 {
+		t.Fatalf("GenerationMembers(1) = %d, want 4 quarters", len(got))
+	}
+	if got := d.GenerationMembers(2); len(got) != 12 {
+		t.Fatalf("GenerationMembers(2) = %d, want 12 months", len(got))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := buildOrg(t)
+	c := d.Clone()
+	c.MustAdd("FTE", "NewGuy")
+	if _, err := d.Lookup("FTE/NewGuy"); err == nil {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if d.NumLeaves() == c.NumLeaves() {
+		t.Fatal("leaf counts should differ after clone mutation")
+	}
+}
+
+func TestBindingValidityAndInstanceAt(t *testing.T) {
+	org := buildOrg(t)
+	tim := buildTime(t)
+	b := NewBinding(org, tim)
+	// Paper §2: VS(FTE/Joe) = {Jan}, VS(PTE/Joe) = {Feb},
+	// VS(Contractor/Joe) = Mar onwards except May.
+	b.SetVS(org.MustLookup("FTE/Joe"), 0)
+	b.SetVS(org.MustLookup("PTE/Joe"), 1)
+	b.SetVS(org.MustLookup("Contractor/Joe"), 2, 3, 5, 6, 7, 8, 9, 10, 11)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := b.InstanceAt("Joe", 0); org.Path(got) != "FTE/Joe" {
+		t.Fatalf("InstanceAt(Joe, Jan) = %s", org.Path(got))
+	}
+	if got := b.InstanceAt("Joe", 4); got != None {
+		t.Fatalf("InstanceAt(Joe, May) = %v, want None (vacation)", got)
+	}
+	if got := b.InstanceAt("Joe", 7); org.Path(got) != "Contractor/Joe" {
+		t.Fatalf("InstanceAt(Joe, Aug) = %s", org.Path(got))
+	}
+	// Non-varying member is valid everywhere by default.
+	jane := org.MustLookup("Jane")
+	if vs := b.ValiditySet(jane); vs.Len() != 12 {
+		t.Fatalf("default VS len = %d, want 12", vs.Len())
+	}
+}
+
+func TestBindingValidateOverlap(t *testing.T) {
+	org := buildOrg(t)
+	tim := buildTime(t)
+	b := NewBinding(org, tim)
+	b.SetVS(org.MustLookup("FTE/Joe"), 0, 1)
+	b.SetVS(org.MustLookup("PTE/Joe"), 1, 2) // overlaps at Feb
+	b.SetVS(org.MustLookup("Contractor/Joe"), 3)
+	if err := b.Validate(); err == nil {
+		t.Fatal("overlapping validity sets should fail validation")
+	}
+}
+
+func TestBindingClone(t *testing.T) {
+	org := buildOrg(t)
+	tim := buildTime(t)
+	b := NewBinding(org, tim)
+	b.SetVS(org.MustLookup("FTE/Joe"), 0)
+	org2, tim2 := org.Clone(), tim.Clone()
+	c := b.Clone(org2, tim2)
+	c.VS[org2.MustLookup("FTE/Joe")].Add(5)
+	if b.ValiditySet(org.MustLookup("FTE/Joe")).Contains(5) {
+		t.Fatal("binding clone mutation leaked")
+	}
+}
+
+// Property: leaf ordinals are always a dense permutation 0..NumLeaves-1
+// and every non-leaf member has ordinal -1, under random hierarchy
+// construction.
+func TestQuickLeafOrdinalsDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := New("R", false)
+		paths := []string{""}
+		for i := 0; i < 40; i++ {
+			parent := paths[r.Intn(len(paths))]
+			name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+			if _, err := d.Add(parent, name); err != nil {
+				continue
+			}
+			p := name
+			if parent != "" {
+				p = parent + "/" + name
+			}
+			paths = append(paths, p)
+		}
+		seen := make([]bool, d.NumLeaves())
+		for id := MemberID(0); int(id) < d.NumMembers(); id++ {
+			m := d.Member(id)
+			if m.IsLeaf() && m.Parent != None {
+				if m.LeafOrdinal < 0 || m.LeafOrdinal >= d.NumLeaves() || seen[m.LeafOrdinal] {
+					return false
+				}
+				seen[m.LeafOrdinal] = true
+			} else if m.LeafOrdinal != -1 {
+				return false
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Path and byPath lookup are mutually inverse.
+func TestQuickPathRoundTrip(t *testing.T) {
+	d := buildOrg(t)
+	for id := MemberID(1); int(id) < d.NumMembers(); id++ {
+		p := d.Path(id)
+		got, err := d.Lookup(p)
+		if err != nil || got != id {
+			t.Fatalf("Lookup(Path(%d)=%q) = %v, %v", id, p, got, err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whatifolap/internal/chunk"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+)
+
+// TestQuickLatticeMatchesRuleEngine cross-validates the two aggregation
+// substrates: the simultaneous lattice computation and the rule
+// engine's hierarchy rollup must agree on every group-by cell of flat
+// (single-level) dimensions.
+func TestQuickLatticeMatchesRuleEngine(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		extents := []int{2 + r.Intn(5), 2 + r.Intn(5), 2 + r.Intn(4)}
+		dims := make([]*dimension.Dimension, 3)
+		for i := range dims {
+			d := dimension.New(string(rune('A'+i)), false)
+			for j := 0; j < extents[i]; j++ {
+				d.MustAdd("", string(rune('a'+i))+string(rune('0'+j)))
+			}
+			dims[i] = d
+		}
+		g, err := chunk.NewGeometry(extents, []int{2, 2, 2})
+		if err != nil {
+			return false
+		}
+		st := chunk.NewStore(g)
+		c := cube.NewWithStore(st, dims...)
+		for i := 0; i < 80; i++ {
+			c.SetLeaf([]int{r.Intn(extents[0]), r.Intn(extents[1]), r.Intn(extents[2])},
+				float64(1+r.Intn(9)))
+		}
+		plan, err := BuildMMST(g, []int{0, 1, 2})
+		if err != nil {
+			return false
+		}
+		results, _, err := Compute(st, plan, 0)
+		if err != nil {
+			return false
+		}
+		// Compare every cell of every group-by against the rule engine
+		// evaluating the same cell with root members in dropped dims.
+		for m, res := range results {
+			dimsOf := m.DimsOf(3)
+			coords := make([]int, len(dimsOf))
+			var walk func(k int) bool
+			walk = func(k int) bool {
+				if k == len(dimsOf) {
+					ids := []dimension.MemberID{dims[0].Root(), dims[1].Root(), dims[2].Root()}
+					for kk, d := range dimsOf {
+						ids[d] = dims[d].Leaf(coords[kk]).ID
+					}
+					want, err := c.Rules().EvalCell(c, c, ids)
+					if err != nil {
+						return false
+					}
+					got := res.Get(coords...)
+					if math.IsNaN(want) != math.IsNaN(got) {
+						return false
+					}
+					return math.IsNaN(want) || math.Abs(want-got) < 1e-9
+				}
+				for coords[k] = 0; coords[k] < res.Extents[k]; coords[k]++ {
+					if !walk(k + 1) {
+						return false
+					}
+				}
+				return true
+			}
+			if !walk(0) {
+				t.Logf("seed %d: group-by %v disagrees with rule engine", seed, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package lattice implements the simultaneous multidimensional
+// aggregation algorithm of Zhao, Deshpande and Naughton (SIGMOD'97),
+// which the paper's perspective-cube evaluation builds on (§5): the
+// group-by lattice over a chunked array, the per-group-by memory rule
+// for a given chunk read order, the minimum memory spanning tree (MMST),
+// and budget-driven multi-pass computation.
+//
+// A group-by is identified by a bitmask over dimensions: bit d set means
+// dimension d is retained; cleared dimensions are aggregated away with
+// sum (the paper's default rollup).
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"whatifolap/internal/chunk"
+)
+
+// Mask identifies a group-by: bit d set retains dimension d.
+type Mask uint32
+
+// DimsOf returns the retained dimensions in ascending order.
+func (m Mask) DimsOf(n int) []int {
+	var out []int
+	for d := 0; d < n; d++ {
+		if m&(1<<uint(d)) != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Has reports whether dimension d is retained.
+func (m Mask) Has(d int) bool { return m&(1<<uint(d)) != 0 }
+
+// String renders the mask as a dimension list, e.g. "{0,2}".
+func (m Mask) String() string {
+	s := "{"
+	first := true
+	for d := 0; d < 32; d++ {
+		if m.Has(d) {
+			if !first {
+				s += ","
+			}
+			first = false
+			s += fmt.Sprint(d)
+		}
+	}
+	return s + "}"
+}
+
+// Node is one group-by in the MMST.
+type Node struct {
+	Mask Mask
+	// Parent is the MMST parent (a superset with exactly one more
+	// dimension); the full mask (base array) is its own parent.
+	Parent Mask
+	// MemChunks is the number of result chunks of this group-by that
+	// must be resident while it is computed from Parent with the plan's
+	// read order (the Zhao et al. memory rule).
+	MemChunks int
+	// MemBytes is MemChunks times the byte size of one result chunk.
+	MemBytes int
+}
+
+// Plan is an MMST over the full group-by lattice for one chunk geometry
+// and read order.
+type Plan struct {
+	Geom  *chunk.Geometry
+	Order []int // read order; Order[0] varies fastest
+	Nodes map[Mask]*Node
+	Full  Mask // the base array's mask (all dimensions)
+}
+
+// memChunks applies the Zhao et al. rule: scanning parent P's chunks in
+// the read order, the child G = P minus dimension m needs one result
+// chunk for every combination of G's dimensions that precede m in the
+// read order.
+//
+// In the paper's Fig. 6 example (order ABC, 4 chunks per dimension):
+// BC needs 1 chunk, AC needs 4, AB needs 16.
+func memChunks(g *chunk.Geometry, order []int, child Mask, missing int) int {
+	mem := 1
+	for _, d := range order {
+		if d == missing {
+			break
+		}
+		if child.Has(d) {
+			mem *= g.ChunksPerDim(d)
+		}
+	}
+	return mem
+}
+
+// chunkBytes returns the byte size of one result chunk of the group-by.
+func chunkBytes(g *chunk.Geometry, m Mask) int {
+	n := 1
+	for d := 0; d < g.NumDims(); d++ {
+		if m.Has(d) {
+			n *= g.ChunkDims[d]
+		}
+	}
+	return 8 * n
+}
+
+// BuildMMST constructs the minimum memory spanning tree for the given
+// geometry and read order: every group-by picks the parent (superset
+// with one extra dimension) minimizing its memory requirement, ties
+// broken toward the smaller parent array.
+func BuildMMST(g *chunk.Geometry, order []int) (*Plan, error) {
+	n := g.NumDims()
+	if n > 20 {
+		return nil, fmt.Errorf("lattice: %d dimensions exceed the 20-dimension lattice limit", n)
+	}
+	if _, err := g.EnumerateOrder(order); err != nil {
+		return nil, err
+	}
+	full := Mask(1<<uint(n)) - 1
+	p := &Plan{Geom: g, Order: append([]int(nil), order...), Nodes: make(map[Mask]*Node), Full: full}
+	p.Nodes[full] = &Node{Mask: full, Parent: full}
+	arraySize := func(m Mask) int {
+		sz := 1
+		for d := 0; d < n; d++ {
+			if m.Has(d) {
+				sz *= g.Extents[d]
+			}
+		}
+		return sz
+	}
+	// Walk masks from largest popcount down so parents exist first.
+	masks := make([]Mask, 0, 1<<uint(n))
+	for m := Mask(0); m < full; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		return bits.OnesCount32(uint32(masks[i])) > bits.OnesCount32(uint32(masks[j]))
+	})
+	for _, m := range masks {
+		bestMem, bestBytes := -1, 0
+		var bestParent Mask
+		for d := 0; d < n; d++ {
+			if m.Has(d) {
+				continue
+			}
+			parent := m | Mask(1<<uint(d))
+			mem := memChunks(g, order, m, d)
+			switch {
+			case bestMem < 0, mem < bestMem,
+				mem == bestMem && arraySize(parent) < arraySize(bestParent):
+				bestMem, bestParent = mem, parent
+				bestBytes = mem * chunkBytes(g, m)
+			}
+		}
+		p.Nodes[m] = &Node{Mask: m, Parent: bestParent, MemChunks: bestMem, MemBytes: bestBytes}
+	}
+	return p, nil
+}
+
+// TotalMemBytes returns the summed memory requirement of all group-bys
+// directly fed by the base array, i.e. what a single pass needs.
+func (p *Plan) TotalMemBytes() int {
+	total := 0
+	for _, nd := range p.Nodes {
+		if nd.Mask != p.Full && nd.Parent == p.Full {
+			total += nd.MemBytes
+		}
+	}
+	return total
+}
+
+// Children returns the MMST children of a node, sorted by mask.
+func (p *Plan) Children(m Mask) []Mask {
+	var out []Mask
+	for _, nd := range p.Nodes {
+		if nd.Parent == m && nd.Mask != m {
+			out = append(out, nd.Mask)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Result is one computed group-by: a dense row-major array over the
+// retained dimensions' full extents, with NaN for empty cells.
+type Result struct {
+	Mask    Mask
+	Dims    []int
+	Extents []int
+	Data    []float64
+}
+
+func newResult(g *chunk.Geometry, m Mask) *Result {
+	dims := m.DimsOf(g.NumDims())
+	r := &Result{Mask: m, Dims: dims}
+	size := 1
+	for _, d := range dims {
+		r.Extents = append(r.Extents, g.Extents[d])
+		size *= g.Extents[d]
+	}
+	r.Data = make([]float64, size)
+	for i := range r.Data {
+		r.Data[i] = math.NaN()
+	}
+	return r
+}
+
+// index linearizes a full cell address onto the result's retained dims.
+func (r *Result) index(addr []int) int {
+	idx := 0
+	for k, d := range r.Dims {
+		idx = idx*r.Extents[k] + addr[d]
+	}
+	return idx
+}
+
+// Get returns the aggregate for the given coordinates over the retained
+// dimensions (in ascending dimension order).
+func (r *Result) Get(coords ...int) float64 {
+	if len(coords) != len(r.Dims) {
+		panic(fmt.Sprintf("lattice: result %v takes %d coords, got %d", r.Mask, len(r.Dims), len(coords)))
+	}
+	idx := 0
+	for k, c := range coords {
+		if c < 0 || c >= r.Extents[k] {
+			panic(fmt.Sprintf("lattice: coord %d out of extent %d", c, r.Extents[k]))
+		}
+		idx = idx*r.Extents[k] + c
+	}
+	return r.Data[idx]
+}
+
+func (r *Result) add(addr []int, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := r.index(addr)
+	if math.IsNaN(r.Data[i]) {
+		r.Data[i] = v
+		return
+	}
+	r.Data[i] += v
+}
+
+// Stats reports how a Compute call executed.
+type Stats struct {
+	// Passes is the number of scans over the base array.
+	Passes int
+	// BaseChunkReads counts chunk reads of the base array.
+	BaseChunkReads int
+	// PeakMemBytes is the planned peak memory of concurrently computed
+	// first-level group-bys (per the MMST rule), maximized over passes.
+	PeakMemBytes int
+}
+
+// Compute evaluates every group-by of the lattice with sum aggregation.
+// First-level group-bys (those the MMST attaches directly to the base
+// array) are computed by scanning the base chunks in the plan's read
+// order; if their combined memory requirement exceeds memBudgetBytes,
+// they are greedily packed into multiple passes (Zhao et al.'s
+// multi-pass organization). Deeper group-bys are then computed from
+// their materialized MMST parents. A budget of 0 means unlimited.
+func Compute(store *chunk.Store, p *Plan, memBudgetBytes int) (map[Mask]*Result, Stats, error) {
+	if store.Geometry() != p.Geom {
+		return nil, Stats{}, fmt.Errorf("lattice: store geometry differs from plan geometry")
+	}
+	g := p.Geom
+	results := make(map[Mask]*Result)
+
+	// Pack the base's children into passes under the budget.
+	level1 := p.Children(p.Full)
+	var passes [][]Mask
+	var cur []Mask
+	curBytes := 0
+	for _, m := range level1 {
+		nb := p.Nodes[m].MemBytes
+		if memBudgetBytes > 0 && curBytes+nb > memBudgetBytes && len(cur) > 0 {
+			passes = append(passes, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, m)
+		curBytes += nb
+	}
+	if len(cur) > 0 {
+		passes = append(passes, cur)
+	}
+	stats := Stats{Passes: len(passes)}
+
+	seq, err := g.EnumerateOrder(p.Order)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	addr := make([]int, g.NumDims())
+	for _, targets := range passes {
+		passBytes := 0
+		for _, m := range targets {
+			results[m] = newResult(g, m)
+			passBytes += p.Nodes[m].MemBytes
+		}
+		if passBytes > stats.PeakMemBytes {
+			stats.PeakMemBytes = passBytes
+		}
+		for _, cc := range seq {
+			ch := store.ReadChunk(g.CanonicalID(cc))
+			stats.BaseChunkReads++
+			if ch == nil {
+				continue
+			}
+			ch.ForEach(func(off int, v float64) bool {
+				g.Join(cc, off, addr)
+				for _, m := range targets {
+					results[m].add(addr, v)
+				}
+				return true
+			})
+		}
+	}
+
+	// Deeper levels: compute each group-by from its materialized parent.
+	// Process by descending popcount so parents are always ready.
+	rest := make([]Mask, 0, len(p.Nodes))
+	for m := range p.Nodes {
+		if m == p.Full {
+			continue
+		}
+		if _, done := results[m]; !done {
+			rest = append(rest, m)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		pi, pj := bits.OnesCount32(uint32(rest[i])), bits.OnesCount32(uint32(rest[j]))
+		if pi != pj {
+			return pi > pj
+		}
+		return rest[i] < rest[j]
+	})
+	for _, m := range rest {
+		parent := results[p.Nodes[m].Parent]
+		if parent == nil {
+			return nil, Stats{}, fmt.Errorf("lattice: parent %v of %v not materialized", p.Nodes[m].Parent, m)
+		}
+		r := newResult(g, m)
+		// Scan the parent array; project onto the child's dims.
+		pAddr := make([]int, g.NumDims())
+		for i, v := range parent.Data {
+			if math.IsNaN(v) {
+				continue
+			}
+			// Decode parent's linear index into a full address with
+			// zeros in dropped dims.
+			rem := i
+			for k := len(parent.Dims) - 1; k >= 0; k-- {
+				pAddr[parent.Dims[k]] = rem % parent.Extents[k]
+				rem /= parent.Extents[k]
+			}
+			r.add(pAddr, v)
+		}
+		results[m] = r
+	}
+	return results, stats, nil
+}

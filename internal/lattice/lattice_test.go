@@ -1,0 +1,292 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whatifolap/internal/chunk"
+)
+
+// fig6Geometry is the paper's Fig. 6 array: 3 dimensions, 4 chunks each.
+func fig6Geometry() *chunk.Geometry {
+	return chunk.MustGeometry([]int{16, 16, 16}, []int{4, 4, 4})
+}
+
+// TestZhaoMemoryRule checks the memory requirements the paper quotes for
+// Fig. 6 with read order ABC: "for any BC group-by, we just need enough
+// memory to hold one chunk ... we need to allocate 4 chunks for any AC
+// group-by ... 16 chunks for any AB group-by."
+func TestZhaoMemoryRule(t *testing.T) {
+	g := fig6Geometry()
+	p, err := BuildMMST(g, []int{0, 1, 2}) // A fastest
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		bc = Mask(0b110) // B and C retained, A aggregated
+		ac = Mask(0b101)
+		ab = Mask(0b011)
+	)
+	if got := p.Nodes[bc].MemChunks; got != 1 {
+		t.Errorf("mem(BC) = %d chunks, want 1", got)
+	}
+	if got := p.Nodes[ac].MemChunks; got != 4 {
+		t.Errorf("mem(AC) = %d chunks, want 4", got)
+	}
+	if got := p.Nodes[ab].MemChunks; got != 16 {
+		t.Errorf("mem(AB) = %d chunks, want 16", got)
+	}
+	// All three first-level group-bys hang off the base in the MMST.
+	for _, m := range []Mask{bc, ac, ab} {
+		if p.Nodes[m].Parent != p.Full {
+			t.Errorf("parent of %v = %v, want full", m, p.Nodes[m].Parent)
+		}
+	}
+}
+
+// TestDimensionOrderReducesMemory reflects the basis of the paper's
+// Lemma 5.1: an order whose first (fastest) dimension is D makes
+// group-bys retaining D cheap. Reading in increasing cardinality order
+// reduces total memory (Zhao et al.'s rule of thumb).
+func TestDimensionOrderReducesMemory(t *testing.T) {
+	g := chunk.MustGeometry([]int{4, 16, 64}, []int{2, 4, 8})
+	small, err := BuildMMST(g, []int{0, 1, 2}) // smallest cardinality first
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := BuildMMST(g, []int{2, 1, 0}) // largest first
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TotalMemBytes() >= large.TotalMemBytes() {
+		t.Fatalf("increasing-cardinality order should need less memory: %d vs %d",
+			small.TotalMemBytes(), large.TotalMemBytes())
+	}
+}
+
+func TestBuildMMSTErrors(t *testing.T) {
+	g := fig6Geometry()
+	if _, err := BuildMMST(g, []int{0, 1}); err == nil {
+		t.Fatal("bad order should fail")
+	}
+	if _, err := BuildMMST(g, []int{0, 0, 1}); err == nil {
+		t.Fatal("non-permutation should fail")
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	m := Mask(0b101)
+	if !m.Has(0) || m.Has(1) || !m.Has(2) {
+		t.Fatal("Has mismatch")
+	}
+	dims := m.DimsOf(3)
+	if len(dims) != 2 || dims[0] != 0 || dims[1] != 2 {
+		t.Fatalf("DimsOf = %v", dims)
+	}
+	if m.String() != "{0,2}" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+// fillRandom populates a store with deterministic pseudo-random data and
+// returns a dense reference array.
+func fillRandom(t testing.TB, g *chunk.Geometry, seed int64, density float64) (*chunk.Store, map[[3]int]float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	st := chunk.NewStore(g)
+	ref := map[[3]int]float64{}
+	for a := 0; a < g.Extents[0]; a++ {
+		for b := 0; b < g.Extents[1]; b++ {
+			for c := 0; c < g.Extents[2]; c++ {
+				if r.Float64() < density {
+					v := float64(1 + r.Intn(9))
+					st.Set([]int{a, b, c}, v)
+					ref[[3]int{a, b, c}] = v
+				}
+			}
+		}
+	}
+	return st, ref
+}
+
+func TestComputeMatchesNaiveAggregation(t *testing.T) {
+	g := chunk.MustGeometry([]int{8, 6, 10}, []int{3, 2, 4})
+	st, ref := fillRandom(t, g, 42, 0.3)
+	p, err := BuildMMST(g, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := Compute(st, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Passes != 1 {
+		t.Fatalf("unlimited budget should take 1 pass, got %d", stats.Passes)
+	}
+	// Check every group-by against naive re-aggregation.
+	for m, res := range results {
+		naive := map[int]float64{}
+		for a, v := range ref {
+			idx := 0
+			for k, d := range res.Dims {
+				idx = idx*res.Extents[k] + a[d]
+			}
+			naive[idx] += v
+		}
+		for idx, want := range naive {
+			if got := res.Data[idx]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("group-by %v cell %d = %v, want %v", m, idx, got, want)
+			}
+		}
+		// Empty cells stay NaN.
+		for idx, v := range res.Data {
+			if _, ok := naive[idx]; !ok && !math.IsNaN(v) {
+				t.Fatalf("group-by %v cell %d = %v, want NaN", m, idx, v)
+			}
+		}
+	}
+	// The grand total (empty mask) is a single number.
+	grand := results[0]
+	if len(grand.Data) != 1 {
+		t.Fatalf("grand total has %d cells", len(grand.Data))
+	}
+	sum := 0.0
+	for _, v := range ref {
+		sum += v
+	}
+	if math.Abs(grand.Data[0]-sum) > 1e-9 {
+		t.Fatalf("grand total = %v, want %v", grand.Data[0], sum)
+	}
+}
+
+func TestComputeMultiPassMatchesSinglePass(t *testing.T) {
+	g := chunk.MustGeometry([]int{8, 6, 10}, []int{3, 2, 4})
+	st, _ := fillRandom(t, g, 7, 0.4)
+	p, err := BuildMMST(g, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, s1, err := Compute(st, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny budget forces one pass per first-level group-by.
+	multi, s2, err := Compute(st, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Passes <= s1.Passes {
+		t.Fatalf("tiny budget should force multiple passes: %d vs %d", s2.Passes, s1.Passes)
+	}
+	if s2.PeakMemBytes >= s1.PeakMemBytes {
+		t.Fatalf("multi-pass peak memory %d should be below single-pass %d", s2.PeakMemBytes, s1.PeakMemBytes)
+	}
+	for m, a := range one {
+		b := multi[m]
+		for i := range a.Data {
+			an, bn := math.IsNaN(a.Data[i]), math.IsNaN(b.Data[i])
+			if an != bn || (!an && math.Abs(a.Data[i]-b.Data[i]) > 1e-9) {
+				t.Fatalf("group-by %v differs between single- and multi-pass at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestResultGet(t *testing.T) {
+	g := chunk.MustGeometry([]int{4, 4, 4}, []int{2, 2, 2})
+	st := chunk.NewStore(g)
+	st.Set([]int{1, 2, 3}, 5)
+	st.Set([]int{1, 0, 3}, 7)
+	p, _ := BuildMMST(g, []int{0, 1, 2})
+	results, _, err := Compute(st, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group-by {0,2}: sum over dim 1.
+	r := results[Mask(0b101)]
+	if got := r.Get(1, 3); got != 12 {
+		t.Fatalf("Get(1,3) = %v, want 12", got)
+	}
+	if !math.IsNaN(r.Get(0, 0)) {
+		t.Fatal("empty aggregate should be NaN")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong coord arity should panic")
+			}
+		}()
+		r.Get(1)
+	}()
+}
+
+// Property: for random small cubes, every unary group-by (single
+// retained dim) equals the naive per-slice sums, under random geometry
+// and read order.
+func TestQuickUnaryGroupBys(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, err := chunk.NewGeometry(
+			[]int{2 + r.Intn(6), 2 + r.Intn(6), 2 + r.Intn(6)},
+			[]int{1 + r.Intn(3), 1 + r.Intn(3), 1 + r.Intn(3)})
+		if err != nil {
+			return false
+		}
+		perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		order := perms[r.Intn(len(perms))]
+		st := chunk.NewStore(g)
+		ref := map[[3]int]float64{}
+		for i := 0; i < 100; i++ {
+			a := [3]int{r.Intn(g.Extents[0]), r.Intn(g.Extents[1]), r.Intn(g.Extents[2])}
+			v := float64(1 + r.Intn(5))
+			st.Set(a[:], v)
+			ref[a] = v
+		}
+		p, err := BuildMMST(g, order)
+		if err != nil {
+			return false
+		}
+		results, _, err := Compute(st, p, 0)
+		if err != nil {
+			return false
+		}
+		for d := 0; d < 3; d++ {
+			res := results[Mask(1<<uint(d))]
+			sums := make([]float64, g.Extents[d])
+			for a, v := range ref {
+				sums[a[d]] += v
+			}
+			for i, want := range sums {
+				got := res.Data[i]
+				if want == 0 {
+					if !math.IsNaN(got) {
+						return false
+					}
+				} else if math.Abs(got-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkComputeFig6(b *testing.B) {
+	g := fig6Geometry()
+	st, _ := fillRandom(b, g, 1, 0.5)
+	p, err := BuildMMST(g, []int{0, 1, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compute(st, p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package lattice
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"whatifolap/internal/chunk"
+)
+
+// This file implements the paper's second future-work item (§8):
+// "workload aware view selection (a la [7])" — the greedy view-
+// materialization algorithm of Harinarayan, Rajaraman and Ullman
+// (SIGMOD'96) over the group-by lattice, weighted by per-view query
+// frequencies.
+//
+// Under the linear cost model, answering a query at view v costs the
+// size of the smallest materialized ancestor (superset) of v. The base
+// view (all dimensions) is always materialized; GreedySelect picks k
+// further views, each maximizing the total weighted benefit, which is
+// within (e−1)/e of optimal (HRU Theorem 1).
+
+// EstimateSizes returns the standard cardinality estimate for every
+// group-by: min(∏ extents of retained dims, baseCells), where baseCells
+// is the number of non-empty cells in the base data.
+func EstimateSizes(g *chunk.Geometry, baseCells int) map[Mask]float64 {
+	n := g.NumDims()
+	full := Mask(1<<uint(n)) - 1
+	sizes := make(map[Mask]float64, 1<<uint(n))
+	for m := Mask(0); m <= full; m++ {
+		size := 1.0
+		for d := 0; d < n; d++ {
+			if m.Has(d) {
+				size *= float64(g.Extents[d])
+			}
+		}
+		if size > float64(baseCells) {
+			size = float64(baseCells)
+		}
+		sizes[m] = size
+	}
+	return sizes
+}
+
+// Selection is the result of greedy view selection.
+type Selection struct {
+	// Views are the selected views in pick order (excluding the always-
+	// materialized base view).
+	Views []Mask
+	// Benefits[i] is the weighted benefit of picking Views[i], in the
+	// state where Views[:i] were already materialized. Benefits are
+	// non-increasing (submodularity).
+	Benefits []float64
+	// CostBefore/CostAfter are the total weighted query costs with only
+	// the base view and with the full selection.
+	CostBefore, CostAfter float64
+}
+
+// GreedySelect runs HRU greedy selection: sizes maps every view of the
+// lattice (with top element full) to its estimated size; k is the
+// number of views to materialize beyond the base; freq optionally
+// weights views by query frequency (nil = uniform). Views with zero
+// frequency still reduce cost for their descendants.
+func GreedySelect(sizes map[Mask]float64, full Mask, k int, freq map[Mask]float64) (Selection, error) {
+	if _, ok := sizes[full]; !ok {
+		return Selection{}, fmt.Errorf("lattice: sizes lack the base view %v", full)
+	}
+	views := make([]Mask, 0, len(sizes))
+	for m := range sizes {
+		if m&^full != 0 {
+			return Selection{}, fmt.Errorf("lattice: view %v outside lattice of %v", m, full)
+		}
+		views = append(views, m)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+	weight := func(m Mask) float64 {
+		if freq == nil {
+			return 1
+		}
+		return freq[m]
+	}
+
+	// cost[m] = size of the cheapest materialized ancestor.
+	cost := make(map[Mask]float64, len(views))
+	for _, m := range views {
+		cost[m] = sizes[full]
+	}
+	cost[full] = sizes[full]
+
+	totalCost := func() float64 {
+		t := 0.0
+		for _, m := range views {
+			t += weight(m) * cost[m]
+		}
+		return t
+	}
+
+	sel := Selection{CostBefore: totalCost()}
+	materialized := map[Mask]bool{full: true}
+	for pick := 0; pick < k; pick++ {
+		bestBenefit := 0.0
+		bestView := full
+		found := false
+		for _, v := range views {
+			if materialized[v] {
+				continue
+			}
+			benefit := 0.0
+			for _, w := range views {
+				// w can be answered from v iff v ⊇ w.
+				if w&v == w && cost[w] > sizes[v] {
+					benefit += weight(w) * (cost[w] - sizes[v])
+				}
+			}
+			if !found || benefit > bestBenefit ||
+				(benefit == bestBenefit && betterTie(v, bestView, sizes)) {
+				bestBenefit, bestView, found = benefit, v, true
+			}
+		}
+		if !found || bestBenefit <= 0 {
+			break // no remaining view helps
+		}
+		materialized[bestView] = true
+		sel.Views = append(sel.Views, bestView)
+		sel.Benefits = append(sel.Benefits, bestBenefit)
+		for _, w := range views {
+			if w&bestView == w && sizes[bestView] < cost[w] {
+				cost[w] = sizes[bestView]
+			}
+		}
+	}
+	sel.CostAfter = totalCost()
+	return sel, nil
+}
+
+// betterTie prefers the smaller view, then the smaller mask, for
+// deterministic output.
+func betterTie(a, b Mask, sizes map[Mask]float64) bool {
+	if sizes[a] != sizes[b] {
+		return sizes[a] < sizes[b]
+	}
+	if bits.OnesCount32(uint32(a)) != bits.OnesCount32(uint32(b)) {
+		return bits.OnesCount32(uint32(a)) < bits.OnesCount32(uint32(b))
+	}
+	return a < b
+}
+
+// AnswerCost returns the weighted total cost of the workload given a
+// set of materialized views (the base view is implicit).
+func AnswerCost(sizes map[Mask]float64, full Mask, materialized []Mask, freq map[Mask]float64) float64 {
+	weight := func(m Mask) float64 {
+		if freq == nil {
+			return 1
+		}
+		return freq[m]
+	}
+	total := 0.0
+	for m := range sizes {
+		best := sizes[full]
+		for _, v := range append(materialized, full) {
+			if m&v == m && sizes[v] < best {
+				best = sizes[v]
+			}
+		}
+		total += weight(m) * best
+	}
+	return total
+}

@@ -1,0 +1,224 @@
+package mdx
+
+import (
+	"strings"
+
+	"whatifolap/internal/perspective"
+)
+
+// Query is a parsed extended-MDX query.
+type Query struct {
+	// Perspectives are the negative-scenario prefixes, at most one per
+	// varying dimension (the paper's §2: "a cube may have several
+	// varying dimensions, each depending on one or more parameters").
+	// Clauses apply left to right.
+	Perspectives []*PerspectiveClause
+	// Changes is the positive-scenario prefix, or nil. A query may carry
+	// both (the paper: "a query can have both positive and negative
+	// scenarios"); changes are applied first, then perspectives.
+	Changes *ChangesClause
+	// Transfers are data-driven scenario prefixes (the paper's §1
+	// salary-reallocation example), applied before everything else.
+	Transfers []*TransferClause
+	// Axes in declaration order; axis 0 is COLUMNS, axis 1 is ROWS.
+	Axes []Axis
+	// From is the [App].[Db] cube reference (informational; the
+	// evaluator is bound to a cube).
+	From []string
+	// Where is the slicer tuple, possibly empty.
+	Where []*MemberExpr
+	// DimProperties lists DIMENSION PROPERTIES names requested on rows.
+	DimProperties []string
+}
+
+// PerspectiveClause is "WITH PERSPECTIVE {(p1), …} FOR <dim> <semantics>
+// [<mode>]".
+type PerspectiveClause struct {
+	// Points are the perspective members (parameter-dimension leaves).
+	Points []*MemberExpr
+	// Varying names the varying dimension whose changes the
+	// perspectives negate.
+	Varying string
+	Sem     perspective.Semantics
+	Mode    perspective.Mode
+}
+
+// TransferClause is this implementation's extended-MDX surface for the
+// paper's data-driven scenarios:
+//
+//	WITH TRANSFER 0.10 FROM [NY] TO [MA] FOR ([PTE], [Qtr1], [Salary])
+//
+// reads: reallocate 10% of every cell under the FOR scope from NY to
+// MA. The FOR tuple is optional (no scope = all cells of the source).
+type TransferClause struct {
+	Fraction float64
+	From, To *MemberExpr
+	Scope    []*MemberExpr
+}
+
+// ChangesClause is "WITH CHANGES {(m, o, n, t), …} [<mode>]".
+type ChangesClause struct {
+	Rows []*ChangeRow
+	Mode perspective.Mode
+}
+
+// ChangeRow is one tuple of the change relation R(m, o, n, t). Member
+// may be a set expression ("[FTE].Children applies the change to all
+// children of FTE").
+type ChangeRow struct {
+	Member SetExpr
+	Old    *MemberExpr
+	New    *MemberExpr
+	At     *MemberExpr
+}
+
+// Axis is one projection axis of the result grid.
+type Axis struct {
+	Set  SetExpr
+	Name string // COLUMNS or ROWS
+	// NonEmpty drops tuples whose entire row/column is ⊥ (the MDX
+	// "NON EMPTY" axis prefix).
+	NonEmpty bool
+}
+
+// SetExpr is a set-valued expression: it evaluates to an ordered list of
+// member tuples.
+type SetExpr interface {
+	setNode()
+	String() string
+}
+
+// SetLiteral is "{e1, e2, …}": the concatenation of its elements.
+type SetLiteral struct{ Elems []SetExpr }
+
+// TupleExpr is "(m1, m2, …)": a single tuple combining members from
+// distinct dimensions.
+type TupleExpr struct{ Members []*MemberExpr }
+
+// CrossJoin is "CrossJoin(s1, s2)".
+type CrossJoin struct{ L, R SetExpr }
+
+// Union is "Union(s1, s2)" with MDX's default duplicate removal.
+type Union struct{ L, R SetExpr }
+
+// Head is "Head(s, n)".
+type Head struct {
+	Set SetExpr
+	N   int
+}
+
+// Descendants is "Descendants(m, layer, flag)"; Layer < 0 means "all
+// strict descendants" (two-argument form omitted).
+type Descendants struct {
+	Of    *MemberExpr
+	Layer int
+	Flag  DescFlag
+}
+
+// DescFlag selects which layers Descendants returns.
+type DescFlag int
+
+// Descendants flags (Essbase spellings).
+const (
+	DescSelf         DescFlag = iota // the layer only
+	DescSelfAndAfter                 // the layer and everything below
+	DescAfter                        // strictly below the layer
+)
+
+// MemberExpr references one member, or a member-set via a trailing
+// function: [A].[B], [A].Children, [A].Members, [A].Levels(0).Members.
+type MemberExpr struct {
+	// Parts are the bracketed/ident path segments, e.g.
+	// ["Organization", "FTE", "Joe"].
+	Parts []string
+	// Fn is an optional trailing function: "", "Members", "Children",
+	// or "Levels" (with Level set).
+	Fn    string
+	Level int
+}
+
+func (*SetLiteral) setNode()  {}
+func (*TupleExpr) setNode()   {}
+func (*CrossJoin) setNode()   {}
+func (*Union) setNode()       {}
+func (*Head) setNode()        {}
+func (*Descendants) setNode() {}
+func (*MemberExpr) setNode()  {}
+
+// String renders the expression in MDX syntax.
+func (s *SetLiteral) String() string {
+	parts := make([]string, len(s.Elems))
+	for i, e := range s.Elems {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (t *TupleExpr) String() string {
+	parts := make([]string, len(t.Members))
+	for i, m := range t.Members {
+		parts[i] = m.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (c *CrossJoin) String() string { return "CrossJoin(" + c.L.String() + ", " + c.R.String() + ")" }
+func (u *Union) String() string     { return "Union(" + u.L.String() + ", " + u.R.String() + ")" }
+func (h *Head) String() string {
+	return "Head(" + h.Set.String() + ", " + itoa(h.N) + ")"
+}
+
+func (d *Descendants) String() string {
+	s := "Descendants(" + d.Of.String()
+	if d.Layer >= 0 {
+		s += ", " + itoa(d.Layer)
+		switch d.Flag {
+		case DescSelfAndAfter:
+			s += ", SELF_AND_AFTER"
+		case DescAfter:
+			s += ", AFTER"
+		default:
+			s += ", SELF"
+		}
+	}
+	return s + ")"
+}
+
+func (m *MemberExpr) String() string {
+	parts := make([]string, len(m.Parts))
+	for i, p := range m.Parts {
+		parts[i] = "[" + p + "]"
+	}
+	s := strings.Join(parts, ".")
+	switch m.Fn {
+	case "Members":
+		s += ".Members"
+	case "Children":
+		s += ".Children"
+	case "Levels":
+		s += ".Levels(" + itoa(m.Level) + ").Members"
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

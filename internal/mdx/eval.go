@@ -1,0 +1,786 @@
+package mdx
+
+import (
+	"fmt"
+	"strings"
+
+	"whatifolap/internal/algebra"
+	"whatifolap/internal/chunk"
+	"whatifolap/internal/core"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+	"whatifolap/internal/perspective"
+	"whatifolap/internal/result"
+)
+
+// Coord pins one dimension of a cell to a member.
+type Coord struct {
+	Dim    int
+	Member dimension.MemberID
+}
+
+// Tuple is an ordered list of coordinates from distinct dimensions.
+type Tuple []Coord
+
+// Evaluator runs extended-MDX queries against a cube. Cubes backed by
+// chunked storage get the perspective-cube engine for what-if clauses;
+// other cubes fall back to the algebra operators.
+type Evaluator struct {
+	cube *cube.Cube
+}
+
+// NewEvaluator creates an evaluator bound to a cube.
+func NewEvaluator(c *cube.Cube) *Evaluator { return &Evaluator{cube: c} }
+
+// Run parses and evaluates a query in one call.
+func (ev *Evaluator) Run(src string) (*result.Grid, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ev.RunQuery(q)
+}
+
+// RunQuery evaluates a parsed query into a grid.
+func (ev *Evaluator) RunQuery(q *Query) (*result.Grid, error) {
+	out, mode, stats, err := ev.applyScenarios(q)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ev.project(q, out, mode)
+	if err != nil {
+		return nil, err
+	}
+	_ = stats
+	return g, nil
+}
+
+// RunQueryStats evaluates a parsed query and also returns engine
+// statistics when the engine path executed (zero otherwise). The
+// benchmark harness uses this to report chunk reads and merge work.
+func (ev *Evaluator) RunQueryStats(q *Query) (*result.Grid, core.Stats, error) {
+	out, mode, stats, err := ev.applyScenarios(q)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	g, err := ev.project(q, out, mode)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return g, stats, nil
+}
+
+// Explain describes how the evaluator would execute the query: which
+// path (engine or algebra), the lowered operator plan, and the
+// rewrites the optimizer applies. Nothing is executed.
+func (ev *Evaluator) Explain(q *Query) (string, error) {
+	var b strings.Builder
+	_, chunked := ev.cube.Store().(*chunk.Store)
+	engineChanges := chunked && q.Changes != nil && len(q.Perspectives) == 0 && len(q.Transfers) == 0
+	enginePersp := chunked && len(q.Perspectives) == 1 && q.Changes == nil && len(q.Transfers) == 0
+	switch {
+	case engineChanges:
+		fmt.Fprintf(&b, "path: perspective-cube engine (positive scenario, %d change rows)\n", len(q.Changes.Rows))
+	case enginePersp:
+		pc := q.Perspectives[0]
+		fmt.Fprintf(&b, "path: perspective-cube engine (%v on %s, %d perspectives, %v)\n",
+			pc.Sem, pc.Varying, len(pc.Points), pc.Mode)
+	default:
+		plan, _, err := ev.lowerToPlan(q)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "path: algebra\nplan:      %s\n", plan)
+		opt, rewrites := algebra.Optimize(plan)
+		opt, more := algebra.EliminateFullCover(opt, ev.cube)
+		rewrites = append(rewrites, more...)
+		if len(rewrites) == 0 {
+			b.WriteString("optimizer: no rewrites apply\n")
+		} else {
+			fmt.Fprintf(&b, "optimized: %s\n", opt)
+			for _, rw := range rewrites {
+				fmt.Fprintf(&b, "  %-24s %s\n", rw.Rule+":", rw.Detail)
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+// applyScenarios computes the scenario-transformed cube (the
+// perspective cube) and the evaluation mode for non-leaf cells. Cubes
+// on chunked storage with a single what-if clause run on the
+// perspective-cube engine; everything else lowers to an algebra plan,
+// which is optimized (paper §8's operator-manipulation direction)
+// before execution.
+func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, core.Stats, error) {
+	mode := perspective.NonVisual
+	var stats core.Stats
+	_, chunked := ev.cube.Store().(*chunk.Store)
+
+	// Engine fast paths.
+	if chunked && q.Changes != nil && len(q.Perspectives) == 0 && len(q.Transfers) == 0 {
+		changes, varying, err := ev.resolveChanges(q.Changes)
+		if err != nil {
+			return nil, mode, stats, err
+		}
+		eng, err := core.New(ev.cube, varying)
+		if err != nil {
+			return nil, mode, stats, err
+		}
+		view, err := eng.ExecChanges(core.ChangesQuery{Changes: changes, Mode: q.Changes.Mode})
+		if err != nil {
+			return nil, mode, stats, err
+		}
+		return view.Result(), q.Changes.Mode, view.Stats, nil
+	}
+	if chunked && len(q.Perspectives) == 1 && q.Changes == nil && len(q.Transfers) == 0 {
+		pc := q.Perspectives[0]
+		b := ev.cube.BindingFor(pc.Varying)
+		if b == nil {
+			return nil, mode, stats, fmt.Errorf("mdx: dimension %q has no varying binding", pc.Varying)
+		}
+		points, err := ev.resolvePerspectivePoints(ev.cube, b, pc.Points)
+		if err != nil {
+			return nil, mode, stats, err
+		}
+		eng, err := core.New(ev.cube, pc.Varying)
+		if err != nil {
+			return nil, mode, stats, err
+		}
+		members, err := ev.scopeMembers(q, b)
+		if err != nil {
+			return nil, mode, stats, err
+		}
+		view, err := eng.ExecPerspective(core.PerspectiveQuery{
+			Members:      members,
+			Perspectives: points,
+			Sem:          pc.Sem,
+			Mode:         pc.Mode,
+		})
+		if err != nil {
+			return nil, mode, stats, err
+		}
+		return view.Result(), pc.Mode, view.Stats, nil
+	}
+
+	// Algebra path: lower to a plan, optimize, execute.
+	plan, mode, err := ev.lowerToPlan(q)
+	if err != nil {
+		return nil, mode, stats, err
+	}
+	plan, _ = algebra.Optimize(plan)
+	plan, _ = algebra.EliminateFullCover(plan, ev.cube)
+	outCube, err := algebra.Execute(plan, ev.cube)
+	if err != nil {
+		return nil, mode, stats, err
+	}
+	return outCube, mode, stats, nil
+}
+
+// lowerToPlan translates the query's what-if clauses into an algebra
+// plan (changes innermost, then perspectives — the structure must exist
+// before perspectives are taken over it), returning the evaluation mode
+// of the outermost clause.
+func (ev *Evaluator) lowerToPlan(q *Query) (algebra.Plan, perspective.Mode, error) {
+	var plan algebra.Plan = algebra.PlanInput{}
+	mode := perspective.NonVisual
+	for _, tc := range q.Transfers {
+		tr, err := ev.resolveTransfer(tc)
+		if err != nil {
+			return nil, mode, err
+		}
+		plan = &algebra.PlanTransfer{Transfer: tr, Child: plan}
+	}
+	if q.Changes != nil {
+		changes, varying, err := ev.resolveChanges(q.Changes)
+		if err != nil {
+			return nil, mode, err
+		}
+		plan = &algebra.PlanChanges{Varying: varying, Changes: changes, Child: plan}
+		mode = q.Changes.Mode
+	}
+	for _, pc := range q.Perspectives {
+		b := ev.cube.BindingFor(pc.Varying)
+		if b == nil {
+			return nil, mode, fmt.Errorf("mdx: dimension %q has no varying binding", pc.Varying)
+		}
+		points, err := ev.resolvePerspectivePoints(ev.cube, b, pc.Points)
+		if err != nil {
+			return nil, mode, err
+		}
+		plan = &algebra.PlanPerspective{Varying: pc.Varying, Sem: pc.Sem, Points: points, Child: plan}
+		mode = pc.Mode
+	}
+	return plan, mode, nil
+}
+
+// resolvePerspectivePoints maps perspective member references to leaf
+// ordinals of the binding's parameter dimension.
+func (ev *Evaluator) resolvePerspectivePoints(c *cube.Cube, b *dimension.Binding, points []*MemberExpr) ([]int, error) {
+	out := make([]int, 0, len(points))
+	for _, pt := range points {
+		ref := pt.Parts[len(pt.Parts)-1]
+		id, err := b.Param.Lookup(ref)
+		if err != nil {
+			return nil, fmt.Errorf("mdx: perspective point: %w", err)
+		}
+		m := b.Param.Member(id)
+		if m.LeafOrdinal < 0 {
+			return nil, fmt.Errorf("mdx: perspective point %q is not a leaf of %s", ref, b.Param.Name())
+		}
+		out = append(out, m.LeafOrdinal)
+	}
+	return out, nil
+}
+
+// scopeMembers extracts the varying-dimension base members referenced by
+// the query's axes, to bound the engine's work (paper §6.3). An empty
+// result defers to the engine's default scope.
+func (ev *Evaluator) scopeMembers(q *Query, b *dimension.Binding) ([]string, error) {
+	vi := ev.cube.DimIndex(b.Varying.Name())
+	seen := map[string]bool{}
+	var names []string
+	for _, ax := range q.Axes {
+		tuples, err := ev.evalSet(ev.cube, ax.Set)
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range tuples {
+			for _, co := range tp {
+				if co.Dim != vi {
+					continue
+				}
+				m := b.Varying.Member(co.Member)
+				if m.LeafOrdinal < 0 {
+					// A non-leaf scope member covers all varying
+					// members below it.
+					for _, o := range b.Varying.LeafDescendants(co.Member) {
+						name := b.Varying.Leaf(o).Name
+						if !seen[name] {
+							seen[name] = true
+							names = append(names, name)
+						}
+					}
+					continue
+				}
+				if !seen[m.Name] {
+					seen[m.Name] = true
+					names = append(names, m.Name)
+				}
+			}
+		}
+	}
+	for _, w := range q.Where {
+		dim, id, err := ev.resolveMember(ev.cube, w)
+		if err != nil {
+			return nil, err
+		}
+		if dim == vi {
+			name := b.Varying.Member(id).Name
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	return names, nil
+}
+
+// resolveTransfer maps a TRANSFER clause onto the algebra operator:
+// the dimension is inferred from the FROM member, and each scope member
+// contributes a descendant condition on its own dimension.
+func (ev *Evaluator) resolveTransfer(tc *TransferClause) (algebra.Transfer, error) {
+	fromDim, fromID, err := ev.resolveMember(ev.cube, tc.From)
+	if err != nil {
+		return algebra.Transfer{}, fmt.Errorf("mdx: transfer from: %w", err)
+	}
+	toDim, toID, err := ev.resolveMember(ev.cube, tc.To)
+	if err != nil {
+		return algebra.Transfer{}, fmt.Errorf("mdx: transfer to: %w", err)
+	}
+	if fromDim != toDim {
+		return algebra.Transfer{}, fmt.Errorf("mdx: transfer endpoints span dimensions %s and %s",
+			ev.cube.Dim(fromDim).Name(), ev.cube.Dim(toDim).Name())
+	}
+	d := ev.cube.Dim(fromDim)
+	tr := algebra.Transfer{
+		Dim:      d.Name(),
+		From:     d.Path(fromID),
+		To:       d.Path(toID),
+		Fraction: tc.Fraction,
+	}
+	for _, sm := range tc.Scope {
+		sd, sid, err := ev.resolveMember(ev.cube, sm)
+		if err != nil {
+			return algebra.Transfer{}, fmt.Errorf("mdx: transfer scope: %w", err)
+		}
+		ref := ev.cube.Dim(sd).Path(sid)
+		if ref == "" {
+			ref = ev.cube.Dim(sd).Name()
+		}
+		tr.Scope = append(tr.Scope, cube.ScopeCond{Dim: ev.cube.Dim(sd).Name(), Member: ref})
+	}
+	return tr, nil
+}
+
+// resolveChanges maps a CHANGES clause onto algebra changes and
+// identifies the varying dimension (from the old parents).
+func (ev *Evaluator) resolveChanges(cc *ChangesClause) ([]algebra.Change, string, error) {
+	var out []algebra.Change
+	varying := ""
+	for _, row := range cc.Rows {
+		oldDim, oldID, err := ev.resolveMember(ev.cube, row.Old)
+		if err != nil {
+			return nil, "", fmt.Errorf("mdx: change old parent: %w", err)
+		}
+		dimName := ev.cube.Dim(oldDim).Name()
+		if varying == "" {
+			varying = dimName
+		} else if varying != dimName {
+			return nil, "", fmt.Errorf("mdx: changes span dimensions %s and %s", varying, dimName)
+		}
+		d := ev.cube.Dim(oldDim)
+		newDim, newID, err := ev.resolveMember(ev.cube, row.New)
+		if err != nil {
+			return nil, "", fmt.Errorf("mdx: change new parent: %w", err)
+		}
+		if newDim != oldDim {
+			return nil, "", fmt.Errorf("mdx: change parents in different dimensions")
+		}
+		b := ev.cube.BindingFor(dimName)
+		if b == nil {
+			return nil, "", fmt.Errorf("mdx: dimension %q has no varying binding", dimName)
+		}
+		atID, err := b.Param.Lookup(row.At.Parts[len(row.At.Parts)-1])
+		if err != nil {
+			return nil, "", fmt.Errorf("mdx: change moment: %w", err)
+		}
+		at := b.Param.Member(atID)
+		if at.LeafOrdinal < 0 {
+			return nil, "", fmt.Errorf("mdx: change moment %q is not a leaf of %s", row.At, b.Param.Name())
+		}
+		// The member field may be a set ([FTE].Children applies the
+		// change to every child). Chained changes may reference
+		// instances that only exist after earlier rows apply
+		// (e.g. [Contractor].[Tom] after Tom moved to Contractor), so a
+		// failed resolution of a plain reference falls back to the base
+		// name; PlanSplit validates the instance when the row applies.
+		memberTuples, err := ev.evalSet(ev.cube, row.Member)
+		if err != nil {
+			if me, ok := row.Member.(*MemberExpr); ok && me.Fn == "" {
+				base := me.Parts[len(me.Parts)-1]
+				if len(d.Instances(base)) > 0 {
+					out = append(out, algebra.Change{
+						Member:    base,
+						OldParent: d.Path(oldID),
+						NewParent: d.Path(newID),
+						T:         at.LeafOrdinal,
+					})
+					continue
+				}
+			}
+			return nil, "", fmt.Errorf("mdx: change member: %w", err)
+		}
+		for _, tp := range memberTuples {
+			if len(tp) != 1 {
+				return nil, "", fmt.Errorf("mdx: change member must be a single-dimension set")
+			}
+			co := tp[0]
+			if co.Dim != oldDim {
+				return nil, "", fmt.Errorf("mdx: change member not in dimension %s", dimName)
+			}
+			m := d.Member(co.Member)
+			if m.LeafOrdinal < 0 {
+				return nil, "", fmt.Errorf("mdx: change member %q is not a leaf", d.Path(co.Member))
+			}
+			// The member must currently sit under the old parent.
+			if m.Parent != oldID {
+				// Tolerate path-specified members whose ref already
+				// includes the old parent.
+				if !d.IsDescendant(co.Member, oldID) {
+					return nil, "", fmt.Errorf("mdx: member %q is not under %q", d.Path(co.Member), d.Path(oldID))
+				}
+			}
+			out = append(out, algebra.Change{
+				Member:    m.Name,
+				OldParent: d.Path(oldID),
+				NewParent: d.Path(newID),
+				T:         at.LeafOrdinal,
+			})
+		}
+	}
+	return out, varying, nil
+}
+
+// project evaluates the axes and builds the output grid.
+func (ev *Evaluator) project(q *Query, out *cube.Cube, mode perspective.Mode) (*result.Grid, error) {
+	var cols, rows []Tuple
+	var hasCols, hasRows, rowsNonEmpty, colsNonEmpty bool
+	for _, ax := range q.Axes {
+		tuples, err := ev.evalSet(out, ax.Set)
+		if err != nil {
+			return nil, err
+		}
+		switch ax.Name {
+		case "COLUMNS":
+			cols, hasCols = tuples, true
+			colsNonEmpty = ax.NonEmpty
+		case "ROWS":
+			rows, hasRows = tuples, true
+			rowsNonEmpty = ax.NonEmpty
+		}
+	}
+	// An absent axis contributes a single all-default tuple; a present
+	// axis whose set evaluated empty stays empty.
+	if !hasCols {
+		cols = []Tuple{{}}
+	}
+	if !hasRows {
+		rows = []Tuple{{}}
+	}
+
+	// Slicer.
+	var slicer Tuple
+	onAxis := map[int]bool{}
+	for _, tuples := range [][]Tuple{cols, rows} {
+		for _, tp := range tuples {
+			for _, co := range tp {
+				onAxis[co.Dim] = true
+			}
+		}
+	}
+	for _, w := range q.Where {
+		dim, id, err := ev.resolveMember(out, w)
+		if err != nil {
+			return nil, fmt.Errorf("mdx: slicer: %w", err)
+		}
+		if onAxis[dim] {
+			return nil, fmt.Errorf("mdx: dimension %s appears both on an axis and in the slicer", out.Dim(dim).Name())
+		}
+		slicer = append(slicer, Coord{Dim: dim, Member: id})
+	}
+
+	g := result.New(len(rows), len(cols))
+	for j, tp := range cols {
+		g.ColLabels[j] = ev.tupleLabel(out, tp)
+	}
+	props := q.DimProperties
+	g.PropNames = append(g.PropNames, props...)
+
+	base := make([]dimension.MemberID, out.NumDims())
+	for i := 0; i < out.NumDims(); i++ {
+		base[i] = out.Dim(i).Root()
+	}
+	ids := make([]dimension.MemberID, out.NumDims())
+	for i, rt := range rows {
+		g.RowLabels[i] = ev.tupleLabel(out, rt)
+		if len(props) > 0 {
+			g.RowProps = append(g.RowProps, ev.rowProps(out, rt, props))
+		}
+		for j, ct := range cols {
+			copy(ids, base)
+			for _, co := range slicer {
+				ids[co.Dim] = co.Member
+			}
+			for _, co := range ct {
+				ids[co.Dim] = co.Member
+			}
+			for _, co := range rt {
+				ids[co.Dim] = co.Member
+			}
+			v, err := algebra.CellValue(ev.cube, out, ids, mode)
+			if err != nil {
+				return nil, err
+			}
+			g.Values[i][j] = v
+		}
+	}
+	if rowsNonEmpty {
+		g.DropEmptyRows()
+	}
+	if colsNonEmpty {
+		g.DropEmptyCols()
+	}
+	return g, nil
+}
+
+// rowProps computes DIMENSION PROPERTIES values for one row: for a
+// property naming a dimension present in the row tuple, the member's
+// parent path (e.g. the department an employee instance reports to).
+func (ev *Evaluator) rowProps(c *cube.Cube, row Tuple, props []string) []string {
+	out := make([]string, len(props))
+	for k, p := range props {
+		di := c.DimIndex(p)
+		if di < 0 {
+			out[k] = ""
+			continue
+		}
+		for _, co := range row {
+			if co.Dim != di {
+				continue
+			}
+			m := c.Dim(di).Member(co.Member)
+			if m.Parent != dimension.None {
+				parent := c.Dim(di).Path(m.Parent)
+				if parent == "" {
+					parent = c.Dim(di).Name()
+				}
+				out[k] = parent
+			}
+		}
+	}
+	return out
+}
+
+func (ev *Evaluator) tupleLabel(c *cube.Cube, tp Tuple) string {
+	if len(tp) == 0 {
+		return "(all)"
+	}
+	parts := make([]string, len(tp))
+	for i, co := range tp {
+		p := c.Dim(co.Dim).Path(co.Member)
+		if p == "" {
+			p = c.Dim(co.Dim).Name()
+		}
+		parts[i] = p
+	}
+	return strings.Join(parts, " / ")
+}
+
+// evalSet evaluates a set expression into tuples against the cube's
+// dimensions.
+func (ev *Evaluator) evalSet(c *cube.Cube, s SetExpr) ([]Tuple, error) {
+	switch x := s.(type) {
+	case *SetLiteral:
+		var out []Tuple
+		for _, e := range x.Elems {
+			ts, err := ev.evalSet(c, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts...)
+		}
+		return out, nil
+
+	case *TupleExpr:
+		tp := make(Tuple, 0, len(x.Members))
+		for _, m := range x.Members {
+			if m.Fn != "" {
+				return nil, fmt.Errorf("mdx: member function %s not allowed inside a tuple", m.Fn)
+			}
+			dim, id, err := ev.resolveMember(c, m)
+			if err != nil {
+				return nil, err
+			}
+			tp = append(tp, Coord{Dim: dim, Member: id})
+		}
+		return []Tuple{tp}, nil
+
+	case *CrossJoin:
+		l, err := ev.evalSet(c, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalSet(c, x.R)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Tuple, 0, len(l)*len(r))
+		for _, lt := range l {
+			for _, rt := range r {
+				tp := make(Tuple, 0, len(lt)+len(rt))
+				tp = append(tp, lt...)
+				tp = append(tp, rt...)
+				out = append(out, tp)
+			}
+		}
+		return out, nil
+
+	case *Union:
+		l, err := ev.evalSet(c, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalSet(c, x.R)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		var out []Tuple
+		for _, tp := range append(l, r...) {
+			k := tupleKey(tp)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, tp)
+			}
+		}
+		return out, nil
+
+	case *Head:
+		ts, err := ev.evalSet(c, x.Set)
+		if err != nil {
+			return nil, err
+		}
+		if x.N < 0 {
+			return nil, fmt.Errorf("mdx: Head count %d is negative", x.N)
+		}
+		if x.N < len(ts) {
+			ts = ts[:x.N]
+		}
+		return ts, nil
+
+	case *Descendants:
+		dim, id, err := ev.resolveMember(c, x.Of)
+		if err != nil {
+			return nil, err
+		}
+		d := c.Dim(dim)
+		var out []Tuple
+		var walk func(m dimension.MemberID)
+		walk = func(m dimension.MemberID) {
+			mm := d.Member(m)
+			include := false
+			if mm.Parent != dimension.None || m != id {
+				switch {
+				case x.Layer < 0:
+					include = m != id // all strict descendants
+				case x.Flag == DescSelf:
+					include = mm.Depth == x.Layer
+				case x.Flag == DescSelfAndAfter:
+					include = mm.Depth >= x.Layer
+				case x.Flag == DescAfter:
+					include = mm.Depth > x.Layer
+				}
+			}
+			if include {
+				out = append(out, Tuple{{Dim: dim, Member: m}})
+			}
+			for _, ch := range mm.Children {
+				walk(ch)
+			}
+		}
+		walk(id)
+		return out, nil
+
+	case *MemberExpr:
+		return ev.evalMemberSet(c, x)
+	}
+	return nil, fmt.Errorf("mdx: unknown set expression %T", s)
+}
+
+// evalMemberSet expands a member expression (with optional trailing
+// function) into tuples.
+func (ev *Evaluator) evalMemberSet(c *cube.Cube, m *MemberExpr) ([]Tuple, error) {
+	dim, id, err := ev.resolveMember(c, m)
+	if err != nil {
+		return nil, err
+	}
+	d := c.Dim(dim)
+	switch m.Fn {
+	case "":
+		return []Tuple{{{Dim: dim, Member: id}}}, nil
+	case "Children":
+		var out []Tuple
+		for _, ch := range d.Member(id).Children {
+			out = append(out, Tuple{{Dim: dim, Member: ch}})
+		}
+		return out, nil
+	case "Members":
+		if id != d.Root() {
+			return nil, fmt.Errorf("mdx: .Members applies to a dimension, not member %q", d.Path(id))
+		}
+		var out []Tuple
+		for i := dimension.MemberID(1); int(i) < d.NumMembers(); i++ {
+			out = append(out, Tuple{{Dim: dim, Member: i}})
+		}
+		return out, nil
+	case "Levels":
+		if id != d.Root() {
+			return nil, fmt.Errorf("mdx: .Levels applies to a dimension, not member %q", d.Path(id))
+		}
+		var out []Tuple
+		for _, lm := range d.LevelMembers(m.Level) {
+			out = append(out, Tuple{{Dim: dim, Member: lm}})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("mdx: unknown member function %q", m.Fn)
+}
+
+// resolveMember resolves a member path to (dimension index, member ID).
+// The first path part may name the dimension; otherwise all dimensions
+// are searched and the reference must be unambiguous.
+func (ev *Evaluator) resolveMember(c *cube.Cube, m *MemberExpr) (int, dimension.MemberID, error) {
+	if len(m.Parts) == 0 {
+		return 0, 0, fmt.Errorf("mdx: empty member reference")
+	}
+	// Dimension-qualified.
+	if di := c.DimIndex(m.Parts[0]); di >= 0 {
+		rest := m.Parts[1:]
+		if len(rest) == 0 {
+			return di, c.Dim(di).Root(), nil
+		}
+		id, err := lookupParts(c.Dim(di), rest)
+		if err != nil {
+			return 0, 0, err
+		}
+		return di, id, nil
+	}
+	// Unqualified: search all dimensions.
+	foundDim, foundID := -1, dimension.None
+	for di := 0; di < c.NumDims(); di++ {
+		id, err := lookupParts(c.Dim(di), m.Parts)
+		if err != nil {
+			continue
+		}
+		if foundDim >= 0 {
+			return 0, 0, fmt.Errorf("mdx: member %s is ambiguous between dimensions %s and %s",
+				m, c.Dim(foundDim).Name(), c.Dim(di).Name())
+		}
+		foundDim, foundID = di, id
+	}
+	if foundDim < 0 {
+		return 0, 0, fmt.Errorf("mdx: no dimension has member %s", m)
+	}
+	return foundDim, foundID, nil
+}
+
+// lookupParts resolves path parts within one dimension: a full path
+// first, then progressively shorter suffix interpretations (the leading
+// parts may repeat hierarchy context, e.g. [FTE].[Joe] vs [Joe]).
+func lookupParts(d *dimension.Dimension, parts []string) (dimension.MemberID, error) {
+	if id, err := d.Lookup(strings.Join(parts, "/")); err == nil {
+		return id, nil
+	}
+	if len(parts) == 1 {
+		return d.Lookup(parts[0])
+	}
+	// Resolve head, then walk down by child names — tolerates paths that
+	// skip intermediate levels only when unambiguous.
+	id, err := d.Lookup(parts[0])
+	if err != nil {
+		return dimension.None, err
+	}
+	for _, p := range parts[1:] {
+		next := dimension.None
+		for _, ch := range d.Member(id).Children {
+			if d.Member(ch).Name == p {
+				next = ch
+				break
+			}
+		}
+		if next == dimension.None {
+			return dimension.None, fmt.Errorf("dimension %s: %q has no child %q", d.Name(), d.Path(id), p)
+		}
+		id = next
+	}
+	return id, nil
+}
+
+func tupleKey(tp Tuple) string {
+	var b strings.Builder
+	for _, co := range tp {
+		fmt.Fprintf(&b, "%d:%d;", co.Dim, co.Member)
+	}
+	return b.String()
+}

@@ -1,0 +1,25 @@
+package mdx
+
+import "testing"
+
+// FuzzParse asserts the extended-MDX parser never panics, whatever the
+// input. Errors are the expected outcome for garbage.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"select {x} on columns from [A]",
+		"WITH perspective {(Jan)} for D STATIC select {x} on columns from [A]",
+		"WITH CHANGES {([a],[b],[c],[d])} select {x} on columns from [A] where (y)",
+		"select NON EMPTY {CrossJoin({a},Union({b},Head(Descendants([c],1,SELF),3)))} on columns from [A]",
+		"select {[A].Levels(0).Members} on columns, {[B].Children} DIMENSION PROPERTIES [D] on rows from [W]",
+		"select {", "WITH", "{{{{", "[[", "(((", "}}}}", "select {x} on",
+		"-- comment only", "select {1e99999} on columns from [A]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatal("nil query without error")
+		}
+	})
+}

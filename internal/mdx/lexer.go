@@ -1,0 +1,174 @@
+// Package mdx implements the paper's extended MDX: the classic
+// SELECT … ON COLUMNS/ROWS … FROM … WHERE … query surface plus the
+// what-if prefixes of §3.3 and §3.4:
+//
+//	WITH PERSPECTIVE {(Jan), (Jul)} FOR Department STATIC [VISUAL|NONVISUAL]
+//	WITH PERSPECTIVE {(Jan), (Apr)} FOR Department DYNAMIC FORWARD …
+//	WITH CHANGES {([FTE].[Lisa], [FTE], [PTE], [Apr]), …} [VISUAL|NONVISUAL]
+//
+// The supported set algebra covers the constructs the paper's
+// experimental queries use (Fig. 10): CrossJoin, Union, Head, Children,
+// Members, Levels(n).Members, Descendants(m, layer, flag), literal sets
+// and tuples.
+package mdx
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokBracketed // [ ... ]
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokDot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokBracketed:
+		return "bracketed name"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes extended-MDX source.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// errorf produces a positioned lexical/syntax error.
+func (l *lexer) errorf(pos int, format string, args ...interface{}) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("mdx: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '[':
+		end := strings.IndexByte(l.src[l.pos:], ']')
+		if end < 0 {
+			return token{}, l.errorf(start, "unterminated '['")
+		}
+		name := l.src[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		if name == "" {
+			return token{}, l.errorf(start, "empty bracketed name")
+		}
+		return token{tokBracketed, name, start}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			l.pos++
+		}
+		// Optional decimal part (e.g. the 0.10 of a TRANSFER clause).
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' &&
+			l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+				l.pos++
+			}
+		}
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	default:
+		return token{}, l.errorf(start, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// keywordIs reports a case-insensitive identifier match.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,659 @@
+package mdx
+
+import (
+	"strconv"
+	"strings"
+
+	"whatifolap/internal/perspective"
+)
+
+// Parse parses an extended-MDX query.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s %q after query", p.tok.kind, p.tok.text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for statically known queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return p.lex.errorf(p.tok.pos, format, args...)
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %s, found %s %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !keywordIs(p.tok, kw) {
+		return p.errorf("expected %q, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if keywordIs(p.tok, kw) {
+		if err := p.advance(); err != nil {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	for keywordIs(p.tok, "WITH") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case keywordIs(p.tok, "PERSPECTIVE"):
+			pc, err := p.parsePerspectiveClause()
+			if err != nil {
+				return nil, err
+			}
+			for _, prev := range q.Perspectives {
+				if prev.Varying == pc.Varying {
+					return nil, p.errorf("duplicate PERSPECTIVE clause for dimension %q", pc.Varying)
+				}
+			}
+			q.Perspectives = append(q.Perspectives, pc)
+		case keywordIs(p.tok, "CHANGES"):
+			if q.Changes != nil {
+				return nil, p.errorf("duplicate CHANGES clause")
+			}
+			cc, err := p.parseChangesClause()
+			if err != nil {
+				return nil, err
+			}
+			q.Changes = cc
+		case keywordIs(p.tok, "TRANSFER"):
+			tc, err := p.parseTransferClause()
+			if err != nil {
+				return nil, err
+			}
+			q.Transfers = append(q.Transfers, tc)
+		default:
+			return nil, p.errorf("expected PERSPECTIVE or CHANGES after WITH, found %q", p.tok.text)
+		}
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		axis, props, err := p.parseAxis()
+		if err != nil {
+			return nil, err
+		}
+		q.Axes = append(q.Axes, axis)
+		q.DimProperties = append(q.DimProperties, props...)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseMember()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from.Parts
+	if p.acceptKeyword("WHERE") {
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			m, err := p.parseMember()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, m)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// parsePerspectiveClause parses
+// "PERSPECTIVE {(p1), …} FOR <dim> <semantics> [<mode>]"
+// with PERSPECTIVE already current.
+func (p *parser) parsePerspectiveClause() (*PerspectiveClause, error) {
+	if err := p.advance(); err != nil { // consume PERSPECTIVE
+		return nil, err
+	}
+	set, err := p.parseSet()
+	if err != nil {
+		return nil, err
+	}
+	points, err := flattenMembers(set)
+	if err != nil {
+		return nil, p.errorf("perspective set must contain single members: %v", err)
+	}
+	pc := &PerspectiveClause{Points: points, Mode: perspective.NonVisual}
+	if err := p.expectKeyword("FOR"); err != nil {
+		return nil, err
+	}
+	dim, err := p.parseMember()
+	if err != nil {
+		return nil, err
+	}
+	pc.Varying = strings.Join(dim.Parts, "/")
+
+	// Semantics: STATIC | [EXTENDED] [DYNAMIC] FORWARD|BACKWARD.
+	extended := p.acceptKeyword("EXTENDED")
+	switch {
+	case !extended && p.acceptKeyword("STATIC"):
+		pc.Sem = perspective.Static
+	default:
+		p.acceptKeyword("DYNAMIC") // optional noise word
+		switch {
+		case p.acceptKeyword("FORWARD"):
+			if extended {
+				pc.Sem = perspective.ExtendedForward
+			} else {
+				pc.Sem = perspective.Forward
+			}
+		case p.acceptKeyword("BACKWARD"):
+			if extended {
+				pc.Sem = perspective.ExtendedBackward
+			} else {
+				pc.Sem = perspective.Backward
+			}
+		default:
+			return nil, p.errorf("expected STATIC, FORWARD or BACKWARD, found %q", p.tok.text)
+		}
+	}
+	if m, ok := p.parseOptionalMode(); ok {
+		pc.Mode = m
+	}
+	return pc, nil
+}
+
+// parseChangesClause parses "CHANGES {(m,o,n,t), …} [<mode>]" with
+// CHANGES already current.
+func (p *parser) parseChangesClause() (*ChangesClause, error) {
+	if err := p.advance(); err != nil { // consume CHANGES
+		return nil, err
+	}
+	cc := &ChangesClause{Mode: perspective.NonVisual}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		row := &ChangeRow{}
+		m, err := p.parseSetElement()
+		if err != nil {
+			return nil, err
+		}
+		row.Member = m
+		for _, dst := range []**MemberExpr{&row.Old, &row.New, &row.At} {
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			me, err := p.parseMember()
+			if err != nil {
+				return nil, err
+			}
+			*dst = me
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		cc.Rows = append(cc.Rows, row)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	if m, ok := p.parseOptionalMode(); ok {
+		cc.Mode = m
+	}
+	return cc, nil
+}
+
+// parseTransferClause parses
+// "TRANSFER <fraction> FROM <member> TO <member> [FOR (m1, m2, …)]"
+// with TRANSFER current.
+func (p *parser) parseTransferClause() (*TransferClause, error) {
+	if err := p.advance(); err != nil { // consume TRANSFER
+		return nil, err
+	}
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	frac, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return nil, p.errorf("bad fraction %q", t.text)
+	}
+	tc := &TransferClause{Fraction: frac}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if tc.From, err = p.parseMember(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	if tc.To, err = p.parseMember(); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("FOR") {
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			m, err := p.parseMember()
+			if err != nil {
+				return nil, err
+			}
+			tc.Scope = append(tc.Scope, m)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	return tc, nil
+}
+
+func (p *parser) parseOptionalMode() (perspective.Mode, bool) {
+	switch {
+	case p.acceptKeyword("VISUAL"):
+		return perspective.Visual, true
+	case p.acceptKeyword("NONVISUAL"), p.acceptKeyword("NON-VISUAL"):
+		return perspective.NonVisual, true
+	}
+	return perspective.NonVisual, false
+}
+
+// parseAxis parses
+// "[NON EMPTY] <set> [DIMENSION PROPERTIES m] ON <name>".
+func (p *parser) parseAxis() (Axis, []string, error) {
+	nonEmpty := false
+	if p.acceptKeyword("NON") {
+		if err := p.expectKeyword("EMPTY"); err != nil {
+			return Axis{}, nil, err
+		}
+		nonEmpty = true
+	}
+	set, err := p.parseSet()
+	if err != nil {
+		return Axis{}, nil, err
+	}
+	var props []string
+	if p.acceptKeyword("DIMENSION") {
+		if err := p.expectKeyword("PROPERTIES"); err != nil {
+			return Axis{}, nil, err
+		}
+		// A single property reference; a comma after it would be
+		// ambiguous with the axis separator, so multi-property lists
+		// are written as repeated DIMENSION PROPERTIES clauses.
+		m, err := p.parseMember()
+		if err != nil {
+			return Axis{}, nil, err
+		}
+		props = append(props, strings.Join(m.Parts, "/"))
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return Axis{}, nil, err
+	}
+	switch {
+	case p.acceptKeyword("COLUMNS"):
+		return Axis{Set: set, Name: "COLUMNS", NonEmpty: nonEmpty}, props, nil
+	case p.acceptKeyword("ROWS"):
+		return Axis{Set: set, Name: "ROWS", NonEmpty: nonEmpty}, props, nil
+	}
+	return Axis{}, nil, p.errorf("expected COLUMNS or ROWS, found %q", p.tok.text)
+}
+
+// parseSet parses a set expression.
+func (p *parser) parseSet() (SetExpr, error) {
+	return p.parseSetElement()
+}
+
+func (p *parser) parseSetElement() (SetExpr, error) {
+	switch {
+	case p.tok.kind == tokLBrace:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lit := &SetLiteral{}
+		if p.tok.kind == tokRBrace { // empty set
+			return lit, p.advance()
+		}
+		for {
+			e, err := p.parseSetElement()
+			if err != nil {
+				return nil, err
+			}
+			lit.Elems = append(lit.Elems, e)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+		return lit, nil
+
+	case p.tok.kind == tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		tup := &TupleExpr{}
+		for {
+			m, err := p.parseMember()
+			if err != nil {
+				return nil, err
+			}
+			tup.Members = append(tup.Members, m)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return tup, nil
+
+	case keywordIs(p.tok, "CROSSJOIN"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		l, r, err := p.parseTwoSetArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &CrossJoin{L: l, R: r}, nil
+
+	case keywordIs(p.tok, "UNION"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		l, r, err := p.parseTwoSetArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &Union{L: l, R: r}, nil
+
+	case keywordIs(p.tok, "HEAD"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		s, err := p.parseSetElement()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &Head{Set: s, N: n}, nil
+
+	case keywordIs(p.tok, "DESCENDANTS"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		m, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		d := &Descendants{Of: m, Layer: -1, Flag: DescSelfAndAfter}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			d.Layer, err = p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			d.Flag = DescSelf
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				switch {
+				case p.acceptKeyword("SELF_AND_AFTER"):
+					d.Flag = DescSelfAndAfter
+				case p.acceptKeyword("AFTER"):
+					d.Flag = DescAfter
+				case p.acceptKeyword("SELF"):
+					d.Flag = DescSelf
+				default:
+					return nil, p.errorf("expected SELF, AFTER or SELF_AND_AFTER, found %q", p.tok.text)
+				}
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return d, nil
+
+	default:
+		return p.parseMember()
+	}
+}
+
+func (p *parser) parseTwoSetArgs() (SetExpr, SetExpr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, nil, err
+	}
+	l, err := p.parseSetElement()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, nil, err
+	}
+	r, err := p.parseSetElement()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errorf("bad number %q", t.text)
+	}
+	return n, nil
+}
+
+// parseMember parses a member path with an optional trailing function:
+// [A].[B].[C], [A].Members, [A].Children, [A].Levels(0).Members.
+func (p *parser) parseMember() (*MemberExpr, error) {
+	m := &MemberExpr{}
+	for {
+		switch p.tok.kind {
+		case tokBracketed, tokIdent:
+			// Trailing functions terminate the path.
+			if p.tok.kind == tokIdent {
+				switch strings.ToUpper(p.tok.text) {
+				case "MEMBERS":
+					if len(m.Parts) == 0 {
+						return nil, p.errorf("Members without a member path")
+					}
+					m.Fn = "Members"
+					return m, p.advance()
+				case "CHILDREN":
+					if len(m.Parts) == 0 {
+						return nil, p.errorf("Children without a member path")
+					}
+					m.Fn = "Children"
+					return m, p.advance()
+				case "LEVELS":
+					if len(m.Parts) == 0 {
+						return nil, p.errorf("Levels without a member path")
+					}
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(tokLParen); err != nil {
+						return nil, err
+					}
+					lv, err := p.parseInt()
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(tokRParen); err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(tokDot); err != nil {
+						return nil, err
+					}
+					if !p.acceptKeyword("MEMBERS") {
+						return nil, p.errorf("expected Members after Levels(n)., found %q", p.tok.text)
+					}
+					m.Fn = "Levels"
+					m.Level = lv
+					return m, nil
+				}
+			}
+			m.Parts = append(m.Parts, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			if len(m.Parts) == 0 {
+				return nil, p.errorf("expected member reference, found %s %q", p.tok.kind, p.tok.text)
+			}
+			return m, nil
+		}
+		if p.tok.kind != tokDot {
+			return m, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// flattenMembers extracts single members from a set of singleton tuples
+// or bare members (used for perspective point lists).
+func flattenMembers(s SetExpr) ([]*MemberExpr, error) {
+	switch x := s.(type) {
+	case *SetLiteral:
+		var out []*MemberExpr
+		for _, e := range x.Elems {
+			ms, err := flattenMembers(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ms...)
+		}
+		return out, nil
+	case *TupleExpr:
+		if len(x.Members) != 1 || x.Members[0].Fn != "" {
+			return nil, errNotSingleton
+		}
+		return []*MemberExpr{x.Members[0]}, nil
+	case *MemberExpr:
+		if x.Fn != "" {
+			return nil, errNotSingleton
+		}
+		return []*MemberExpr{x}, nil
+	}
+	return nil, errNotSingleton
+}
+
+var errNotSingleton = &notSingletonError{}
+
+type notSingletonError struct{}
+
+func (*notSingletonError) Error() string {
+	return "set element is not a single member"
+}

@@ -1,0 +1,262 @@
+package mdx
+
+import (
+	"strings"
+	"testing"
+
+	"whatifolap/internal/perspective"
+)
+
+// TestParseFig10a parses the paper's Fig. 10(a) experiment query
+// verbatim (modulo the app-specific member names it references).
+func TestParseFig10a(t *testing.T) {
+	src := `
+WITH perspective {(Jan), (Jul)} for Department STATIC
+select {CrossJoin(
+    {[Account].Levels(0).Members},
+    {([Current], [Local], [BU Version_1], [HSP_InputValue])}
+)} on columns,
+{CrossJoin(
+    { Union(
+        {Union(
+            {[EmployeesWithAtleastOneMove-Set1].Children},
+            {[EmployeesWithAtleastOneMove-Set2].Children}
+        )},
+        {[EmployeesWithAtleastOneMove-Set3].Children})},
+    {Descendants([Period],1,self_and_after)}
+)} DIMENSION PROPERTIES [Department] on rows
+from [App].[Db]`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Perspectives) != 1 {
+		t.Fatal("missing perspective clause")
+	}
+	if q.Perspectives[0].Sem != perspective.Static {
+		t.Fatalf("Sem = %v, want Static", q.Perspectives[0].Sem)
+	}
+	if q.Perspectives[0].Mode != perspective.NonVisual {
+		t.Fatal("default mode should be non-visual (paper §6.1)")
+	}
+	if q.Perspectives[0].Varying != "Department" {
+		t.Fatalf("Varying = %q", q.Perspectives[0].Varying)
+	}
+	if len(q.Perspectives[0].Points) != 2 || q.Perspectives[0].Points[0].Parts[0] != "Jan" {
+		t.Fatalf("Points = %v", q.Perspectives[0].Points)
+	}
+	if len(q.Axes) != 2 || q.Axes[0].Name != "COLUMNS" || q.Axes[1].Name != "ROWS" {
+		t.Fatalf("Axes = %v", q.Axes)
+	}
+	if len(q.DimProperties) != 1 || q.DimProperties[0] != "Department" {
+		t.Fatalf("DimProperties = %v", q.DimProperties)
+	}
+	if len(q.From) != 2 || q.From[0] != "App" || q.From[1] != "Db" {
+		t.Fatalf("From = %v", q.From)
+	}
+}
+
+// TestParseFig10b covers the dynamic-forward form of Fig. 10(b).
+func TestParseFig10b(t *testing.T) {
+	src := `
+WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department DYNAMIC FORWARD
+select {CrossJoin(
+    {[Account].Levels(0).Members},
+    {([Current], [Local], [BU Version_1], [HSP_InputValue])}
+)} on columns,
+{CrossJoin(
+    {EmployeeS3},
+    {Descendants([Period],1,self_and_after)}
+)} DIMENSION PROPERTIES [Department] on rows
+from [App].[Db]`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Perspectives[0].Sem != perspective.Forward {
+		t.Fatalf("Sem = %v, want Forward", q.Perspectives[0].Sem)
+	}
+	if len(q.Perspectives[0].Points) != 4 {
+		t.Fatalf("Points = %d, want 4", len(q.Perspectives[0].Points))
+	}
+}
+
+// TestParseFig10c covers the Head() form of Fig. 10(c).
+func TestParseFig10c(t *testing.T) {
+	src := `
+WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department DYNAMIC FORWARD
+select {[Account].Levels(0).Members} on columns,
+{CrossJoin(
+    {Head({[EmployeesWithAtleastOneMove-Set1].Children}, 50)},
+    {Descendants([Period],1,self_and_after)}
+)} on rows
+from [App].[Db]`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := q.Axes[1].Set.(*SetLiteral).Elems[0].(*CrossJoin)
+	head := rows.L.(*SetLiteral).Elems[0].(*Head)
+	if head.N != 50 {
+		t.Fatalf("Head N = %d, want 50", head.N)
+	}
+}
+
+func TestParseSemanticsVariants(t *testing.T) {
+	for src, want := range map[string]perspective.Semantics{
+		"WITH perspective {(Jan)} for D STATIC select {x} on columns from [A]":                    perspective.Static,
+		"WITH perspective {(Jan)} for D FORWARD select {x} on columns from [A]":                   perspective.Forward,
+		"WITH perspective {(Jan)} for D DYNAMIC FORWARD select {x} on columns from [A]":           perspective.Forward,
+		"WITH perspective {(Jan)} for D EXTENDED FORWARD select {x} on columns from [A]":          perspective.ExtendedForward,
+		"WITH perspective {(Jan)} for D EXTENDED DYNAMIC FORWARD select {x} on columns from [A]":  perspective.ExtendedForward,
+		"WITH perspective {(Jan)} for D DYNAMIC BACKWARD select {x} on columns from [A]":          perspective.Backward,
+		"WITH perspective {(Jan)} for D EXTENDED DYNAMIC BACKWARD select {x} on columns from [A]": perspective.ExtendedBackward,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if q.Perspectives[0].Sem != want {
+			t.Errorf("%s: Sem = %v, want %v", src, q.Perspectives[0].Sem, want)
+		}
+	}
+}
+
+func TestParseModes(t *testing.T) {
+	q := MustParse("WITH perspective {(Jan)} for D STATIC VISUAL select {x} on columns from [A]")
+	if q.Perspectives[0].Mode != perspective.Visual {
+		t.Fatal("VISUAL not parsed")
+	}
+	q = MustParse("WITH perspective {(Jan)} for D STATIC NONVISUAL select {x} on columns from [A]")
+	if q.Perspectives[0].Mode != perspective.NonVisual {
+		t.Fatal("NONVISUAL not parsed")
+	}
+	// '-' is an identifier character, so NON-VISUAL lexes as one token.
+	q = MustParse("WITH perspective {(Jan)} for D STATIC NON-VISUAL select {x} on columns from [A]")
+	if q.Perspectives[0].Mode != perspective.NonVisual {
+		t.Fatal("NON-VISUAL not parsed")
+	}
+}
+
+func TestParseChangesClause(t *testing.T) {
+	src := `
+WITH CHANGES {([FTE].[Lisa], [FTE], [PTE], [Apr]), ([FTE].Children, [FTE], [Contractor], [Jun])} VISUAL
+select {[Measures].[Salary]} on columns, {[Organization].Members} on rows
+from [Warehouse]
+where ([Location].[NY])`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Changes == nil || len(q.Changes.Rows) != 2 {
+		t.Fatalf("Changes = %+v", q.Changes)
+	}
+	if q.Changes.Mode != perspective.Visual {
+		t.Fatal("changes mode should be VISUAL")
+	}
+	r0 := q.Changes.Rows[0]
+	if r0.Old.Parts[0] != "FTE" || r0.New.Parts[0] != "PTE" || r0.At.Parts[0] != "Apr" {
+		t.Fatalf("row 0 = %+v", r0)
+	}
+	if m, ok := q.Changes.Rows[1].Member.(*MemberExpr); !ok || m.Fn != "Children" {
+		t.Fatalf("row 1 member should be [FTE].Children, got %v", q.Changes.Rows[1].Member)
+	}
+	if len(q.Where) != 1 {
+		t.Fatalf("Where = %v", q.Where)
+	}
+}
+
+func TestParseBothClauses(t *testing.T) {
+	src := `
+WITH CHANGES {([FTE].[Lisa], [FTE], [PTE], [Apr])}
+WITH PERSPECTIVE {(Jan)} FOR Organization STATIC VISUAL
+select {[Measures].[Salary]} on columns from [W]`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Changes == nil || len(q.Perspectives) != 1 {
+		t.Fatal("both clauses should parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"select",
+		"select {x} on diagonal from [A]",
+		"select {x} from [A]",
+		"select {x on columns from [A]",
+		"WITH perspective {(Jan)} STATIC select {x} on columns from [A]", // missing FOR
+		"WITH perspective {(Jan)} for D SIDEWAYS select {x} on columns from [A]",
+		"WITH bogus select {x} on columns from [A]",
+		"WITH perspective {(Jan)} for D STATIC select {x} on columns from [A] where (",
+		"select {Head({x}, y)} on columns from [A]",   // non-numeric head
+		"select {Members} on columns from [A]",        // Members without path
+		"select {[A].Levels(0)} on columns from [A]",  // Levels without .Members
+		"select {CrossJoin({x})} on columns from [A]", // missing arg
+		"select {x} on columns from [A] extra",        // trailing garbage
+		"select {[unterminated} on columns from [A]",  // bad bracket
+		"select {Descendants([P],1,NOWHERE)} on columns from [A]",
+		"WITH perspective {([A].Children)} for D STATIC select {x} on columns from [A]", // non-singleton point
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDuplicateClauses(t *testing.T) {
+	src := `WITH perspective {(Jan)} for D STATIC WITH perspective {(Feb)} for D STATIC select {x} on columns from [A]`
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate perspective should fail, got %v", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+-- a leading comment
+select {[X]} on columns -- trailing comment
+from [A]`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetExprStrings(t *testing.T) {
+	q := MustParse(`select {CrossJoin({[A].[B]}, Union({(x, y)}, Head(Descendants([P],2,AFTER), 3)))} on columns from [W]`)
+	got := q.Axes[0].Set.String()
+	want := "{CrossJoin({[A].[B]}, Union({([x], [y])}, Head(Descendants([P], 2, AFTER), 3)))}"
+	if got != want {
+		t.Fatalf("String = %s, want %s", got, want)
+	}
+	q2 := MustParse(`select {[A].Levels(0).Members, [B].Children, [C].Members, Descendants([D])} on columns from [W]`)
+	got2 := q2.Axes[0].Set.String()
+	want2 := "{[A].Levels(0).Members, [B].Children, [C].Members, Descendants([D])}"
+	if got2 != want2 {
+		t.Fatalf("String = %s, want %s", got2, want2)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("select {x}\n on columns from [A] @")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error should carry line info, got %v", err)
+	}
+}
+
+func BenchmarkParseFig10a(b *testing.B) {
+	src := `
+WITH perspective {(Jan), (Jul)} for Department STATIC
+select {CrossJoin({[Account].Levels(0).Members},
+    {([Current], [Local], [BU Version_1], [HSP_InputValue])})} on columns,
+{CrossJoin({Union({[S1].Children}, {[S2].Children})},
+    {Descendants([Period],1,self_and_after)})} DIMENSION PROPERTIES [Department] on rows
+from [App].[Db]`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package paperdata builds the running example of the paper (Fig. 1/2):
+// a workforce warehouse with Organization, Location, Time and Measures
+// dimensions, in which employee Joe is reclassified FTE → PTE →
+// Contractor over the year.
+//
+// The paper's Fig. 2 print is partially garbled in the available text, so
+// the cell values here are reconstructed to satisfy every constraint the
+// paper states in prose:
+//
+//   - VS(FTE/Joe) = {Jan}, VS(PTE/Joe) = {Feb}, and Joe is a Contractor
+//     from March onwards except May (vacation), §2;
+//   - VS(Lisa) = {Jan, …, Jun} (§2), and likewise for Tom and Jane;
+//   - (Contractor/Joe, Mar, NY, Salary) = 30, because under forward
+//     semantics with P = {Feb, Apr} the cell (PTE/Joe, Mar) inherits the
+//     value 30 (§3.3 discussion of Fig. 4);
+//   - Sue, Dave and the members of Fig. 1 not shown in Fig. 2 are
+//     inactive (no data), §2.
+//
+// Golden tests across the repository assert against this reconstruction.
+package paperdata
+
+import (
+	"whatifolap/internal/chunk"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+)
+
+// Month ordinals in the Time dimension, for readability.
+const (
+	Jan = iota
+	Feb
+	Mar
+	Apr
+	May
+	Jun
+	Jul
+	Aug
+	Sep
+	Oct
+	Nov
+	Dec
+)
+
+// Organization builds the varying Organization dimension of Fig. 1. Joe
+// has three instances: FTE/Joe, PTE/Joe and Contractor/Joe.
+func Organization() *dimension.Dimension {
+	d := dimension.New("Organization", false)
+	d.MustAdd("", "FTE")
+	d.MustAdd("FTE", "Joe")
+	d.MustAdd("FTE", "Lisa")
+	d.MustAdd("FTE", "Sue")
+	d.MustAdd("", "PTE")
+	d.MustAdd("PTE", "Tom")
+	d.MustAdd("PTE", "Dave")
+	d.MustAdd("PTE", "Joe")
+	d.MustAdd("", "Contractor")
+	d.MustAdd("Contractor", "Jane")
+	d.MustAdd("Contractor", "Joe")
+	return d
+}
+
+// Location builds the Location dimension of Fig. 1.
+func Location() *dimension.Dimension {
+	d := dimension.New("Location", false)
+	d.MustAdd("", "East")
+	d.MustAdd("East", "NY")
+	d.MustAdd("East", "MA")
+	d.MustAdd("East", "NH")
+	d.MustAdd("", "West")
+	d.MustAdd("West", "CA")
+	d.MustAdd("West", "OR")
+	d.MustAdd("West", "WA")
+	d.MustAdd("", "South")
+	d.MustAdd("South", "TX")
+	d.MustAdd("South", "FL")
+	return d
+}
+
+// Time builds the ordered Time dimension: four quarters over Jan..Dec.
+func Time() *dimension.Dimension {
+	d := dimension.New("Time", true)
+	quarters := []struct {
+		q      string
+		months []string
+	}{
+		{"Qtr1", []string{"Jan", "Feb", "Mar"}},
+		{"Qtr2", []string{"Apr", "May", "Jun"}},
+		{"Qtr3", []string{"Jul", "Aug", "Sep"}},
+		{"Qtr4", []string{"Oct", "Nov", "Dec"}},
+	}
+	for _, q := range quarters {
+		d.MustAdd("", q.q)
+		for _, m := range q.months {
+			d.MustAdd(q.q, m)
+		}
+	}
+	return d
+}
+
+// Measures builds the Measures dimension of Fig. 1.
+func Measures() *dimension.Dimension {
+	d := dimension.New("Measures", false)
+	d.MarkMeasure()
+	d.MustAdd("", "Compensation")
+	d.MustAdd("Compensation", "Salary")
+	d.MustAdd("Compensation", "Benefits")
+	d.MustAdd("", "Productivity")
+	d.MustAdd("Productivity", "Products")
+	d.MustAdd("Productivity", "Services")
+	return d
+}
+
+// Warehouse builds the full example cube with the Organization/Time
+// binding and the reconstructed Fig. 2 data. The cube's dimensions are
+// ordered (Organization, Location, Time, Measures).
+func Warehouse() *cube.Cube {
+	org, loc, tim, meas := Organization(), Location(), Time(), Measures()
+	c := cube.New(org, loc, tim, meas)
+
+	b := dimension.NewBinding(org, tim)
+	b.SetVS(org.MustLookup("FTE/Joe"), Jan)
+	b.SetVS(org.MustLookup("PTE/Joe"), Feb)
+	b.SetVS(org.MustLookup("Contractor/Joe"), Mar, Apr, Jun, Jul, Aug, Sep, Oct, Nov, Dec)
+	if err := c.AddBinding(b); err != nil {
+		panic(err)
+	}
+
+	set := func(orgRef, locRef string, month int, measRef string, v float64) {
+		ids := []dimension.MemberID{
+			org.MustLookup(orgRef),
+			loc.MustLookup(locRef),
+			tim.Leaf(month).ID,
+			meas.MustLookup(measRef),
+		}
+		c.SetValue(ids, v)
+	}
+
+	// Salary in NY, Jan..Jun (the Fig. 2 slice). Joe's salary as a
+	// Contractor in March is 30 (see package comment); everything else
+	// is a flat 10 per active month.
+	type row struct {
+		inst   string
+		salary map[int]float64
+	}
+	rows := []row{
+		{"FTE/Joe", map[int]float64{Jan: 10}},
+		{"FTE/Lisa", map[int]float64{Jan: 10, Feb: 10, Mar: 10, Apr: 10, May: 10, Jun: 10}},
+		{"PTE/Tom", map[int]float64{Jan: 10, Feb: 10, Mar: 10, Apr: 10, May: 10, Jun: 10}},
+		{"PTE/Joe", map[int]float64{Feb: 10}},
+		{"Contractor/Jane", map[int]float64{Jan: 10, Feb: 10, Mar: 10, Apr: 10, May: 10, Jun: 10}},
+		{"Contractor/Joe", map[int]float64{Mar: 30, Apr: 10, Jun: 10}},
+	}
+	for _, r := range rows {
+		for month, v := range r.salary {
+			set(r.inst, "NY", month, "Salary", v)
+			// Benefits track salary at 20%.
+			set(r.inst, "NY", month, "Benefits", v*0.2)
+		}
+	}
+	// Lisa also performs some work in MA (scenario S2 of the paper's
+	// introduction considers reclassifying that work).
+	for _, month := range []int{Jan, Feb, Mar} {
+		set("FTE/Lisa", "MA", month, "Salary", 5)
+	}
+	// A little productivity data so the Productivity rollup is non-null.
+	set("FTE/Lisa", "NY", Jan, "Products", 3)
+	set("PTE/Tom", "NY", Jan, "Services", 2)
+	return c
+}
+
+// ChunkedWarehouse builds the same example cube backed by a chunked
+// array store (the physical organization the engine operates on).
+// chunkDims gives the chunk edge per dimension (Organization, Location,
+// Time, Measures); nil selects a small default that splits every
+// dimension into several chunks.
+func ChunkedWarehouse(chunkDims []int) *cube.Cube {
+	mem := Warehouse()
+	if chunkDims == nil {
+		chunkDims = []int{3, 2, 4, 2}
+	}
+	extents := make([]int, mem.NumDims())
+	for i := 0; i < mem.NumDims(); i++ {
+		extents[i] = mem.Dim(i).NumLeaves()
+	}
+	st := chunk.NewStore(chunk.MustGeometry(extents, chunkDims))
+	mem.Store().NonNull(func(addr []int, v float64) bool {
+		st.Set(addr, v)
+		return true
+	})
+	out := cube.NewWithStore(st, mem.Dims()...)
+	for _, b := range mem.Bindings() {
+		if err := out.AddBinding(b); err != nil {
+			panic(err)
+		}
+	}
+	out.SetRules(mem.Rules())
+	return out
+}
+
+// MonthOrdinal maps a month name to its Time leaf ordinal. It panics on
+// unknown names; fixtures are static.
+func MonthOrdinal(name string) int {
+	names := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	panic("paperdata: unknown month " + name)
+}

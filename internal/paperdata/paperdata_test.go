@@ -1,0 +1,118 @@
+package paperdata
+
+import (
+	"testing"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+)
+
+// TestPaperFig2 checks the reconstructed Fig. 2 slice (Location = NY,
+// Measure = Salary) against every constraint the paper states in prose.
+func TestPaperFig2(t *testing.T) {
+	c := Warehouse()
+	org, loc, tim, meas := c.Dim(0), c.Dim(1), c.Dim(2), c.Dim(3)
+	val := func(orgRef string, month int) float64 {
+		return c.Value([]dimension.MemberID{
+			org.MustLookup(orgRef), loc.MustLookup("NY"), tim.Leaf(month).ID, meas.MustLookup("Salary"),
+		})
+	}
+
+	// Joe's instances: exactly one valid per month, ⊥ elsewhere.
+	if got := val("FTE/Joe", Jan); got != 10 {
+		t.Errorf("(FTE/Joe, Jan) = %v, want 10", got)
+	}
+	for m := Feb; m <= Jun; m++ {
+		if !cube.IsNull(val("FTE/Joe", m)) {
+			t.Errorf("(FTE/Joe, %d) should be ⊥", m)
+		}
+	}
+	if got := val("PTE/Joe", Feb); got != 10 {
+		t.Errorf("(PTE/Joe, Feb) = %v, want 10", got)
+	}
+	if !cube.IsNull(val("PTE/Joe", Jan)) || !cube.IsNull(val("PTE/Joe", Mar)) {
+		t.Error("(PTE/Joe, Jan/Mar) should be ⊥")
+	}
+	if got := val("Contractor/Joe", Mar); got != 30 {
+		t.Errorf("(Contractor/Joe, Mar) = %v, want 30 (needed by the Fig. 4 narrative)", got)
+	}
+	if !cube.IsNull(val("Contractor/Joe", May)) {
+		t.Error("(Contractor/Joe, May) should be ⊥ (vacation)")
+	}
+
+	// Lisa, Tom, Jane: 10 per month Jan..Jun.
+	for _, who := range []string{"FTE/Lisa", "PTE/Tom", "Contractor/Jane"} {
+		for m := Jan; m <= Jun; m++ {
+			if got := val(who, m); got != 10 {
+				t.Errorf("(%s, %d) = %v, want 10", who, m, got)
+			}
+		}
+	}
+
+	// Quarter rollups via the rule engine (all non-leaf cells derived).
+	q1 := func(orgRef string) float64 {
+		v, err := c.Rules().EvalCell(c, c, []dimension.MemberID{
+			org.MustLookup(orgRef), loc.MustLookup("NY"), tim.MustLookup("Qtr1"), meas.MustLookup("Salary"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := q1("FTE/Lisa"); got != 30 {
+		t.Errorf("Lisa Q1 = %v, want 30", got)
+	}
+	if got := q1("Contractor/Joe"); got != 30 {
+		t.Errorf("Contractor/Joe Q1 = %v, want 30 (Mar only)", got)
+	}
+	// FTE group total for Q1: Joe(10, Jan) + Lisa(30).
+	if got := q1("FTE"); got != 40 {
+		t.Errorf("FTE Q1 = %v, want 40", got)
+	}
+}
+
+func TestValidityInvariants(t *testing.T) {
+	c := Warehouse()
+	b := c.BindingFor("Organization")
+	if b == nil {
+		t.Fatal("missing Organization binding")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	org := c.Dim(0)
+	// The paper: at any given time at most one instance of a member is
+	// valid; in May no instance of Joe is valid.
+	if got := b.InstanceAt("Joe", May); got != dimension.None {
+		t.Errorf("InstanceAt(Joe, May) = %v, want None", org.Path(got))
+	}
+	for m, want := range map[int]string{Jan: "FTE/Joe", Feb: "PTE/Joe", Mar: "Contractor/Joe", Dec: "Contractor/Joe"} {
+		if got := org.Path(b.InstanceAt("Joe", m)); got != want {
+			t.Errorf("InstanceAt(Joe, %d) = %s, want %s", m, got, want)
+		}
+	}
+}
+
+func TestInactiveMembersHaveNoData(t *testing.T) {
+	c := Warehouse()
+	org, loc, tim, meas := c.Dim(0), c.Dim(1), c.Dim(2), c.Dim(3)
+	sue := org.MustLookup("Sue")
+	for m := Jan; m <= Dec; m++ {
+		v := c.Value([]dimension.MemberID{sue, loc.MustLookup("NY"), tim.Leaf(m).ID, meas.MustLookup("Salary")})
+		if !cube.IsNull(v) {
+			t.Fatalf("Sue should be inactive, got %v at month %d", v, m)
+		}
+	}
+}
+
+func TestMonthOrdinal(t *testing.T) {
+	if MonthOrdinal("Jan") != Jan || MonthOrdinal("Dec") != Dec {
+		t.Fatal("MonthOrdinal mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown month should panic")
+		}
+	}()
+	MonthOrdinal("Smarch")
+}

@@ -1,0 +1,399 @@
+// Package pebble implements the chunk-merge scheduling of the paper
+// (§5.2): the merge dependency graph between chunks that hold instances
+// of the same varying member, and the pebbling heuristic that orders
+// chunk reads so the fewest chunks are simultaneously resident.
+//
+// Pebbling semantics (paper §5.2): an unbounded supply of pebbles; at
+// most one pebble per node; a pebble may be removed from a node iff all
+// its neighbors have been pebbled (at some point). The goal is to pebble
+// every node while minimizing the peak number of pebbles in play — each
+// pebble is a chunk held in memory, removal is "processing the chunk
+// away".
+package pebble
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected merge-dependency graph over chunk identifiers.
+type Graph struct {
+	adj map[int]map[int]bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[int]map[int]bool)}
+}
+
+// AddNode ensures a node exists (isolated nodes are legal: chunks with a
+// single instance still need reading).
+func (g *Graph) AddNode(x int) {
+	if g.adj[x] == nil {
+		g.adj[x] = make(map[int]bool)
+	}
+}
+
+// AddEdge records that chunks x and y must be co-resident to merge.
+// Self-loops are ignored.
+func (g *Graph) AddEdge(x, y int) {
+	if x == y {
+		return
+	}
+	g.AddNode(x)
+	g.AddNode(y)
+	g.adj[x][y] = true
+	g.adj[y][x] = true
+}
+
+// HasEdge reports whether x and y are adjacent.
+func (g *Graph) HasEdge(x, y int) bool { return g.adj[x][y] }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []int {
+	out := make([]int, 0, len(g.adj))
+	for x := range g.adj {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// Degree returns the number of neighbors of x.
+func (g *Graph) Degree(x int) int { return len(g.adj[x]) }
+
+// Neighbors returns x's neighbors in ascending order.
+func (g *Graph) Neighbors(x int) []int {
+	out := make([]int, 0, len(g.adj[x]))
+	for y := range g.adj[x] {
+		out = append(out, y)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Components returns the connected components, each sorted, ordered by
+// smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make(map[int]bool)
+	var comps [][]int
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for _, y := range g.Neighbors(x) {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// cost is the paper's node cost: cost(x) = min over neighbors y of
+// deg(y) − 1, i.e. the fewest other nodes that must be pebbled before a
+// pebble on one of x's neighbors can be removed. Isolated nodes cost 0.
+func (g *Graph) cost(x int) int {
+	best := -1
+	for y := range g.adj[x] {
+		c := g.Degree(y) - 1
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Schedule is the outcome of a pebbling run.
+type Schedule struct {
+	// Order is the sequence in which nodes were pebbled — the chunk
+	// read order the engine should use.
+	Order []int
+	// Peak is the maximum number of pebbles simultaneously in play —
+	// the number of chunk-sized memory slots the merge needs.
+	Peak int
+}
+
+// HeuristicPebble runs the paper's heuristic on each connected component
+// and returns the combined schedule. Peak is the maximum over
+// components (slots are reused between components).
+func HeuristicPebble(g *Graph) Schedule {
+	var sched Schedule
+	for _, comp := range g.Components() {
+		s := pebbleComponent(g, comp)
+		sched.Order = append(sched.Order, s.Order...)
+		if s.Peak > sched.Peak {
+			sched.Peak = s.Peak
+		}
+	}
+	return sched
+}
+
+func pebbleComponent(g *Graph, comp []int) Schedule {
+	inComp := make(map[int]bool, len(comp))
+	for _, x := range comp {
+		inComp[x] = true
+	}
+	pebbled := make(map[int]bool) // P: ever pebbled
+	holding := make(map[int]bool) // Q: currently holding a pebble
+	var order []int
+	peak := 0
+
+	canRemove := func(x int) bool {
+		for y := range g.adj[x] {
+			if !pebbled[y] {
+				return false
+			}
+		}
+		return true
+	}
+	removeAll := func() {
+		for {
+			removed := false
+			for x := range holding {
+				if canRemove(x) {
+					delete(holding, x)
+					removed = true
+				}
+			}
+			if !removed {
+				return
+			}
+		}
+	}
+	place := func(x int) {
+		pebbled[x] = true
+		holding[x] = true
+		order = append(order, x)
+		if len(holding) > peak {
+			peak = len(holding)
+		}
+		removeAll()
+	}
+
+	// Start with the minimum-cost node (ties: smallest ID, matching the
+	// paper's "breaking ties arbitrarily" deterministically).
+	start, bestCost := -1, 0
+	for _, x := range comp {
+		c := g.cost(x)
+		if start < 0 || c < bestCost || (c == bestCost && x < start) {
+			start, bestCost = x, c
+		}
+	}
+	place(start)
+
+	for len(order) < len(comp) {
+		// Candidates: unpebbled neighbors of P within the component.
+		type cand struct {
+			node    int
+			enables bool // placing it lets some pebble be removed
+			cost    int
+		}
+		var cands []cand
+		for x := range pebbled {
+			for y := range g.adj[x] {
+				if pebbled[y] || !inComp[y] {
+					continue
+				}
+				// Would placing y allow a removal from Q ∪ {y}?
+				enables := false
+				pebbled[y] = true
+				for q := range holding {
+					if canRemove(q) {
+						enables = true
+						break
+					}
+				}
+				if !enables && canRemove(y) {
+					enables = true
+				}
+				delete(pebbled, y)
+				cands = append(cands, cand{node: y, enables: enables, cost: g.cost(y)})
+			}
+		}
+		if len(cands) == 0 {
+			// The component's remaining nodes are unreachable from P,
+			// which cannot happen for a connected component; guard
+			// against malformed input by picking the cheapest leftover.
+			for _, x := range comp {
+				if !pebbled[x] {
+					place(x)
+					break
+				}
+			}
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].enables != cands[j].enables {
+				return cands[i].enables
+			}
+			if cands[i].cost != cands[j].cost {
+				return cands[i].cost < cands[j].cost
+			}
+			return cands[i].node < cands[j].node
+		})
+		// Deduplicate (a node can be a neighbor of several P nodes).
+		seen := make(map[int]bool)
+		for _, c := range cands {
+			if !seen[c.node] {
+				place(c.node)
+				break
+			}
+		}
+	}
+	return Schedule{Order: order, Peak: peak}
+}
+
+// OptimalPeak computes the minimum possible peak pebble count by
+// exhaustive state search. It is exponential and intended for verifying
+// the heuristic on small graphs (≤ maxOptimalNodes nodes).
+const maxOptimalNodes = 14
+
+// OptimalPeak returns the optimal peak for the graph, or an error when
+// the graph is too large for exact search.
+func OptimalPeak(g *Graph) (int, error) {
+	nodes := g.Nodes()
+	if len(nodes) > maxOptimalNodes {
+		return 0, fmt.Errorf("pebble: %d nodes exceed exact-search limit %d", len(nodes), maxOptimalNodes)
+	}
+	idx := make(map[int]int, len(nodes))
+	for i, x := range nodes {
+		idx[x] = i
+	}
+	nbr := make([]uint32, len(nodes))
+	for i, x := range nodes {
+		for _, y := range g.Neighbors(x) {
+			nbr[i] |= 1 << uint(idx[y])
+		}
+	}
+	full := uint32(1)<<uint(len(nodes)) - 1
+
+	// Search over states (pebbledSet, holdingSet) for the smallest k
+	// such that the graph can be pebbled with peak ≤ k.
+	type state struct{ p, q uint32 }
+	feasible := func(k int) bool {
+		start := state{0, 0}
+		seen := map[state]bool{start: true}
+		stack := []state{start}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			// Remove pebbles greedily: removal is never harmful since
+			// it only frees capacity (P never shrinks).
+			q := s.q
+			for i := range nodes {
+				if q&(1<<uint(i)) != 0 && nbr[i]&^s.p == 0 {
+					q &^= 1 << uint(i)
+				}
+			}
+			s.q = q
+			if s.p == full {
+				return true
+			}
+			if popcount(s.q) >= k {
+				continue // no capacity to place; dead end
+			}
+			for i := range nodes {
+				bit := uint32(1) << uint(i)
+				if s.p&bit != 0 {
+					continue
+				}
+				ns := state{s.p | bit, s.q | bit}
+				if !seen[ns] {
+					seen[ns] = true
+					stack = append(stack, ns)
+				}
+			}
+		}
+		return false
+	}
+	for k := 1; k <= len(nodes); k++ {
+		if feasible(k) {
+			return k, nil
+		}
+	}
+	return len(nodes), nil
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// MaxDegreeBound returns max degree + 1, the paper's upper bound on the
+// pebbles needed.
+func MaxDegreeBound(g *Graph) int {
+	m := 0
+	for x := range g.adj {
+		if d := g.Degree(x); d > m {
+			m = d
+		}
+	}
+	return m + 1
+}
+
+// VerifySchedule checks that a schedule is a legal pebbling of the graph
+// (every node pebbled exactly once) and returns the actual peak it
+// achieves. Used by tests and by the engine as a sanity check.
+func VerifySchedule(g *Graph, order []int) (int, error) {
+	pebbled := make(map[int]bool)
+	holding := make(map[int]bool)
+	peak := 0
+	for _, x := range order {
+		if _, ok := g.adj[x]; !ok {
+			return 0, fmt.Errorf("pebble: schedule names unknown node %d", x)
+		}
+		if pebbled[x] {
+			return 0, fmt.Errorf("pebble: node %d pebbled twice", x)
+		}
+		pebbled[x] = true
+		holding[x] = true
+		if len(holding) > peak {
+			peak = len(holding)
+		}
+		for {
+			removed := false
+			for q := range holding {
+				ok := true
+				for y := range g.adj[q] {
+					if !pebbled[y] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					delete(holding, q)
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+	if len(pebbled) != g.NumNodes() {
+		return 0, fmt.Errorf("pebble: schedule covers %d of %d nodes", len(pebbled), g.NumNodes())
+	}
+	return peak, nil
+}

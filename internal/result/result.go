@@ -1,0 +1,261 @@
+// Package result renders query results: the two-axis grids an MDX
+// SELECT produces (paper Fig. 3), with optional dimension properties on
+// rows, as Go values and as fixed-width text tables.
+package result
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Grid is a two-dimensional query result: rows × columns of cell values
+// with ⊥ rendered as NaN.
+type Grid struct {
+	// ColLabels has one label per column tuple.
+	ColLabels []string
+	// RowLabels has one label per row tuple.
+	RowLabels []string
+	// PropNames names the dimension properties attached to rows.
+	PropNames []string
+	// RowProps holds, for each row, one value per property name.
+	RowProps [][]string
+	// Values is indexed [row][col]; NaN is the meaningless value ⊥.
+	Values [][]float64
+}
+
+// New allocates a grid of the given shape with all cells ⊥.
+func New(rows, cols int) *Grid {
+	g := &Grid{
+		ColLabels: make([]string, cols),
+		RowLabels: make([]string, rows),
+		Values:    make([][]float64, rows),
+	}
+	for i := range g.Values {
+		g.Values[i] = make([]float64, cols)
+		for j := range g.Values[i] {
+			g.Values[i][j] = math.NaN()
+		}
+	}
+	return g
+}
+
+// NumRows returns the row count.
+func (g *Grid) NumRows() int { return len(g.RowLabels) }
+
+// NumCols returns the column count.
+func (g *Grid) NumCols() int { return len(g.ColLabels) }
+
+// NonNullCells counts cells holding a value.
+func (g *Grid) NonNullCells() int {
+	n := 0
+	for _, row := range g.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DropEmptyRows removes rows whose every cell is ⊥ (MDX NON EMPTY on
+// the row axis). It returns the number of rows removed.
+func (g *Grid) DropEmptyRows() int {
+	kept := 0
+	for i := range g.RowLabels {
+		empty := true
+		for _, v := range g.Values[i] {
+			if !math.IsNaN(v) {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		g.RowLabels[kept] = g.RowLabels[i]
+		g.Values[kept] = g.Values[i]
+		if i < len(g.RowProps) {
+			g.RowProps[kept] = g.RowProps[i]
+		}
+		kept++
+	}
+	removed := len(g.RowLabels) - kept
+	g.RowLabels = g.RowLabels[:kept]
+	g.Values = g.Values[:kept]
+	if len(g.RowProps) > kept {
+		g.RowProps = g.RowProps[:kept]
+	}
+	return removed
+}
+
+// DropEmptyCols removes columns whose every cell is ⊥ (MDX NON EMPTY on
+// the column axis). It returns the number of columns removed.
+func (g *Grid) DropEmptyCols() int {
+	keep := make([]bool, len(g.ColLabels))
+	for j := range g.ColLabels {
+		for i := range g.Values {
+			if !math.IsNaN(g.Values[i][j]) {
+				keep[j] = true
+				break
+			}
+		}
+	}
+	kept := 0
+	for j, k := range keep {
+		if !k {
+			continue
+		}
+		g.ColLabels[kept] = g.ColLabels[j]
+		for i := range g.Values {
+			g.Values[i][kept] = g.Values[i][j]
+		}
+		kept++
+	}
+	removed := len(g.ColLabels) - kept
+	g.ColLabels = g.ColLabels[:kept]
+	for i := range g.Values {
+		g.Values[i] = g.Values[i][:kept]
+	}
+	return removed
+}
+
+// String renders the grid as a fixed-width text table. ⊥ cells render
+// as "⊥" (matching the paper's figures).
+func (g *Grid) String() string {
+	cols := g.NumCols()
+	// Compute column widths: row-label column, property columns, value
+	// columns.
+	labelW := len("")
+	for _, l := range g.RowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	propW := make([]int, len(g.PropNames))
+	for i, n := range g.PropNames {
+		propW[i] = len(n)
+	}
+	for _, props := range g.RowProps {
+		for i, v := range props {
+			if i < len(propW) && len(v) > propW[i] {
+				propW[i] = len(v)
+			}
+		}
+	}
+	valW := make([]int, cols)
+	for j, l := range g.ColLabels {
+		valW[j] = len(l)
+	}
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return "⊥"
+		}
+		return display(v)
+	}
+	for _, row := range g.Values {
+		for j, v := range row {
+			if w := len(cell(v)); w > valW[j] {
+				valW[j] = w
+			}
+		}
+	}
+
+	var b strings.Builder
+	pad := func(s string, w int) {
+		b.WriteString(s)
+		for i := len(s); i < w; i++ {
+			b.WriteByte(' ')
+		}
+	}
+	// Header.
+	pad("", labelW)
+	for i, n := range g.PropNames {
+		b.WriteString("  ")
+		pad(n, propW[i])
+	}
+	for j, l := range g.ColLabels {
+		b.WriteString("  ")
+		pad(l, valW[j])
+	}
+	b.WriteByte('\n')
+	// Rows.
+	for i, rl := range g.RowLabels {
+		pad(rl, labelW)
+		for k := range g.PropNames {
+			v := ""
+			if i < len(g.RowProps) && k < len(g.RowProps[i]) {
+				v = g.RowProps[i][k]
+			}
+			b.WriteString("  ")
+			pad(v, propW[k])
+		}
+		for j, v := range g.Values[i] {
+			b.WriteString("  ")
+			pad(cell(v), valW[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the grid as comma-separated values with an empty field
+// for ⊥.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	b.WriteString("row")
+	for _, p := range g.PropNames {
+		b.WriteByte(',')
+		b.WriteString(esc(p))
+	}
+	for _, c := range g.ColLabels {
+		b.WriteByte(',')
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for i, rl := range g.RowLabels {
+		b.WriteString(esc(rl))
+		for k := range g.PropNames {
+			b.WriteByte(',')
+			if i < len(g.RowProps) && k < len(g.RowProps[i]) {
+				b.WriteString(esc(g.RowProps[i][k]))
+			}
+		}
+		for _, v := range g.Values[i] {
+			b.WriteByte(',')
+			if !math.IsNaN(v) {
+				b.WriteString(strconv(v))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// strconv formats a value compactly for machine output (CSV): integers
+// without a decimal point, everything else at full precision.
+func strconv(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// display formats a value for text tables: integers plain, other values
+// rounded to two decimals (OLAP front-end convention).
+func display(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if av := math.Abs(v); av >= 0.01 && av < 1e15 {
+		return fmt.Sprintf("%.2f", v)
+	}
+	return fmt.Sprintf("%g", v)
+}

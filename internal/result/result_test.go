@@ -1,0 +1,118 @@
+package result
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Grid {
+	g := New(2, 2)
+	g.ColLabels[0], g.ColLabels[1] = "Q1", "Q2"
+	g.RowLabels[0], g.RowLabels[1] = "NY", "MA"
+	g.PropNames = []string{"Dept"}
+	g.RowProps = [][]string{{"FTE"}, {"PTE"}}
+	g.Values[0][0] = 60
+	g.Values[0][1] = 30.5
+	// (1,0) stays ⊥
+	g.Values[1][1] = 90
+	return g
+}
+
+func TestShape(t *testing.T) {
+	g := sample()
+	if g.NumRows() != 2 || g.NumCols() != 2 {
+		t.Fatalf("shape = %dx%d", g.NumRows(), g.NumCols())
+	}
+	if g.NonNullCells() != 3 {
+		t.Fatalf("NonNullCells = %d, want 3", g.NonNullCells())
+	}
+}
+
+func TestNewStartsNull(t *testing.T) {
+	g := New(1, 3)
+	for _, v := range g.Values[0] {
+		if !math.IsNaN(v) {
+			t.Fatal("fresh grid should be all ⊥")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"Q1", "Q2", "NY", "MA", "Dept", "FTE", "60", "30.5", "⊥"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want 3", len(lines))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	csv := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "row,Dept,Q1,Q2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "NY,FTE,60,30.5" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "MA,PTE,,90" {
+		t.Fatalf("row 2 = %q (⊥ should be empty)", lines[2])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	g := New(1, 1)
+	g.ColLabels[0] = `with,comma`
+	g.RowLabels[0] = `with"quote`
+	g.Values[0][0] = 1
+	csv := g.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"with""quote"`) {
+		t.Fatalf("escaping wrong:\n%s", csv)
+	}
+}
+
+func TestDropEmptyRows(t *testing.T) {
+	g := sample() // row MA has one value; add an all-⊥ row via a new grid
+	g2 := New(3, 2)
+	copy(g2.ColLabels, g.ColLabels)
+	g2.RowLabels[0], g2.RowLabels[1], g2.RowLabels[2] = "a", "empty", "b"
+	g2.PropNames = []string{"P"}
+	g2.RowProps = [][]string{{"pa"}, {"pe"}, {"pb"}}
+	g2.Values[0][0] = 1
+	g2.Values[2][1] = 2
+	if removed := g2.DropEmptyRows(); removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if g2.NumRows() != 2 || g2.RowLabels[0] != "a" || g2.RowLabels[1] != "b" {
+		t.Fatalf("rows = %v", g2.RowLabels)
+	}
+	if g2.RowProps[1][0] != "pb" {
+		t.Fatalf("props misaligned: %v", g2.RowProps)
+	}
+}
+
+func TestDropEmptyCols(t *testing.T) {
+	g := New(2, 3)
+	g.ColLabels[0], g.ColLabels[1], g.ColLabels[2] = "c0", "empty", "c2"
+	g.RowLabels[0], g.RowLabels[1] = "r0", "r1"
+	g.Values[0][0] = 1
+	g.Values[1][2] = 2
+	if removed := g.DropEmptyCols(); removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if g.NumCols() != 2 || g.ColLabels[1] != "c2" {
+		t.Fatalf("cols = %v", g.ColLabels)
+	}
+	if g.Values[1][1] != 2 {
+		t.Fatalf("values misaligned: %v", g.Values)
+	}
+	// Dropping from an already-clean grid is a no-op.
+	if g.DropEmptyCols() != 0 || g.DropEmptyRows() != 0 {
+		t.Fatal("second drop should remove nothing")
+	}
+}

@@ -1,0 +1,130 @@
+// Package simdisk models the disk behaviour of the paper's co-location
+// experiment (§6.2) deterministically. The paper measures elapsed time
+// of a merge query while the physical separation between related chunks
+// grows; query time first rises with separation and then stabilizes
+// "because disk seek time eventually becomes a constant overhead".
+//
+// We have no spinning disk, so we substitute an explicit cost model:
+//
+//	cost(read) = Base + min(distance·PerChunk, SeekCap) + Transfer
+//
+// where distance is the number of chunks between the head position and
+// the target. The saturating min term reproduces the plateau; the linear
+// term reproduces the initial growth. The model attaches to a
+// chunk.Store through its read hook, so every engine chunk read is
+// accounted without the engine knowing about disks.
+package simdisk
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Model holds the seek-cost parameters. All costs are in milliseconds of
+// modeled time.
+type Model struct {
+	// Base is the fixed per-read overhead (controller + rotational).
+	Base float64
+	// PerChunk is the seek cost per chunk of head travel.
+	PerChunk float64
+	// SeekCap bounds the seek term: beyond SeekCap/PerChunk chunks of
+	// travel, seeking costs the same regardless of distance.
+	SeekCap float64
+	// Transfer is the per-chunk transfer cost.
+	Transfer float64
+}
+
+// DefaultModel returns parameters shaped like a mid-2000s commodity
+// drive (the paper's testbed era): ~8 ms full-stroke seek, sub-ms
+// short seeks, small per-chunk transfer.
+func DefaultModel() Model {
+	return Model{Base: 0.05, PerChunk: 0.001, SeekCap: 8.0, Transfer: 0.02}
+}
+
+// Validate checks the model's parameters.
+func (m Model) Validate() error {
+	if m.Base < 0 || m.PerChunk < 0 || m.SeekCap < 0 || m.Transfer < 0 {
+		return fmt.Errorf("simdisk: negative cost in model %+v", m)
+	}
+	return nil
+}
+
+// ReadCost returns the modeled cost of reading the chunk at position
+// `to` with the head at position `from`.
+func (m Model) ReadCost(from, to int) float64 {
+	dist := math.Abs(float64(to - from))
+	return m.Base + math.Min(dist*m.PerChunk, m.SeekCap) + m.Transfer
+}
+
+// Disk accumulates modeled I/O cost over a sequence of chunk reads. The
+// zero value is not usable; create with New.
+type Disk struct {
+	model Model
+	head  int
+	stats Stats
+}
+
+// Stats summarizes the disk activity so far.
+type Stats struct {
+	// Reads is the number of chunk reads.
+	Reads int
+	// SeekChunks is the total head travel in chunks.
+	SeekChunks int
+	// CostMs is the total modeled time in milliseconds.
+	CostMs float64
+}
+
+// Cost returns the modeled time as a duration.
+func (s Stats) Cost() time.Duration {
+	return time.Duration(s.CostMs * float64(time.Millisecond))
+}
+
+// New creates a disk with the head parked at position 0.
+func New(model Model) (*Disk, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{model: model}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(model Model) *Disk {
+	d, err := New(model)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Read models a read of the chunk at the given physical position and
+// returns its cost.
+func (d *Disk) Read(pos int) float64 {
+	c := d.model.ReadCost(d.head, pos)
+	if pos > d.head {
+		d.stats.SeekChunks += pos - d.head
+	} else {
+		d.stats.SeekChunks += d.head - pos
+	}
+	d.head = pos
+	d.stats.Reads++
+	d.stats.CostMs += c
+	return c
+}
+
+// Hook returns a function suitable for chunk.(*Store).SetReadHook.
+func (d *Disk) Hook() func(id int) {
+	return func(id int) { d.Read(id) }
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Reset parks the head at 0 and clears statistics.
+func (d *Disk) Reset() {
+	d.head = 0
+	d.stats = Stats{}
+}
+
+// Head returns the current head position.
+func (d *Disk) Head() int { return d.head }

@@ -1,0 +1,107 @@
+package simdisk
+
+import (
+	"testing"
+
+	"whatifolap/internal/chunk"
+)
+
+func TestReadCostShape(t *testing.T) {
+	m := Model{Base: 1, PerChunk: 0.1, SeekCap: 5, Transfer: 0.5}
+	// Zero distance: base + transfer only.
+	if got := m.ReadCost(10, 10); got != 1.5 {
+		t.Fatalf("cost(0) = %v, want 1.5", got)
+	}
+	// Linear region.
+	if got := m.ReadCost(0, 10); got != 1+1.0+0.5 {
+		t.Fatalf("cost(10) = %v, want 2.5", got)
+	}
+	// Saturated region: distance 100 would cost 10 but caps at 5.
+	if got := m.ReadCost(0, 100); got != 1+5+0.5 {
+		t.Fatalf("cost(100) = %v, want 6.5", got)
+	}
+	// Symmetric in direction.
+	if m.ReadCost(100, 0) != m.ReadCost(0, 100) {
+		t.Fatal("seek cost should be symmetric")
+	}
+}
+
+func TestCostMonotoneThenFlat(t *testing.T) {
+	m := DefaultModel()
+	prev := -1.0
+	var flatAt float64
+	for dist := 1; dist <= 1<<20; dist *= 2 {
+		c := m.ReadCost(0, dist)
+		if c < prev {
+			t.Fatalf("cost decreased at distance %d", dist)
+		}
+		prev = c
+		flatAt = c
+	}
+	// Far beyond the cap, doubling distance changes nothing.
+	if m.ReadCost(0, 1<<21) != flatAt {
+		t.Fatal("cost should be flat beyond the seek cap")
+	}
+}
+
+func TestDiskAccumulation(t *testing.T) {
+	d := MustNew(Model{Base: 1, PerChunk: 1, SeekCap: 100, Transfer: 0})
+	d.Read(3) // head 0 -> 3: 1 + 3 = 4
+	d.Read(1) // head 3 -> 1: 1 + 2 = 3
+	s := d.Stats()
+	if s.Reads != 2 {
+		t.Fatalf("Reads = %d", s.Reads)
+	}
+	if s.SeekChunks != 5 {
+		t.Fatalf("SeekChunks = %d, want 5", s.SeekChunks)
+	}
+	if s.CostMs != 7 {
+		t.Fatalf("CostMs = %v, want 7", s.CostMs)
+	}
+	if d.Head() != 1 {
+		t.Fatalf("Head = %d, want 1", d.Head())
+	}
+	d.Reset()
+	if d.Stats().Reads != 0 || d.Head() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(Model{Base: -1}); err == nil {
+		t.Fatal("negative cost should fail validation")
+	}
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestStatsCostDuration(t *testing.T) {
+	s := Stats{CostMs: 1.5}
+	if got := s.Cost().Microseconds(); got != 1500 {
+		t.Fatalf("Cost = %dµs, want 1500", got)
+	}
+}
+
+func TestHookIntegrationWithChunkStore(t *testing.T) {
+	g := chunk.MustGeometry([]int{100}, []int{10})
+	st := chunk.NewStore(g)
+	for i := 0; i < 100; i += 10 {
+		st.Set([]int{i}, 1)
+	}
+	d := MustNew(Model{Base: 1, PerChunk: 1, SeekCap: 1000, Transfer: 0})
+	st.SetReadHook(d.Hook())
+	st.ReadChunk(0)
+	st.ReadChunk(9) // long seek
+	st.ReadChunk(9) // no seek
+	s := d.Stats()
+	if s.Reads != 3 {
+		t.Fatalf("Reads = %d", s.Reads)
+	}
+	if s.SeekChunks != 9 {
+		t.Fatalf("SeekChunks = %d, want 9", s.SeekChunks)
+	}
+	if s.CostMs != 3+9 {
+		t.Fatalf("CostMs = %v, want 12", s.CostMs)
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whatifolap/internal/paperdata"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := paperdata.ChunkedWarehouse(nil)
+	var buf bytes.Buffer
+	if err := SaveBinary(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDims() != orig.NumDims() || loaded.NumCells() != orig.NumCells() {
+		t.Fatalf("shape: %d dims / %d cells, want %d / %d",
+			loaded.NumDims(), loaded.NumCells(), orig.NumDims(), orig.NumCells())
+	}
+	orig.Store().NonNull(func(addr []int, v float64) bool {
+		if got := loaded.Leaf(addr); got != v {
+			t.Fatalf("cell %v = %v, want %v", addr, got, v)
+		}
+		return true
+	})
+	lb := loaded.BindingFor("Organization")
+	ob := orig.BindingFor("Organization")
+	if lb == nil {
+		t.Fatal("binding lost")
+	}
+	for _, id := range orig.Dim(0).Leaves() {
+		p := orig.Dim(0).Path(id)
+		lid := loaded.Dim(0).MustLookup(p)
+		if !lb.ValiditySet(lid).Equal(ob.ValiditySet(id)) {
+			t.Fatalf("VS of %s differs", p)
+		}
+	}
+	if err := lb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Ordered/measure flags survive.
+	if !loaded.Dim(2).Ordered() || !loaded.Dim(3).Measure() {
+		t.Fatal("dimension flags lost")
+	}
+}
+
+func TestBinaryWorkforceRoundTrip(t *testing.T) {
+	w, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveBinary(w.Cube, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumCells() != w.Cube.NumCells() {
+		t.Fatalf("cells = %d, want %d", loaded.NumCells(), w.Cube.NumCells())
+	}
+}
+
+func TestBinaryRejectsMemStoreCube(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveBinary(paperdata.Warehouse(), &buf); err == nil {
+		t.Fatal("MemStore cube should be rejected")
+	}
+}
+
+func TestBinaryLoadErrors(t *testing.T) {
+	good := new(bytes.Buffer)
+	if err := SaveBinary(paperdata.ChunkedWarehouse(nil), good); err != nil {
+		t.Fatal(err)
+	}
+	data := good.Bytes()
+
+	// Bad magic.
+	if _, err := LoadBinary(strings.NewReader("NOTMAGIC" + string(data[8:]))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	// Truncations at every prefix length must error, not panic or hang.
+	for _, n := range []int{0, 4, 8, 9, 12, 40, 100, len(data) / 2, len(data) - 1} {
+		if n > len(data) {
+			continue
+		}
+		if _, err := LoadBinary(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation at %d bytes should fail", n)
+		}
+	}
+	// Bit-flip fuzzing over the header region: must never panic.
+	for i := 8; i < 60 && i < len(data); i++ {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("corruption at byte %d caused panic: %v", i, r)
+				}
+			}()
+			_, _ = LoadBinary(bytes.NewReader(corrupted)) // error or success are both fine
+		}()
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	w, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var binBuf bytes.Buffer
+	if err := SaveBinary(w.Cube, &binBuf); err != nil {
+		t.Fatal(err)
+	}
+	var txtBuf strings.Builder
+	if err := Save(w.Cube, &txtBuf); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len() >= txtBuf.Len() {
+		t.Fatalf("binary (%d B) should be smaller than text (%d B)", binBuf.Len(), txtBuf.Len())
+	}
+}

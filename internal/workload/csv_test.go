@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"whatifolap/internal/paperdata"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := paperdata.Warehouse()
+	var sb strings.Builder
+	if err := Save(orig, &sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(sb.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDims() != orig.NumDims() {
+		t.Fatalf("dims = %d, want %d", loaded.NumDims(), orig.NumDims())
+	}
+	if loaded.NumCells() != orig.NumCells() {
+		t.Fatalf("cells = %d, want %d", loaded.NumCells(), orig.NumCells())
+	}
+	// Dimension shapes agree.
+	for i := 0; i < orig.NumDims(); i++ {
+		if loaded.Dim(i).NumMembers() != orig.Dim(i).NumMembers() {
+			t.Fatalf("dim %d members = %d, want %d", i, loaded.Dim(i).NumMembers(), orig.Dim(i).NumMembers())
+		}
+		if loaded.Dim(i).Ordered() != orig.Dim(i).Ordered() {
+			t.Fatalf("dim %d ordered flag differs", i)
+		}
+		if loaded.Dim(i).Measure() != orig.Dim(i).Measure() {
+			t.Fatalf("dim %d measure flag differs", i)
+		}
+	}
+	// Every original cell survives (addresses may renumber identically
+	// since hierarchies are rebuilt in the same order).
+	orig.Store().NonNull(func(addr []int, v float64) bool {
+		if got := loaded.Leaf(addr); got != v {
+			t.Fatalf("cell %v = %v, want %v", addr, got, v)
+		}
+		return true
+	})
+	// Bindings and validity sets survive.
+	lb := loaded.BindingFor("Organization")
+	if lb == nil {
+		t.Fatal("binding lost")
+	}
+	ob := orig.BindingFor("Organization")
+	for _, id := range orig.Dim(0).Leaves() {
+		p := orig.Dim(0).Path(id)
+		lid := loaded.Dim(0).MustLookup(p)
+		if !lb.ValiditySet(lid).Equal(ob.ValiditySet(id)) {
+			t.Fatalf("VS of %s differs after round trip", p)
+		}
+	}
+}
+
+func TestLoadChunked(t *testing.T) {
+	orig := paperdata.Warehouse()
+	var sb strings.Builder
+	if err := Save(orig, &sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(sb.String()), []int{3, 2, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumCells() != orig.NumCells() {
+		t.Fatalf("chunked cells = %d, want %d", loaded.NumCells(), orig.NumCells())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, src := range []string{
+		"garbage,x",
+		"dimension,D",                                        // short record
+		"member,Nope,,a",                                     // unknown dim
+		"dimension,D,unordered\nmember,D",                    // short member
+		"dimension,D,unordered\nbinding,D,E",                 // unknown param
+		"dimension,D,unordered\nvs,D,a,0",                    // vs before binding
+		"dimension,D,unordered\nmember,D,,a\ncell,a",         // short cell
+		"dimension,D,unordered\nmember,D,,a\ncell,a,xyz",     // bad value
+		"dimension,D,unordered\nmember,D,,a\ncell,a,b,3",     // arity
+		"dimension,D,unordered\ndimension,D,unordered",       // dup dim
+		"dimension,D,unordered\nmember,D,,a\ncell,missing,3", // unknown member
+		"",
+	} {
+		if _, err := Load(strings.NewReader(src), nil); err == nil {
+			t.Errorf("Load(%q) should fail", src)
+		}
+	}
+}
+
+func TestLoadCommentsAndBlank(t *testing.T) {
+	src := `
+# a comment
+dimension,D,ordered
+
+member,D,,a
+member,D,,b
+cell,a,1.5
+`
+	c, err := Load(strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumCells() != 1 {
+		t.Fatalf("cells = %d", c.NumCells())
+	}
+	if got := c.Leaf([]int{0}); math.Abs(got-1.5) > 1e-15 {
+		t.Fatalf("cell = %v", got)
+	}
+	if !c.Dim(0).Ordered() {
+		t.Fatal("ordered flag lost")
+	}
+}
+
+func TestWorkforceRoundTrip(t *testing.T) {
+	w, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Save(w.Cube, &sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(sb.String()), []int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumCells() != w.Cube.NumCells() {
+		t.Fatalf("cells = %d, want %d", loaded.NumCells(), w.Cube.NumCells())
+	}
+	if err := loaded.BindingFor(DimDepartment).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+)
+
+// RetailConfig parameterizes the product/market generator used by the
+// paper's product-bundling examples (§1, §4.2): product families whose
+// membership changes over time, or differs across markets.
+type RetailConfig struct {
+	// Families is the number of product families (the paper's 100, 200,
+	// 300 groups).
+	Families int
+	// ProductsPerFamily is the initial family size.
+	ProductsPerFamily int
+	// Months is the Time extent.
+	Months int
+	// Markets per region (two regions, East and West).
+	MarketsPerRegion int
+	// MovingProducts are re-bundled into another family mid-year
+	// (ordered-parameter changes). Ignored by NewRetailByMarket.
+	MovingProducts int
+	Seed           int64
+}
+
+// ConfigRetail returns the default retail configuration.
+func ConfigRetail() RetailConfig {
+	return RetailConfig{
+		Families: 3, ProductsPerFamily: 4, Months: 12,
+		MarketsPerRegion: 3, MovingProducts: 3, Seed: 7,
+	}
+}
+
+// Validate checks the configuration.
+func (c RetailConfig) Validate() error {
+	if c.Families < 2 || c.ProductsPerFamily < 1 || c.Months < 2 || c.MarketsPerRegion < 1 {
+		return fmt.Errorf("workload: bad retail config %+v", c)
+	}
+	if c.MovingProducts > c.Families*c.ProductsPerFamily {
+		return fmt.Errorf("workload: %d moving products exceed catalog", c.MovingProducts)
+	}
+	return nil
+}
+
+// Retail is a generated product/market dataset.
+type Retail struct {
+	Cube   *cube.Cube
+	Config RetailConfig
+	// Moving lists product names that change family.
+	Moving []string
+}
+
+// NewRetailByTime builds a cube where the Product dimension varies over
+// the ordered Time dimension: MovingProducts are re-bundled into the
+// next family at a mid-year month, like the paper's §4.2 example
+// R = {(1002, 100, 200, Apr), (2001, 200, 300, Apr), (3001, 300, 100, Apr)}.
+func NewRetailByTime(cfg RetailConfig) (*Retail, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	product := dimension.New("Product", false)
+	famNames := make([]string, cfg.Families)
+	var products []string
+	prodFam := map[string]int{}
+	for f := 0; f < cfg.Families; f++ {
+		famNames[f] = fmt.Sprintf("%d", (f+1)*100)
+		product.MustAdd("", famNames[f])
+		for p := 0; p < cfg.ProductsPerFamily; p++ {
+			name := fmt.Sprintf("%d", (f+1)*1000+p+1)
+			product.MustAdd(famNames[f], name)
+			products = append(products, name)
+			prodFam[name] = f
+		}
+	}
+
+	tim := dimension.New("Time", true)
+	for m := 0; m < cfg.Months; m++ {
+		tim.MustAdd("", monthName(m))
+	}
+
+	market := dimension.New("Market", false)
+	market.MustAdd("", "East")
+	market.MustAdd("", "West")
+	for i := 0; i < cfg.MarketsPerRegion; i++ {
+		market.MustAdd("East", fmt.Sprintf("E%d", i+1))
+		market.MustAdd("West", fmt.Sprintf("W%d", i+1))
+	}
+
+	meas := dimension.New("Measures", false)
+	meas.MarkMeasure()
+	meas.MustAdd("", "Sales")
+	meas.MustAdd("", "COGS")
+	meas.MustAdd("", "Margin")
+	meas.MustAdd("", "Margin%")
+
+	c := cube.New(product, tim, market, meas)
+	// The paper's §2 rules: a general margin rule, a scoped East
+	// variant, and a ratio.
+	c.Rules().MustAddFormula("Measures", "Margin", "Sales - COGS")
+	c.Rules().MustAddFormula("Measures", "Margin", "0.93*Sales - COGS",
+		cube.ScopeCond{Dim: "Market", Member: "East"})
+	c.Rules().MustAddFormula("Measures", "Margin%", "[Margin]/[COGS] * 100")
+
+	b := dimension.NewBinding(product, tim)
+	moveMonth := cfg.Months / 3
+	var moving []string
+	for i := 0; i < cfg.MovingProducts; i++ {
+		name := products[i*cfg.ProductsPerFamily%len(products)]
+		if containsString(moving, name) {
+			continue
+		}
+		moving = append(moving, name)
+		from := prodFam[name]
+		to := (from + 1) % cfg.Families
+		newID := product.MustAdd(famNames[to], name)
+		oldID := product.MustLookup(famNames[from] + "/" + name)
+		var before, after []int
+		for m := 0; m < cfg.Months; m++ {
+			if m < moveMonth {
+				before = append(before, m)
+			} else {
+				after = append(after, m)
+			}
+		}
+		b.SetVS(oldID, before...)
+		b.SetVS(newID, after...)
+	}
+	if err := c.AddBinding(b); err != nil {
+		return nil, err
+	}
+
+	// Sales/COGS for every (valid product instance, month, market).
+	for _, name := range products {
+		for _, inst := range product.Instances(name) {
+			vs := b.ValiditySet(inst)
+			for m := 0; m < cfg.Months; m++ {
+				if !vs.Contains(m) {
+					continue
+				}
+				for _, mk := range market.Leaves() {
+					sales := float64(500 + r.Intn(1500))
+					ids := []dimension.MemberID{inst, tim.Leaf(m).ID, mk, meas.MustLookup("Sales")}
+					c.SetValue(ids, sales)
+					ids[3] = meas.MustLookup("COGS")
+					c.SetValue(ids, sales*(0.5+0.3*r.Float64()))
+				}
+			}
+		}
+	}
+	return &Retail{Cube: c, Config: cfg, Moving: moving}, nil
+}
+
+// NewRetailByMarket builds a cube where the Product dimension varies
+// over the unordered Market dimension: a product belongs to one family
+// in eastern markets and another in western markets (the paper's §3.1
+// remark that structural changes "can vary by location"). Only static
+// semantics applies to unordered parameters.
+func NewRetailByMarket(cfg RetailConfig) (*Retail, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	product := dimension.New("Product", false)
+	famNames := make([]string, cfg.Families)
+	var products []string
+	for f := 0; f < cfg.Families; f++ {
+		famNames[f] = fmt.Sprintf("%d", (f+1)*100)
+		product.MustAdd("", famNames[f])
+		for p := 0; p < cfg.ProductsPerFamily; p++ {
+			name := fmt.Sprintf("%d", (f+1)*1000+p+1)
+			product.MustAdd(famNames[f], name)
+			products = append(products, name)
+		}
+	}
+	market := dimension.New("Market", false) // unordered parameter
+	market.MustAdd("", "East")
+	market.MustAdd("", "West")
+	for i := 0; i < cfg.MarketsPerRegion; i++ {
+		market.MustAdd("East", fmt.Sprintf("E%d", i+1))
+		market.MustAdd("West", fmt.Sprintf("W%d", i+1))
+	}
+	meas := dimension.New("Measures", false)
+	meas.MarkMeasure()
+	meas.MustAdd("", "Sales")
+
+	c := cube.New(product, market, meas)
+	b := dimension.NewBinding(product, market)
+
+	// The first product of each family is bundled differently out west:
+	// it moves one family over for the West markets.
+	var east, west []int
+	for o := 0; o < market.NumLeaves(); o++ {
+		if market.Leaf(o).Name[0] == 'E' {
+			east = append(east, o)
+		} else {
+			west = append(west, o)
+		}
+	}
+	var moving []string
+	for f := 0; f < cfg.Families; f++ {
+		name := fmt.Sprintf("%d", (f+1)*1000+1)
+		moving = append(moving, name)
+		to := (f + 1) % cfg.Families
+		newID := product.MustAdd(famNames[to], name)
+		oldID := product.MustLookup(famNames[f] + "/" + name)
+		b.SetVS(oldID, east...)
+		b.SetVS(newID, west...)
+	}
+	if err := c.AddBinding(b); err != nil {
+		return nil, err
+	}
+	for _, name := range products {
+		for _, inst := range product.Instances(name) {
+			vs := b.ValiditySet(inst)
+			for o := 0; o < market.NumLeaves(); o++ {
+				if !vs.Contains(o) {
+					continue
+				}
+				ids := []dimension.MemberID{inst, market.Leaf(o).ID, meas.MustLookup("Sales")}
+				c.SetValue(ids, float64(100+r.Intn(900)))
+			}
+		}
+	}
+	return &Retail{Cube: c, Config: cfg, Moving: moving}, nil
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"testing"
+
+	"whatifolap/internal/algebra"
+	"whatifolap/internal/core"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/perspective"
+)
+
+func TestWorkforceTinyShape(t *testing.T) {
+	w, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.Config
+	dept := w.Cube.DimByName(DimDepartment)
+	if dept == nil {
+		t.Fatal("missing Department dimension")
+	}
+	if len(w.Changing) != cfg.ChangingEmployees {
+		t.Fatalf("changing = %d, want %d", len(w.Changing), cfg.ChangingEmployees)
+	}
+	// Changing employees have ≥ 2 instances; others exactly 1.
+	for _, name := range w.Changing {
+		if n := len(dept.Instances(name)); n < 2 {
+			t.Fatalf("changing employee %s has %d instances", name, n)
+		}
+	}
+	if got := len(dept.VaryingMembers()); got != cfg.ChangingEmployees {
+		t.Fatalf("varying members = %d, want %d", got, cfg.ChangingEmployees)
+	}
+	// Binding invariant holds.
+	b := w.Cube.BindingFor(DimDepartment)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Input cell count: employees × months × accounts × scenarios.
+	want := cfg.Employees * cfg.Months * cfg.Accounts * cfg.Scenarios
+	if got := w.Cube.NumCells(); got != want {
+		t.Fatalf("cells = %d, want %d", got, want)
+	}
+}
+
+func TestWorkforceEveryMonthCovered(t *testing.T) {
+	w, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Cube.BindingFor(DimDepartment)
+	for _, name := range w.Changing {
+		for m := 0; m < w.Config.Months; m++ {
+			if b.InstanceAt(name, m) < 0 {
+				t.Fatalf("employee %s has no valid instance at month %d", name, m)
+			}
+		}
+	}
+}
+
+func TestWorkforceDeterministic(t *testing.T) {
+	a, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cube.NumCells() != b.Cube.NumCells() {
+		t.Fatal("same seed should give same cube")
+	}
+	sum := func(c *cube.Cube) float64 {
+		s := 0.0
+		c.Store().NonNull(func(addr []int, v float64) bool { s += v; return true })
+		return s
+	}
+	if sum(a.Cube) != sum(b.Cube) {
+		t.Fatal("same seed should give same values")
+	}
+}
+
+func TestWorkforceValidation(t *testing.T) {
+	bad := ConfigTiny()
+	bad.MaxMoves = 12 // does not fit in 12 months
+	if _, err := NewWorkforce(bad); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+	bad = ConfigTiny()
+	bad.ChangingEmployees = bad.Employees + 1
+	if _, err := NewWorkforce(bad); err == nil {
+		t.Fatal("too many changing employees should fail")
+	}
+	bad = ConfigTiny()
+	bad.Accounts = 0
+	if _, err := NewWorkforce(bad); err == nil {
+		t.Fatal("zero accounts should fail")
+	}
+}
+
+func TestChangingWithMoves(t *testing.T) {
+	w, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for n := w.Config.MinMoves; n <= w.Config.MaxMoves; n++ {
+		total += len(w.ChangingWithMoves(n, false))
+	}
+	if total != len(w.Changing) {
+		t.Fatalf("moves histogram covers %d of %d", total, len(w.Changing))
+	}
+	if got := len(w.ChangingWithMoves(w.Config.MinMoves, true)); got != len(w.Changing) {
+		t.Fatalf("atLeast(min) = %d, want all %d", got, len(w.Changing))
+	}
+}
+
+// TestWorkforceEngineQuery runs a perspective query end to end on the
+// generated cube and sanity-checks conservation: a forward query with a
+// single January perspective relocates every scoped cell (every month
+// is covered by some instance).
+func TestWorkforceEngineQuery(t *testing.T) {
+	w, err := NewWorkforce(ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(w.Cube, DimDepartment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := w.Changing[:4]
+	v, err := e.ExecPerspective(core.PerspectiveQuery{
+		Members:      scope,
+		Perspectives: []int{0},
+		Sem:          perspective.Forward,
+		Mode:         perspective.NonVisual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.Config
+	wantCells := len(scope) * cfg.Months * cfg.Accounts * cfg.Scenarios
+	if v.Stats.CellsRelocated != wantCells {
+		t.Fatalf("relocated %d cells, want %d", v.Stats.CellsRelocated, wantCells)
+	}
+	// Every scoped employee's yearly total is preserved under forward
+	// with P = {Jan} (only the rows move, not the values).
+	dept := w.Cube.DimByName(DimDepartment)
+	b := w.Cube.BindingFor(DimDepartment)
+	for _, name := range scope {
+		inst0 := b.InstanceAt(name, 0)
+		var wantSum float64
+		w.Cube.Store().NonNull(func(addr []int, val float64) bool {
+			for _, inst := range dept.Instances(name) {
+				if dept.Member(inst).LeafOrdinal == addr[0] {
+					wantSum += val
+				}
+			}
+			return true
+		})
+		var gotSum float64
+		v.Result().Store().NonNull(func(addr []int, val float64) bool {
+			if addr[0] == dept.Member(inst0).LeafOrdinal {
+				gotSum += val
+			}
+			return true
+		})
+		if absDiff(gotSum, wantSum) > 1e-6 {
+			t.Fatalf("%s: forward total %v != input total %v", name, gotSum, wantSum)
+		}
+	}
+}
+
+func TestRetailByTime(t *testing.T) {
+	rt, err := NewRetailByTime(ConfigRetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := rt.Cube.DimByName("Product")
+	if len(rt.Moving) == 0 {
+		t.Fatal("no moving products")
+	}
+	for _, name := range rt.Moving {
+		if len(prod.Instances(name)) != 2 {
+			t.Fatalf("moving product %s has %d instances, want 2", name, len(prod.Instances(name)))
+		}
+	}
+	if err := rt.Cube.BindingFor("Product").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The margin rules from the paper are installed and scoped: East
+	// margins use the 0.93 factor.
+	ids := []string{"Product", "Time", "East", "Margin"}
+	_ = ids
+	m := rt.Cube.DimByName("Measures")
+	if m == nil || len(rt.Cube.Rules().Rules()) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rt.Cube.Rules().Rules()))
+	}
+}
+
+func TestRetailByTimePerspectives(t *testing.T) {
+	rt, err := NewRetailByTime(ConfigRetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := algebra.ApplyPerspectives(rt.Cube, "Product", perspective.Forward, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under P={month 0} forward, every moving product's original
+	// instance covers the whole year.
+	prod := out.DimByName("Product")
+	b := out.BindingFor("Product")
+	for _, name := range rt.Moving {
+		inst0 := b.Varying.Instances(name)[0]
+		_ = prod
+		if got := b.ValiditySet(inst0).Len(); got != rt.Config.Months {
+			t.Fatalf("%s: forward VS covers %d months, want %d", name, got, rt.Config.Months)
+		}
+	}
+}
+
+func TestRetailByMarketStaticOnly(t *testing.T) {
+	rt, err := NewRetailByMarket(ConfigRetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Cube.BindingFor("Product").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic semantics must be rejected over the unordered Market.
+	if _, err := algebra.ApplyPerspectives(rt.Cube, "Product", perspective.Forward, []int{0}); err == nil {
+		t.Fatal("forward over unordered Market should fail")
+	}
+	// Static works: keep only the classification of market E1.
+	out, err := algebra.ApplyPerspectives(rt.Cube, "Product", perspective.Static, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := out.BindingFor("Product")
+	for _, name := range rt.Moving {
+		insts := b.Varying.Instances(name)
+		kept := 0
+		for _, inst := range insts {
+			if !b.ValiditySet(inst).IsEmpty() && b.ValiditySet(inst).Contains(0) {
+				kept++
+			}
+		}
+		if kept != 1 {
+			t.Fatalf("%s: %d instances valid at the static market, want 1", name, kept)
+		}
+	}
+}
+
+func TestRetailValidation(t *testing.T) {
+	bad := ConfigRetail()
+	bad.Families = 1
+	if _, err := NewRetailByTime(bad); err == nil {
+		t.Fatal("single family should fail")
+	}
+	if _, err := NewRetailByMarket(bad); err == nil {
+		t.Fatal("single family should fail (market variant)")
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,280 @@
+// Package olap is a Go implementation of what-if OLAP queries with
+// changing dimensions, after Lakshmanan, Russakovsky and Sashikanth
+// (ICDE 2008).
+//
+// The library models multidimensional cubes whose dimension hierarchies
+// change as a function of a parameter dimension (time, location, …):
+// a member reclassified under different parents exists as several
+// member instances, each with a validity set. What-if queries either
+// negate such changes ("WITH PERSPECTIVE", §3.3) or hypothetically
+// impose new ones ("WITH CHANGES", §3.4), with static/forward/backward
+// semantics and visual/non-visual aggregate evaluation.
+//
+// Three layers are exposed:
+//
+//   - the data model: Dimension, Binding, Cube (NewDimension, NewCube,
+//     NewChunkedCube);
+//   - the what-if algebra: ApplyPerspectives, ApplyChanges, CellValue —
+//     cube-to-cube operators (paper §4);
+//   - the perspective-cube engine and extended MDX: NewEngine for
+//     chunk-backed cubes (paper §5) and Query for the extended-MDX
+//     surface (paper §3).
+//
+// Quickstart:
+//
+//	c := olap.PaperWarehouse()
+//	grid, err := olap.Query(c, `
+//	    WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+//	    SELECT {Descendants([Time], 1, SELF_AND_AFTER)} ON COLUMNS,
+//	           {[PTE].Children} ON ROWS
+//	    FROM Warehouse
+//	    WHERE ([Location].[NY], [Measures].[Salary])`)
+//	fmt.Print(grid)
+package olap
+
+import (
+	"fmt"
+
+	"whatifolap/internal/algebra"
+	"whatifolap/internal/chunk"
+	"whatifolap/internal/core"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+	"whatifolap/internal/mdx"
+	"whatifolap/internal/paperdata"
+	"whatifolap/internal/perspective"
+	"whatifolap/internal/result"
+	"whatifolap/internal/simdisk"
+	"whatifolap/internal/workload"
+)
+
+// Core model types.
+type (
+	// Cube is an n-dimensional mapping from member tuples to values.
+	Cube = cube.Cube
+	// Dimension is a member hierarchy; varying dimensions hold member
+	// instances.
+	Dimension = dimension.Dimension
+	// Member is a node of a dimension hierarchy.
+	Member = dimension.Member
+	// MemberID identifies a member within its dimension.
+	MemberID = dimension.MemberID
+	// Binding declares a varying dimension changing over a parameter
+	// dimension, with per-instance validity sets.
+	Binding = dimension.Binding
+	// Store abstracts cube cell storage.
+	Store = cube.Store
+	// RuleSet defines derived-cell computation (formulas and rollup).
+	RuleSet = cube.RuleSet
+	// ScopeCond scopes a formula rule to a hierarchy subtree.
+	ScopeCond = cube.ScopeCond
+)
+
+// What-if query types.
+type (
+	// Semantics selects static/forward/backward perspective semantics.
+	Semantics = perspective.Semantics
+	// Mode selects visual or non-visual aggregate evaluation.
+	Mode = perspective.Mode
+	// Change is one tuple of a positive-scenario relation R(m, o, n, t).
+	Change = algebra.Change
+	// Transfer is a data-driven scenario: a fraction of matching cells
+	// moves between two members (paper §1's salary-reallocation
+	// example).
+	Transfer = algebra.Transfer
+	// Predicate restricts selection (σ) to matching members.
+	Predicate = algebra.Predicate
+	// Engine evaluates what-if queries over chunked cubes.
+	Engine = core.Engine
+	// View is a queryable perspective cube.
+	View = core.View
+	// EngineStats reports the engine's execution profile.
+	EngineStats = core.Stats
+	// ReadOrder selects the engine's chunk read-order policy.
+	ReadOrder = core.ReadOrder
+	// Grid is a two-axis query result.
+	Grid = result.Grid
+	// Evaluator runs extended-MDX queries against a cube.
+	Evaluator = mdx.Evaluator
+	// DiskModel parameterizes the simulated disk.
+	DiskModel = simdisk.Model
+	// Disk accumulates modeled I/O cost.
+	Disk = simdisk.Disk
+)
+
+// Workload generator types.
+type (
+	// WorkforceConfig parameterizes the workforce-planning dataset of
+	// the paper's evaluation.
+	WorkforceConfig = workload.WorkforceConfig
+	// Workforce is a generated workforce dataset.
+	Workforce = workload.Workforce
+	// RetailConfig parameterizes the product/market dataset.
+	RetailConfig = workload.RetailConfig
+	// Retail is a generated retail dataset.
+	Retail = workload.Retail
+)
+
+// Perspective semantics (paper §3.3).
+const (
+	Static           = perspective.Static
+	Forward          = perspective.Forward
+	ExtendedForward  = perspective.ExtendedForward
+	Backward         = perspective.Backward
+	ExtendedBackward = perspective.ExtendedBackward
+)
+
+// Non-leaf evaluation modes (paper §3.3).
+const (
+	NonVisual = perspective.NonVisual
+	Visual    = perspective.Visual
+)
+
+// Engine read-order policies (paper §5.2 and Lemma 5.1).
+const (
+	OrderPebbling     = core.OrderPebbling
+	OrderVaryingFirst = core.OrderVaryingFirst
+	OrderVaryingLast  = core.OrderVaryingLast
+	OrderCanonical    = core.OrderCanonical
+)
+
+// Null is the meaningless cell value ⊥.
+var Null = cube.Null
+
+// IsNull reports whether a value is ⊥.
+func IsNull(v float64) bool { return cube.IsNull(v) }
+
+// NewDimension creates a dimension. Ordered dimensions can drive
+// dynamic (forward/backward) perspective semantics.
+func NewDimension(name string, ordered bool) *Dimension {
+	return dimension.New(name, ordered)
+}
+
+// NewBinding declares that varying changes as a function of param.
+// Record instance validity with Binding.SetVS, then register the
+// binding with Cube.AddBinding.
+func NewBinding(varying, param *Dimension) *Binding {
+	return dimension.NewBinding(varying, param)
+}
+
+// NewCube creates a sparse in-memory cube over the dimensions.
+func NewCube(dims ...*Dimension) *Cube { return cube.New(dims...) }
+
+// NewChunkedCube creates a cube backed by the chunked-array store the
+// perspective-cube engine requires. chunkDims gives per-dimension chunk
+// edges (clamped to the dimension extent).
+func NewChunkedCube(chunkDims []int, dims ...*Dimension) (*Cube, error) {
+	extents := make([]int, len(dims))
+	for i, d := range dims {
+		extents[i] = d.NumLeaves()
+	}
+	g, err := chunk.NewGeometry(extents, chunkDims)
+	if err != nil {
+		return nil, err
+	}
+	return cube.NewWithStore(chunk.NewStore(g), dims...), nil
+}
+
+// SpillTo bounds a chunk-backed cube's resident memory: least-recently-
+// used chunks are serialized to the given file and faulted back in on
+// access — the paper's cube-behind-a-cache configuration (its testbed
+// held a 20.2 GB cube behind a 256 MB cache). The cube must be chunk-
+// backed (NewChunkedCube, PaperWarehouseChunked, NewWorkforce).
+func SpillTo(c *Cube, path string, budgetBytes int) error {
+	st, ok := c.Store().(*chunk.Store)
+	if !ok {
+		return fmt.Errorf("olap: SpillTo requires a chunk-backed cube, got %T", c.Store())
+	}
+	return st.SpillTo(path, budgetBytes)
+}
+
+// NewEngine creates a perspective-cube engine over a chunk-backed cube
+// for the named varying dimension.
+func NewEngine(c *Cube, varyingDim string) (*Engine, error) {
+	return core.New(c, varyingDim)
+}
+
+// NewEvaluator creates an extended-MDX evaluator bound to a cube.
+func NewEvaluator(c *Cube) *Evaluator { return mdx.NewEvaluator(c) }
+
+// Query parses and runs an extended-MDX query against the cube.
+func Query(c *Cube, src string) (*Grid, error) {
+	return mdx.NewEvaluator(c).Run(src)
+}
+
+// ApplyPerspectives runs the negative-scenario pipeline of the algebra
+// (σ/Φ/ρ composition, paper Theorem 4.1) on any cube: the result holds
+// the relocated leaf cells. Evaluate aggregates with CellValue.
+func ApplyPerspectives(c *Cube, varyingDim string, sem Semantics, perspectives []int) (*Cube, error) {
+	return algebra.ApplyPerspectives(c, varyingDim, sem, perspectives)
+}
+
+// ApplyChanges runs the positive-scenario pipeline (split operator S).
+func ApplyChanges(c *Cube, varyingDim string, changes []Change) (*Cube, error) {
+	return algebra.ApplyChanges(c, varyingDim, changes)
+}
+
+// ApplyTransfer runs a data-driven scenario: Fraction of every matching
+// cell's value moves from Transfer.From to Transfer.To along
+// Transfer.Dim.
+func ApplyTransfer(c *Cube, tr Transfer) (*Cube, error) {
+	return algebra.ApplyTransfer(c, tr)
+}
+
+// CellValue evaluates one cell of a what-if result under the given
+// mode: visual re-aggregates over the transformed cube, non-visual
+// retains input aggregates.
+func CellValue(input, output *Cube, ids []MemberID, mode Mode) (float64, error) {
+	return algebra.CellValue(input, output, ids, mode)
+}
+
+// Select applies the σ operator: the sub-cubes of members failing the
+// predicate are removed.
+func Select(c *Cube, dim string, p Predicate) (*Cube, error) {
+	return algebra.Select(c, dim, p)
+}
+
+// NewDisk creates a simulated disk for I/O cost modeling; attach it to
+// an engine with Engine.AttachDisk.
+func NewDisk(m DiskModel) (*Disk, error) { return simdisk.New(m) }
+
+// DefaultDiskModel returns seek-cost parameters shaped like the paper's
+// mid-2000s testbed drive.
+func DefaultDiskModel() DiskModel { return simdisk.DefaultModel() }
+
+// PaperWarehouse builds the paper's running example (Fig. 1/2): the
+// workforce warehouse in which employee Joe is reclassified FTE → PTE →
+// Contractor. Backed by a plain in-memory store.
+func PaperWarehouse() *Cube { return paperdata.Warehouse() }
+
+// PaperWarehouseChunked is PaperWarehouse over chunked storage, usable
+// with NewEngine.
+func PaperWarehouseChunked() *Cube { return paperdata.ChunkedWarehouse(nil) }
+
+// NewWorkforce generates the paper's evaluation dataset shape at the
+// configured scale.
+func NewWorkforce(cfg WorkforceConfig) (*Workforce, error) {
+	return workload.NewWorkforce(cfg)
+}
+
+// WorkforceDefault returns the default laptop-scale workforce
+// configuration (51 departments, 250 changing employees, 12 months).
+func WorkforceDefault() WorkforceConfig { return workload.ConfigDefault() }
+
+// WorkforcePaper returns the paper's full dataset scale (121M cells).
+func WorkforcePaper() WorkforceConfig { return workload.ConfigPaper() }
+
+// NewRetailByTime generates the product/market dataset with products
+// re-bundled over time.
+func NewRetailByTime(cfg RetailConfig) (*Retail, error) {
+	return workload.NewRetailByTime(cfg)
+}
+
+// NewRetailByMarket generates the dataset with bundling varying across
+// markets (an unordered parameter dimension).
+func NewRetailByMarket(cfg RetailConfig) (*Retail, error) {
+	return workload.NewRetailByMarket(cfg)
+}
+
+// RetailDefault returns the default retail configuration.
+func RetailDefault() RetailConfig { return workload.ConfigRetail() }
