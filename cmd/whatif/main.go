@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ func main() {
 		query     = flag.String("query", "", "run a single query and exit")
 		showStats = flag.Bool("stats", false, "print engine statistics after each query")
 		explain   = flag.Bool("explain", false, "print the evaluation path and optimized plan before each result")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (e.g. 5s); 0 disables")
 	)
 	flag.Parse()
 
@@ -65,7 +67,16 @@ func main() {
 				fmt.Print(ex)
 			}
 		}
-		grid, stats, err := ev.RunQueryStats(q)
+		// The deadline feeds the same cancellation mechanism the query
+		// daemon uses: checked at chunk-iteration boundaries in the
+		// engine and between grid rows.
+		runEv := ev
+		if *timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			runEv = ev.WithContext(ctx)
+		}
+		grid, stats, err := runEv.RunQueryStats(q)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "whatif:", err)
 			return
@@ -101,21 +112,11 @@ func main() {
 func openCube(paper, wf bool, load string, chunked bool) (*olap.Cube, error) {
 	switch {
 	case load != "":
-		f, err := os.Open(load)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		// Sniff the binary magic; fall back to the text dump format.
-		br := bufio.NewReader(f)
-		if magic, err := br.Peek(8); err == nil && string(magic) == "WOLAPBIN" {
-			return workload.LoadBinary(br)
-		}
 		var chunkDims []int
 		if chunked {
 			chunkDims = []int{}
 		}
-		return workload.Load(br, chunkDims)
+		return workload.LoadFile(load, chunkDims)
 	case wf:
 		w, err := olap.NewWorkforce(olap.WorkforceDefault())
 		if err != nil {

@@ -1,0 +1,127 @@
+// Command whatifd is the what-if OLAP query daemon: it loads one or
+// more cubes into a catalog and serves concurrent extended-MDX queries
+// over HTTP with admission control, per-query deadlines, a result
+// cache, and metrics.
+//
+// Endpoints:
+//
+//	POST /query    {"cube": "wf", "query": "SELECT ...", "timeout_ms": 0}
+//	GET  /cubes    catalog listing (name, version, dims, cells, in-flight)
+//	GET  /metrics  counters, cache hit ratio, queue depth, p50/p95/p99
+//	GET  /healthz  liveness
+//
+// Cube sources mirror cmd/whatif: -paper, -workforce, and repeatable
+// -load name=path flags accepting both dump formats of cmd/cubegen.
+//
+// Examples:
+//
+//	whatifd -workforce -addr :8080
+//	curl -s localhost:8080/query -d '{"query": "SELECT {[Account].Levels(0).Members} ON COLUMNS FROM [Db]"}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: listeners close,
+// in-flight queries drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	olap "whatifolap"
+	"whatifolap/internal/server"
+)
+
+// loadFlags collects repeatable -load name=path values.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		paper      = flag.Bool("paper", false, "serve the paper's Fig. 1/2 example warehouse as cube \"paper\"")
+		wf         = flag.Bool("workforce", false, "serve the default generated workforce dataset as cube \"workforce\"")
+		workers    = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		queueCap   = flag.Int("queue", 0, "admission queue capacity (0 = 4×workers); overflow returns 429")
+		cacheBytes = flag.Int("cache-bytes", server.DefaultCacheBytes, "result cache byte budget (0 disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query deadline (0 = none)")
+	)
+	flag.Var(&loads, "load", "serve a cube dump as name=path (repeatable; text or binary format)")
+	flag.Parse()
+
+	catalog := server.NewCatalog()
+	if *paper {
+		if err := catalog.Register("paper", olap.PaperWarehouseChunked()); err != nil {
+			fatal(err)
+		}
+	}
+	if *wf {
+		w, err := olap.NewWorkforce(olap.WorkforceDefault())
+		if err != nil {
+			fatal(err)
+		}
+		if err := catalog.Register("workforce", w.Cube); err != nil {
+			fatal(err)
+		}
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fatal(fmt.Errorf("bad -load %q, want name=path", spec))
+		}
+		if err := catalog.LoadFile(name, path); err != nil {
+			fatal(err)
+		}
+	}
+	names := catalog.Names()
+	if len(names) == 0 {
+		fatal(errors.New("no cubes: pass -paper, -workforce and/or -load name=path"))
+	}
+
+	svc := server.New(catalog, server.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheBytes:     *cacheBytes,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "whatifd: serving %v on %s\n", names, *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "whatifd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "whatifd: shutdown:", err)
+		}
+		svc.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whatifd:", err)
+	os.Exit(1)
+}

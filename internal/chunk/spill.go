@@ -105,16 +105,19 @@ func (t *spillTier) touch(id int) {
 }
 
 // chunkAt returns the chunk for id, faulting it in from the spill file
-// when necessary. It returns nil when the chunk exists nowhere.
+// when necessary. It returns nil when the chunk exists nowhere. With a
+// spill tier attached, lookups mutate LRU/residency state, so they are
+// serialized under mu; without one, the resident map is read directly
+// (safe for concurrent readers).
 func (s *Store) chunkAt(id int) *Chunk {
-	if c, ok := s.chunks[id]; ok {
-		if s.tier != nil {
-			s.tier.touch(id)
-		}
-		return c
-	}
 	if s.tier == nil {
-		return nil
+		return s.chunks[id]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.chunks[id]; ok {
+		s.tier.touch(id)
+		return c
 	}
 	c, err := s.faultIn(id)
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"whatifolap/internal/cube"
 )
@@ -13,19 +15,29 @@ import (
 // exposes chunk-level access used by the perspective-cube engine:
 // enumeration in a dimension order, per-chunk reads with read
 // accounting, and eviction.
+//
+// Concurrency: a fully loaded store is safe for concurrent *readers*
+// (Get, ReadChunk, PeekChunk, NonNull, ChunkIDs) — read accounting is
+// atomic and spill fault-ins are serialized. Mutation (Set, PutChunk,
+// CompressAll, SpillTo, SetReadHook) must not race with readers; the
+// serving layer guarantees this by publishing cubes copy-on-write.
 type Store struct {
 	geom   *Geometry
 	chunks map[int]*Chunk // resident chunks by canonical ID
 
 	// reads counts chunk reads (ReadChunk calls); the engine and the
 	// co-location experiment use it to account I/O.
-	reads int
+	reads atomic.Int64
 	// readHook, when set, observes every chunk read with its canonical
-	// ID (the simulated disk attaches here).
+	// ID (the simulated disk attaches here). Hooks are invoked under mu,
+	// so hook state needs no synchronization of its own.
 	readHook func(id int)
 	// tier, when non-nil, spills least-recently-used chunks to a file
 	// (SpillTo) so the resident set fits a memory budget.
 	tier *spillTier
+	// mu serializes spill fault-ins and read-hook invocations so
+	// concurrent queries can share one store.
+	mu sync.Mutex
 }
 
 // NewStore creates an empty chunked store with the given geometry.
@@ -40,10 +52,10 @@ func (s *Store) Geometry() *Geometry { return s.geom }
 func (s *Store) SetReadHook(fn func(id int)) { s.readHook = fn }
 
 // Reads returns the number of chunk reads so far.
-func (s *Store) Reads() int { return s.reads }
+func (s *Store) Reads() int { return int(s.reads.Load()) }
 
 // ResetReads clears the read counter.
-func (s *Store) ResetReads() { s.reads = 0 }
+func (s *Store) ResetReads() { s.reads.Store(0) }
 
 // Get implements cube.Store.
 func (s *Store) Get(addr []int) float64 {
@@ -164,9 +176,11 @@ func (s *Store) NumChunks() int {
 // read and notifying the read hook (the simulated disk). A nil return
 // means the chunk is empty (not materialized).
 func (s *Store) ReadChunk(id int) *Chunk {
-	s.reads++
+	s.reads.Add(1)
 	if s.readHook != nil {
+		s.mu.Lock()
 		s.readHook(id)
+		s.mu.Unlock()
 	}
 	return s.chunkAt(id)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"whatifolap/internal/algebra"
@@ -57,6 +58,7 @@ type Engine struct {
 	vi, pi  int
 	order   ReadOrder
 	disk    *simdisk.Disk
+	ctx     context.Context
 }
 
 // New creates an engine over a cube whose store is a *chunk.Store and
@@ -80,6 +82,20 @@ func New(base *cube.Cube, varyingName string) (*Engine, error) {
 
 // SetReadOrder selects the chunk read-order policy (default pebbling).
 func (e *Engine) SetReadOrder(o ReadOrder) { e.order = o }
+
+// SetContext attaches a context to the engine: cancellation and
+// deadlines are checked at chunk-iteration boundaries, so a long scan
+// over many chunks is abandoned promptly with the context's error. A
+// nil context disables the checks (the default).
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// checkCtx reports the engine context's error, if any.
+func (e *Engine) checkCtx() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
 
 // AttachDisk routes all chunk reads through a simulated disk, whose
 // modeled cost appears in the view statistics.
@@ -399,6 +415,9 @@ func (e *Engine) run(target map[int][]int, scoped []bool, newDims []*dimension.D
 	addr := make([]int, g.NumDims())
 	out := make([]int, g.NumDims())
 	for _, id := range order {
+		if err := e.checkCtx(); err != nil {
+			return nil, stats, err
+		}
 		ch := e.store.ReadChunk(id)
 		stats.ChunksRead++
 		if ch == nil {
@@ -533,6 +552,9 @@ func (e *Engine) SimulateMultiMDX(members []string, perspectives []int, mode per
 	var stats Stats
 	merged := cube.NewMemStore(e.base.NumDims())
 	for _, p := range perspectives {
+		if err := e.checkCtx(); err != nil {
+			return nil, err
+		}
 		v, err := e.ExecPerspective(PerspectiveQuery{
 			Members:      members,
 			Perspectives: []int{p},

@@ -1,6 +1,7 @@
 package mdx
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,10 +28,28 @@ type Tuple []Coord
 // other cubes fall back to the algebra operators.
 type Evaluator struct {
 	cube *cube.Cube
+	ctx  context.Context
 }
 
 // NewEvaluator creates an evaluator bound to a cube.
 func NewEvaluator(c *cube.Cube) *Evaluator { return &Evaluator{cube: c} }
+
+// WithContext returns a copy of the evaluator whose queries observe the
+// context: cancellation and deadlines are checked at chunk-iteration
+// boundaries in the engine and between grid rows during projection.
+func (ev *Evaluator) WithContext(ctx context.Context) *Evaluator {
+	out := *ev
+	out.ctx = ctx
+	return &out
+}
+
+// checkCtx reports the evaluator context's error, if any.
+func (ev *Evaluator) checkCtx() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	return ev.ctx.Err()
+}
 
 // Run parses and evaluates a query in one call.
 func (ev *Evaluator) Run(src string) (*result.Grid, error) {
@@ -39,6 +58,12 @@ func (ev *Evaluator) Run(src string) (*result.Grid, error) {
 		return nil, err
 	}
 	return ev.RunQuery(q)
+}
+
+// RunContext is Run under a context: the query is abandoned with the
+// context's error at the next cancellation check point.
+func (ev *Evaluator) RunContext(ctx context.Context, src string) (*result.Grid, error) {
+	return ev.WithContext(ctx).Run(src)
 }
 
 // RunQuery evaluates a parsed query into a grid.
@@ -127,6 +152,7 @@ func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, cor
 		if err != nil {
 			return nil, mode, stats, err
 		}
+		eng.SetContext(ev.ctx)
 		view, err := eng.ExecChanges(core.ChangesQuery{Changes: changes, Mode: q.Changes.Mode})
 		if err != nil {
 			return nil, mode, stats, err
@@ -147,6 +173,7 @@ func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, cor
 		if err != nil {
 			return nil, mode, stats, err
 		}
+		eng.SetContext(ev.ctx)
 		members, err := ev.scopeMembers(q, b)
 		if err != nil {
 			return nil, mode, stats, err
@@ -164,6 +191,9 @@ func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, cor
 	}
 
 	// Algebra path: lower to a plan, optimize, execute.
+	if err := ev.checkCtx(); err != nil {
+		return nil, mode, stats, err
+	}
 	plan, mode, err := ev.lowerToPlan(q)
 	if err != nil {
 		return nil, mode, stats, err
@@ -473,6 +503,9 @@ func (ev *Evaluator) project(q *Query, out *cube.Cube, mode perspective.Mode) (*
 	}
 	ids := make([]dimension.MemberID, out.NumDims())
 	for i, rt := range rows {
+		if err := ev.checkCtx(); err != nil {
+			return nil, err
+		}
 		g.RowLabels[i] = ev.tupleLabel(out, rt)
 		if len(props) > 0 {
 			g.RowProps = append(g.RowProps, ev.rowProps(out, rt, props))

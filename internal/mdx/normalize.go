@@ -1,0 +1,61 @@
+package mdx
+
+import "strings"
+
+// keywords are the identifiers the parser matches case-insensitively.
+// Normalize folds these (and only these) to upper case: folding an
+// arbitrary identifier could merge two queries that resolve to
+// different members, but keyword spelling never changes meaning.
+var keywords = map[string]bool{}
+
+func init() {
+	for _, kw := range []string{
+		"WITH", "PERSPECTIVE", "FOR", "STATIC", "DYNAMIC", "EXTENDED",
+		"FORWARD", "BACKWARD", "VISUAL", "NONVISUAL", "NON-VISUAL",
+		"CHANGES", "TRANSFER", "TO", "SELECT", "ON", "COLUMNS", "ROWS",
+		"FROM", "WHERE", "NON", "EMPTY", "DIMENSION", "PROPERTIES",
+		"CROSSJOIN", "UNION", "HEAD", "DESCENDANTS", "SELF", "AFTER",
+		"SELF_AND_AFTER", "MEMBERS", "CHILDREN", "LEVELS",
+	} {
+		keywords[kw] = true
+	}
+}
+
+// Normalize canonicalizes a query's surface form without parsing it:
+// comments are stripped, whitespace runs collapse, keywords fold to
+// upper case, and bracketed names are re-quoted verbatim. Two sources
+// that tokenize identically normalize identically, so the result is a
+// sound cache key for query results (used by the serving layer's
+// result cache). Member names keep their case — only spelling the
+// parser itself treats as case-insensitive is folded.
+func Normalize(src string) (string, error) {
+	l := newLexer(src)
+	var b strings.Builder
+	for {
+		t, err := l.next()
+		if err != nil {
+			return "", err
+		}
+		if t.kind == tokEOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokBracketed:
+			b.WriteByte('[')
+			b.WriteString(t.text)
+			b.WriteByte(']')
+		case tokIdent:
+			if up := strings.ToUpper(t.text); keywords[up] {
+				b.WriteString(up)
+			} else {
+				b.WriteString(t.text)
+			}
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String(), nil
+}

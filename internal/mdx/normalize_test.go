@@ -1,0 +1,70 @@
+package mdx
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeCollapsesFormatting(t *testing.T) {
+	a := `
+WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+SELECT {Descendants([Time], 1, SELF_AND_AFTER)} ON COLUMNS, -- a comment
+       {[PTE].Children} ON ROWS
+FROM Warehouse
+WHERE ([Location].[NY], [Measures].[Salary])`
+	b := `with perspective { ( Feb ) , ( Apr ) } for Organization dynamic forward visual
+select { descendants ( [Time] , 1 , self_and_after ) } on columns , { [PTE] . children } on rows
+from Warehouse where ( [Location] . [NY] , [Measures] . [Salary] )`
+
+	na, err := Normalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Normalize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb {
+		t.Fatalf("normal forms differ:\n%s\n%s", na, nb)
+	}
+	if strings.Contains(na, "\n") || strings.Contains(na, "  ") {
+		t.Fatalf("normal form retains whitespace runs: %q", na)
+	}
+	if strings.Contains(na, "comment") {
+		t.Fatalf("normal form retains comments: %q", na)
+	}
+}
+
+func TestNormalizePreservesMemberCase(t *testing.T) {
+	n, err := Normalize(`SELECT {[PTE].[joe]} ON COLUMNS FROM W WHERE ([Measures].[Salary], Jan)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bracketed and bare member names keep their case; only keywords
+	// fold. "Jan" is not a keyword even though it is a bare identifier.
+	for _, want := range []string{"[joe]", "[PTE]", "Jan", "SELECT", "WHERE"} {
+		if !strings.Contains(n, want) {
+			t.Fatalf("normal form %q lacks %q", n, want)
+		}
+	}
+	nUp, err := Normalize(`select {[PTE].[joe]} on columns from W where ([Measures].[Salary], Jan)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != nUp {
+		t.Fatalf("keyword case changed the normal form:\n%s\n%s", n, nUp)
+	}
+	nOther, err := Normalize(`SELECT {[PTE].[Joe]} ON COLUMNS FROM W WHERE ([Measures].[Salary], Jan)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nOther {
+		t.Fatal("distinct member names normalized to the same key")
+	}
+}
+
+func TestNormalizeRejectsLexErrors(t *testing.T) {
+	if _, err := Normalize("SELECT [unterminated FROM W"); err == nil {
+		t.Fatal("want lexical error")
+	}
+}

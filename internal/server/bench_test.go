@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"whatifolap/internal/workload"
+)
+
+var benchOnce struct {
+	sync.Once
+	w   *workload.Workforce
+	err error
+}
+
+func benchWorkforce(b *testing.B) *workload.Workforce {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchOnce.w, benchOnce.err = workload.NewWorkforce(workload.ConfigTiny())
+	})
+	if benchOnce.err != nil {
+		b.Fatal(benchOnce.err)
+	}
+	return benchOnce.w
+}
+
+// BenchmarkServerThroughput measures end-to-end POST /query throughput
+// across worker-pool sizes, cold (cache off: every request evaluates)
+// and warm (cache on: requests mostly hit after the first evaluation
+// per query shape).
+func BenchmarkServerThroughput(b *testing.B) {
+	w := benchWorkforce(b)
+	queries := workforceQueries(b, w)
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		body, err := json.Marshal(queryRequest{Cube: "wf", Query: q})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		for _, cache := range []struct {
+			name  string
+			bytes int
+		}{{"cold", 0}, {"warm", DefaultCacheBytes}} {
+			b.Run(fmt.Sprintf("workers=%d/cache=%s", workers, cache.name), func(b *testing.B) {
+				cat := NewCatalog()
+				if err := cat.Register("wf", w.Cube); err != nil {
+					b.Fatal(err)
+				}
+				s := New(cat, Config{Workers: workers, QueueCap: 1024, CacheBytes: cache.bytes})
+				defer s.Close()
+				h := s.Handler()
+
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						rec := httptest.NewRecorder()
+						h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query",
+							bytes.NewReader(bodies[i%len(bodies)])))
+						if rec.Code != http.StatusOK {
+							b.Fatalf("status %d: %s", rec.Code, rec.Body)
+						}
+						i++
+					}
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cached query result. The cube version is part
+// of the key, so a copy-on-write catalog update (version bump) makes
+// every prior entry unreachable; InvalidateCube reclaims their bytes
+// eagerly.
+type cacheKey struct {
+	Cube    string
+	Version int64
+	// Query is the normalized source (mdx.Normalize), so formatting and
+	// keyword-case variants of one query share an entry.
+	Query string
+}
+
+// entryOverhead approximates the bookkeeping bytes per cache entry
+// (list element, map bucket share, key struct).
+const entryOverhead = 160
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+func (e *cacheEntry) cost() int { return len(e.body) + len(e.key.Query) + len(e.key.Cube) + entryOverhead }
+
+// resultCache is an LRU result cache bounded by a byte budget rather
+// than an entry count: grids vary from a single cell to thousands, so
+// counting entries would make memory use unpredictable. A non-positive
+// budget disables caching entirely.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int
+	bytes  int
+	ll     *list.List // front = most recently used
+	items  map[cacheKey]*list.Element
+}
+
+// newResultCache creates a cache with the given byte budget.
+func newResultCache(budgetBytes int) *resultCache {
+	return &resultCache{
+		budget: budgetBytes,
+		ll:     list.New(),
+		items:  make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached body for the key, marking it recently used.
+func (c *resultCache) Get(key cacheKey) ([]byte, bool) {
+	if c.budget <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put inserts (or refreshes) an entry, evicting least-recently-used
+// entries until the budget holds. A body larger than the whole budget
+// is not cached.
+func (c *resultCache) Put(key cacheKey, body []byte) {
+	if c.budget <= 0 {
+		return
+	}
+	e := &cacheEntry{key: key, body: body}
+	if e.cost() > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.bytes += e.cost() - old.cost()
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(e)
+		c.bytes += e.cost()
+	}
+	for c.bytes > c.budget {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the least-recently-used entry. Caller holds mu.
+func (c *resultCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := c.ll.Remove(el).(*cacheEntry)
+	delete(c.items, e.key)
+	c.bytes -= e.cost()
+}
+
+// InvalidateCube drops every entry for the named cube regardless of
+// version, returning the number removed. Called on catalog updates so
+// superseded results free their bytes immediately instead of aging out.
+func (c *resultCache) InvalidateCube(cube string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.Cube == cube {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.cost()
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the accounted size of the cache.
+func (c *resultCache) Bytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

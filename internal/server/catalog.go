@@ -1,0 +1,197 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/workload"
+)
+
+// Catalog is the serving layer's cube registry: named, versioned,
+// reference-counted cubes. Published cube values are immutable — admin
+// updates go through Update, which clones the current version, mutates
+// the private clone, and publishes it under the next version number
+// (copy-on-write). In-flight queries keep the snapshot they acquired,
+// so they see a consistent cube for their whole execution while new
+// queries pick up the new version.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*catalogEntry
+}
+
+// catalogEntry tracks one named cube across versions.
+type catalogEntry struct {
+	name string
+	// updateMu serializes Update calls per cube so two admins cannot
+	// clone the same base version concurrently.
+	updateMu sync.Mutex
+	// cur is the published version; swapped under Catalog.mu.
+	cur *cubeVersion
+	// active counts in-flight snapshots across all versions.
+	active atomic.Int64
+}
+
+// cubeVersion is one immutable published cube.
+type cubeVersion struct {
+	version int64
+	cube    *cube.Cube
+}
+
+// Snapshot is a leased reference to one published cube version. Release
+// it when the query completes; the cube value stays valid regardless
+// (old versions are garbage-collected once unreferenced), but the lease
+// keeps the catalog's in-flight accounting honest.
+type Snapshot struct {
+	Name     string
+	Version  int64
+	Cube     *cube.Cube
+	entry    *catalogEntry
+	released atomic.Bool
+}
+
+// Release returns the lease. Safe to call more than once.
+func (s *Snapshot) Release() {
+	if s.entry != nil && s.released.CompareAndSwap(false, true) {
+		s.entry.active.Add(-1)
+	}
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{entries: make(map[string]*catalogEntry)}
+}
+
+// Register publishes a cube under a name at version 1. The caller must
+// not mutate the cube afterwards; use Update for subsequent changes.
+func (c *Catalog) Register(name string, cb *cube.Cube) error {
+	if name == "" {
+		return fmt.Errorf("server: empty cube name")
+	}
+	if cb == nil {
+		return fmt.Errorf("server: nil cube for %q", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[name]; dup {
+		return fmt.Errorf("server: cube %q already registered", name)
+	}
+	c.entries[name] = &catalogEntry{
+		name: name,
+		cur:  &cubeVersion{version: 1, cube: cb},
+	}
+	return nil
+}
+
+// LoadFile loads a cube dump (text or binary workload format) and
+// registers it under the name. Text dumps get chunked storage with
+// default edges so the perspective-cube engine applies.
+func (c *Catalog) LoadFile(name, path string) error {
+	cb, err := workload.LoadFile(path, []int{})
+	if err != nil {
+		return fmt.Errorf("server: loading %q: %w", path, err)
+	}
+	return c.Register(name, cb)
+}
+
+// Acquire leases the current version of the named cube.
+func (c *Catalog) Acquire(name string) (*Snapshot, error) {
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	var cur *cubeVersion
+	if ok {
+		cur = e.cur
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown cube %q", name)
+	}
+	e.active.Add(1)
+	return &Snapshot{Name: name, Version: cur.version, Cube: cur.cube, entry: e}, nil
+}
+
+// Update applies a copy-on-write mutation to the named cube: mutate
+// receives a deep clone of the current version and returns the cube to
+// publish (return its argument after in-place edits, or a derived cube
+// such as an ApplyChanges result). On success the version is bumped and
+// the new version number returned. In-flight snapshots are unaffected.
+func (c *Catalog) Update(name string, mutate func(*cube.Cube) (*cube.Cube, error)) (int64, error) {
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("server: unknown cube %q", name)
+	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+
+	c.mu.RLock()
+	base := e.cur
+	c.mu.RUnlock()
+
+	next, err := mutate(base.cube.Clone())
+	if err != nil {
+		return 0, err
+	}
+	if next == nil {
+		return 0, fmt.Errorf("server: update of %q returned no cube", name)
+	}
+	nv := &cubeVersion{version: base.version + 1, cube: next}
+	c.mu.Lock()
+	e.cur = nv
+	c.mu.Unlock()
+	return nv.version, nil
+}
+
+// CubeInfo describes one catalog entry for /cubes.
+type CubeInfo struct {
+	Name       string   `json:"name"`
+	Version    int64    `json:"version"`
+	Dimensions []string `json:"dimensions"`
+	Cells      int      `json:"cells"`
+	InFlight   int64    `json:"in_flight"`
+}
+
+// List describes all entries, sorted by name.
+func (c *Catalog) List() []CubeInfo {
+	c.mu.RLock()
+	entries := make([]*catalogEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	out := make([]CubeInfo, 0, len(entries))
+	for _, e := range entries {
+		c.mu.RLock()
+		cur := e.cur
+		c.mu.RUnlock()
+		dims := make([]string, cur.cube.NumDims())
+		for i := range dims {
+			dims[i] = cur.cube.Dim(i).Name()
+		}
+		out = append(out, CubeInfo{
+			Name:       e.name,
+			Version:    cur.version,
+			Dimensions: dims,
+			Cells:      cur.cube.NumCells(),
+			InFlight:   e.active.Load(),
+		})
+	}
+	return out
+}
+
+// Names returns the registered cube names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExecutorRunsTasks(t *testing.T) {
+	e := NewExecutor(2, 4)
+	defer e.Close()
+	var mu sync.Mutex
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := e.Do(context.Background(), func(context.Context) error {
+				mu.Lock()
+				n++
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 10 {
+		t.Fatalf("ran %d tasks, want 10", n)
+	}
+}
+
+// blockWorker occupies one worker with a task that holds until release
+// is closed, returning once the worker has picked it up.
+func blockWorker(t *testing.T, e *Executor, release <-chan struct{}) *sync.WaitGroup {
+	t.Helper()
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.Do(context.Background(), func(context.Context) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	return &wg
+}
+
+func TestExecutorOverload(t *testing.T) {
+	e := NewExecutor(1, 1)
+	defer e.Close()
+	release := make(chan struct{})
+	wg := blockWorker(t, e, release)
+
+	// Fill the single queue slot with a second task.
+	queued := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		queued <- e.Do(context.Background(), func(context.Context) error { return nil })
+	}()
+	waitFor(t, func() bool { return e.QueueDepth() == 1 })
+
+	// Worker busy, queue full: admission must fail fast.
+	if err := e.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Do on full queue = %v, want ErrOverloaded", err)
+	}
+
+	close(release)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued task failed after release: %v", err)
+	}
+	wg.Wait()
+}
+
+func TestExecutorSkipsCanceledQueuedTask(t *testing.T) {
+	e := NewExecutor(1, 1)
+	defer e.Close()
+	release := make(chan struct{})
+	wg := blockWorker(t, e, release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	queued := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		queued <- e.Do(ctx, func(context.Context) error { ran = true; return nil })
+	}()
+	waitFor(t, func() bool { return e.QueueDepth() == 1 })
+
+	cancel()
+	close(release)
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled queued task = %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	if ran {
+		t.Fatal("worker ran a task whose context died in the queue")
+	}
+}
+
+func TestExecutorRecoversPanic(t *testing.T) {
+	e := NewExecutor(1, 1)
+	defer e.Close()
+	err := e.Do(context.Background(), func(context.Context) error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "query panicked: boom") {
+		t.Fatalf("panicking task = %v, want panic error", err)
+	}
+	// The worker survived the panic.
+	if err := e.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("pool dead after panic: %v", err)
+	}
+}
+
+func TestExecutorClose(t *testing.T) {
+	e := NewExecutor(2, 2)
+	e.Close()
+	e.Close() // idempotent
+	if err := e.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("Do after Close = %v, want ErrShuttingDown", err)
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

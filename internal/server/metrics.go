@@ -1,0 +1,163 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (milliseconds) of the latency
+// histogram's exponential buckets; the final implicit bucket is +Inf.
+var latencyBucketsMs = [...]float64{
+	0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000, 30000,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters,
+// in the style of expvar: cheap to update from many goroutines, read by
+// snapshotting.
+type histogram struct {
+	counts [len(latencyBucketsMs) + 1]atomic.Int64
+	sumUs  atomic.Int64
+	count  atomic.Int64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBucketsMs[:], ms)
+	h.counts[i].Add(1)
+	h.sumUs.Add(d.Microseconds())
+	h.count.Add(1)
+}
+
+// quantile estimates the q-th quantile (0 < q < 1) in milliseconds from
+// the bucket counts, reporting each bucket's upper bound. The +Inf
+// bucket reports the largest finite bound.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(latencyBucketsMs) {
+				return latencyBucketsMs[i]
+			}
+			break
+		}
+	}
+	return latencyBucketsMs[len(latencyBucketsMs)-1]
+}
+
+// LatencySnapshot summarizes the latency histogram.
+type LatencySnapshot struct {
+	Count int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Metrics is the serving layer's observability surface: expvar-style
+// counters, a latency histogram, and gauges sampled at snapshot time.
+// All update paths are atomic; one Metrics is shared by the executor,
+// cache and HTTP handlers.
+type Metrics struct {
+	start time.Time
+
+	QueriesServed atomic.Int64 // queries answered successfully (incl. cache hits)
+	QueryErrors   atomic.Int64 // parse/eval failures
+	Overloaded    atomic.Int64 // admissions rejected by the full queue
+	Canceled      atomic.Int64 // queries abandoned by client cancellation
+	TimedOut      atomic.Int64 // queries abandoned by deadline
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
+
+	latency histogram
+
+	mu    sync.Mutex
+	bySem map[string]int64
+
+	// queueDepth and cacheBytes are sampled at snapshot time.
+	queueDepth func() int
+	cacheBytes func() int
+}
+
+// NewMetrics creates an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), bySem: make(map[string]int64)}
+}
+
+// ObserveLatency records one successful query execution time.
+func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observe(d) }
+
+// CountSemantics bumps the per-semantics query breakdown.
+func (m *Metrics) CountSemantics(sem string) {
+	m.mu.Lock()
+	m.bySem[sem]++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape served at /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	QueriesServed int64            `json:"queries_served"`
+	QueryErrors   int64            `json:"query_errors"`
+	Overloaded    int64            `json:"overloaded"`
+	Canceled      int64            `json:"canceled"`
+	TimedOut      int64            `json:"timed_out"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	CacheHitRatio float64          `json:"cache_hit_ratio"`
+	CacheBytes    int              `json:"cache_bytes"`
+	QueueDepth    int              `json:"queue_depth"`
+	Latency       LatencySnapshot  `json:"latency"`
+	BySemantics   map[string]int64 `json:"by_semantics"`
+}
+
+// Snapshot captures the current metric values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		QueriesServed: m.QueriesServed.Load(),
+		QueryErrors:   m.QueryErrors.Load(),
+		Overloaded:    m.Overloaded.Load(),
+		Canceled:      m.Canceled.Load(),
+		TimedOut:      m.TimedOut.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		BySemantics:   make(map[string]int64),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(lookups)
+	}
+	if n := m.latency.count.Load(); n > 0 {
+		s.Latency = LatencySnapshot{
+			Count:  n,
+			MeanMs: float64(m.latency.sumUs.Load()) / 1000 / float64(n),
+			P50Ms:  m.latency.quantile(0.50),
+			P95Ms:  m.latency.quantile(0.95),
+			P99Ms:  m.latency.quantile(0.99),
+		}
+	}
+	m.mu.Lock()
+	for k, v := range m.bySem {
+		s.BySemantics[k] = v
+	}
+	m.mu.Unlock()
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	if m.cacheBytes != nil {
+		s.CacheBytes = m.cacheBytes()
+	}
+	return s
+}

@@ -1,0 +1,375 @@
+// Package server is the concurrent what-if query service: a cube
+// catalog (named, versioned, copy-on-write cubes), a bounded-pool
+// executor with admission control, a byte-budgeted LRU result cache
+// keyed on (cube, version, normalized MDX), and an HTTP surface with
+// expvar-style metrics. cmd/whatifd wraps it in a daemon.
+//
+// The layering mirrors the deployment context the paper targets —
+// Essbase answering interactive what-if MDX for many concurrent
+// planning analysts — on top of this repo's single-cube engine:
+//
+//	HTTP ── admission queue ── worker pool ── mdx.Evaluator ── core.Engine
+//	          │                      │
+//	          └── result cache       └── catalog snapshot (refcounted)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"whatifolap/internal/core"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/mdx"
+	"whatifolap/internal/result"
+)
+
+// StatusClientClosedRequest reports client-side cancellation (the nginx
+// convention; Go's stdlib has no constant for it).
+const StatusClientClosedRequest = 499
+
+// Config parameterizes the service. Zero values choose sane defaults.
+type Config struct {
+	// Workers bounds query parallelism (default: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the admission queue; a full queue sheds load with
+	// HTTP 429 (default: 4 × workers).
+	QueueCap int
+	// CacheBytes is the result cache's byte budget; 0 or negative
+	// disables caching. DefaultCacheBytes is used when left zero by
+	// cmd/whatifd, but the library treats 0 as "off" so tests can
+	// exercise the uncached path.
+	CacheBytes int
+	// DefaultTimeout bounds each query when the request does not carry
+	// its own timeout; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds the /query request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// DefaultCacheBytes is the daemon's default result-cache budget.
+const DefaultCacheBytes = 32 << 20
+
+// Server wires catalog, executor, cache and metrics together behind an
+// http.Handler. Create with New, serve Handler(), stop with Close.
+type Server struct {
+	catalog *Catalog
+	exec    *Executor
+	cache   *resultCache
+	metrics *Metrics
+	cfg     Config
+}
+
+// New creates a server over the catalog.
+func New(catalog *Catalog, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.Workers
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		catalog: catalog,
+		exec:    NewExecutor(cfg.Workers, cfg.QueueCap),
+		cache:   newResultCache(cfg.CacheBytes),
+		metrics: NewMetrics(),
+		cfg:     cfg,
+	}
+	s.metrics.queueDepth = s.exec.QueueDepth
+	s.metrics.cacheBytes = s.cache.Bytes
+	return s
+}
+
+// Catalog returns the server's cube catalog.
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// Metrics returns the server's metrics set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops the worker pool after draining admitted queries.
+func (s *Server) Close() { s.exec.Close() }
+
+// UpdateCube applies a copy-on-write catalog update and invalidates the
+// result cache for that cube. This is the server-side hook for
+// WITH CHANGES-style admin updates: in-flight queries finish on their
+// acquired snapshot; subsequent queries see the bumped version and miss
+// the cache.
+func (s *Server) UpdateCube(name string, mutate func(c *cube.Cube) (*cube.Cube, error)) (int64, error) {
+	v, err := s.catalog.Update(name, mutate)
+	if err != nil {
+		return 0, err
+	}
+	s.cache.InvalidateCube(name)
+	return v, nil
+}
+
+// Handler returns the HTTP surface:
+//
+//	POST /query    {"cube": "...", "query": "...", "timeout_ms": 0}
+//	GET  /cubes    catalog listing
+//	GET  /metrics  counters + latency histogram snapshot
+//	GET  /healthz  liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/cubes", s.handleCubes)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Cube names the catalog entry; may be omitted when the catalog
+	// holds exactly one cube.
+	Cube string `json:"cube"`
+	// Query is extended-MDX source.
+	Query string `json:"query"`
+	// TimeoutMs overrides the server's default query deadline.
+	TimeoutMs int `json:"timeout_ms"`
+}
+
+// queryStats is the engine-execution summary attached to responses.
+type queryStats struct {
+	MembersInScope int `json:"members_in_scope"`
+	ChunksRead     int `json:"chunks_read"`
+	CellsRelocated int `json:"cells_relocated"`
+	MergeEdges     int `json:"merge_edges"`
+}
+
+// queryResponse is the POST /query success body. Values use null for
+// the meaningless cell ⊥ (NaN is not valid JSON).
+type queryResponse struct {
+	Cube      string       `json:"cube"`
+	Version   int64        `json:"version"`
+	Columns   []string     `json:"columns"`
+	Rows      []string     `json:"rows"`
+	PropNames []string     `json:"prop_names,omitempty"`
+	RowProps  [][]string   `json:"row_props,omitempty"`
+	Values    [][]*float64 `json:"values"`
+	Stats     queryStats   `json:"stats"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req queryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Cube == "" {
+		if names := s.catalog.Names(); len(names) == 1 {
+			req.Cube = names[0]
+		} else {
+			s.metrics.QueryErrors.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				fmt.Sprintf("no cube named and catalog holds %d cubes", len(names))})
+			return
+		}
+	}
+	snap, err := s.catalog.Acquire(req.Cube)
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	defer snap.Release()
+
+	norm, err := mdx.Normalize(req.Query)
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	started := time.Now()
+	key := cacheKey{Cube: snap.Name, Version: snap.Version, Query: norm}
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		s.metrics.QueriesServed.Add(1)
+		s.metrics.ObserveLatency(time.Since(started))
+		writeCached(w, snap.Version, body, true)
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	q, err := mdx.Parse(req.Query)
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	s.metrics.CountSemantics(classify(q))
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var grid *result.Grid
+	var stats core.Stats
+	err = s.exec.Do(ctx, func(ctx context.Context) error {
+		var runErr error
+		grid, stats, runErr = mdx.NewEvaluator(snap.Cube).WithContext(ctx).RunQueryStats(q)
+		return runErr
+	})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+
+	body, err := json.Marshal(buildResponse(snap, grid, stats))
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	s.cache.Put(key, body)
+	s.metrics.QueriesServed.Add(1)
+	s.metrics.ObserveLatency(time.Since(started))
+	writeCached(w, snap.Version, body, false)
+}
+
+// writeQueryError maps execution errors to status codes and counters.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.Overloaded.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.TimedOut.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"query deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		s.metrics.Canceled.Add(1)
+		writeJSON(w, StatusClientClosedRequest, errorResponse{"query canceled"})
+	case strings.HasPrefix(err.Error(), "server: query panicked"):
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+	default:
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+	}
+}
+
+// buildResponse converts a grid into the wire shape.
+func buildResponse(snap *Snapshot, g *result.Grid, stats core.Stats) queryResponse {
+	values := make([][]*float64, len(g.Values))
+	for i, row := range g.Values {
+		values[i] = make([]*float64, len(row))
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				v := v
+				values[i][j] = &v
+			}
+		}
+	}
+	return queryResponse{
+		Cube:      snap.Name,
+		Version:   snap.Version,
+		Columns:   g.ColLabels,
+		Rows:      g.RowLabels,
+		PropNames: g.PropNames,
+		RowProps:  g.RowProps,
+		Values:    values,
+		Stats: queryStats{
+			MembersInScope: stats.MembersInScope,
+			ChunksRead:     stats.ChunksRead,
+			CellsRelocated: stats.CellsRelocated,
+			MergeEdges:     stats.MergeEdges,
+		},
+	}
+}
+
+// classify buckets a parsed query for the per-semantics metric.
+func classify(q *mdx.Query) string {
+	nP, nT := len(q.Perspectives), len(q.Transfers)
+	switch {
+	case q.Changes == nil && nP == 0 && nT == 0:
+		return "plain"
+	case q.Changes != nil && nP == 0 && nT == 0:
+		return "changes"
+	case q.Changes == nil && nP == 0 && nT > 0:
+		return "transfer"
+	case q.Changes == nil && nP == 1 && nT == 0:
+		sem := strings.ToLower(q.Perspectives[0].Sem.String())
+		return strings.ReplaceAll(sem, " ", "-")
+	}
+	return "mixed"
+}
+
+func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Cubes []CubeInfo `json:"cubes"`
+	}{s.catalog.List()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeCached writes a (possibly cached) success body. Cache state
+// travels in a header so the body bytes stay identical across hits and
+// misses — the cache stores the serialized body verbatim.
+func writeCached(w http.ResponseWriter, version int64, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cube-Version", fmt.Sprint(version))
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		_, _ = w.Write([]byte("\n"))
+	}
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"whatifolap/internal/workload"
+)
+
+// workforceQueries builds one perspective query per semantics over the
+// generated workforce's first changing employee. The employee name is
+// ambiguous across member instances, so it is qualified with its
+// January department path.
+func workforceQueries(t testing.TB, w *workload.Workforce) []string {
+	t.Helper()
+	dept := w.Cube.DimByName(workload.DimDepartment)
+	b := w.Cube.BindingFor(workload.DimDepartment)
+	inst := dept.Path(b.InstanceAt(w.Changing[0], 0))
+	queries := make([]string, 0, 3)
+	for _, sem := range []string{"STATIC", "DYNAMIC FORWARD", "DYNAMIC BACKWARD"} {
+		queries = append(queries, fmt.Sprintf(`
+WITH PERSPECTIVE {(Jan), (Apr), (Jul), (Oct)} FOR Department %s
+SELECT {[Account].Levels(0).Members} ON COLUMNS,
+       {CrossJoin({[%s]}, {Descendants([Period], 1, SELF_AND_AFTER)})} ON ROWS
+FROM [App].[Db]
+WHERE ([Scenario].[Current], [Currency].[Local], [Version].[BU Version_1], [ValueType].[HSP_InputValue])`,
+			sem, inst))
+	}
+	return queries
+}
+
+// TestConcurrentQueriesMatchSerial hammers one workforce cube from 32
+// goroutines with mixed static/forward/backward perspective queries and
+// checks every response against a serial baseline. The cache is off, so
+// each request exercises the full shared read path (catalog snapshot →
+// evaluator → engine → chunk store) concurrently; run under -race this
+// is the serving layer's thread-safety proof.
+func TestConcurrentQueriesMatchSerial(t *testing.T) {
+	w, err := workload.NewWorkforce(workload.ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if err := cat.Register("wf", w.Cube); err != nil {
+		t.Fatal(err)
+	}
+	s := New(cat, Config{Workers: 4, QueueCap: 64, CacheBytes: 0})
+	t.Cleanup(s.Close)
+	h := s.Handler()
+	queries := workforceQueries(t, w)
+
+	// Serial baseline: one evaluation per query shape.
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		rec := postQuery(t, h, queryRequest{Cube: "wf", Query: q})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("serial query %d = %d: %s", i, rec.Code, rec.Body)
+		}
+		want[i] = rec.Body.Bytes()
+	}
+
+	const goroutines = 32
+	const iters = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(queries)
+				rec := postQuery(t, h, queryRequest{Cube: "wf", Query: queries[qi]})
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d query %d: status %d: %s", g, qi, rec.Code, rec.Body)
+					return
+				}
+				if string(rec.Body.Bytes()) != string(want[qi]) {
+					errs <- fmt.Errorf("goroutine %d query %d: concurrent result differs from serial", g, qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.Metrics().Snapshot()
+	wantServed := int64(len(queries) + goroutines*iters)
+	if m.QueriesServed != wantServed {
+		t.Fatalf("queries_served = %d, want %d", m.QueriesServed, wantServed)
+	}
+	if m.CacheHits != 0 {
+		t.Fatalf("cache hits with caching disabled: %d", m.CacheHits)
+	}
+	for _, sem := range []string{"static", "dynamic-forward", "dynamic-backward"} {
+		if m.BySemantics[sem] == 0 {
+			t.Fatalf("no %s queries counted: %v", sem, m.BySemantics)
+		}
+	}
+}
+
+// TestConcurrentQueriesSharedCache repeats the stress with the cache on:
+// bodies must still match the baseline byte for byte (the cache stores
+// serialized bodies verbatim), and most requests should hit.
+func TestConcurrentQueriesSharedCache(t *testing.T) {
+	w, err := workload.NewWorkforce(workload.ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if err := cat.Register("wf", w.Cube); err != nil {
+		t.Fatal(err)
+	}
+	s := New(cat, Config{Workers: 4, QueueCap: 64, CacheBytes: 1 << 20})
+	t.Cleanup(s.Close)
+	h := s.Handler()
+	queries := workforceQueries(t, w)
+
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		rec := postQuery(t, h, queryRequest{Cube: "wf", Query: q})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("serial query %d = %d: %s", i, rec.Code, rec.Body)
+		}
+		want[i] = rec.Body.Bytes()
+	}
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qi := g % len(queries)
+			rec := postQuery(t, h, queryRequest{Cube: "wf", Query: queries[qi]})
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("goroutine %d: status %d: %s", g, rec.Code, rec.Body)
+				return
+			}
+			if string(rec.Body.Bytes()) != string(want[qi]) {
+				errs <- fmt.Errorf("goroutine %d: cached result differs from serial", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.Metrics().Snapshot()
+	if m.CacheHits != goroutines {
+		t.Fatalf("cache hits = %d, want %d (baseline warmed every shape)", m.CacheHits, goroutines)
+	}
+}

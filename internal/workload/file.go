@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"whatifolap/internal/cube"
+)
+
+// LoadAuto reads a cube dump in either serialization format, sniffing
+// the binary magic and falling back to the text format. chunkDims is
+// passed through to Load for text dumps (nil = plain in-memory store;
+// empty = chunked with default edges); binary dumps carry their own
+// geometry.
+func LoadAuto(r io.Reader, chunkDims []int) (*cube.Cube, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(binMagic)); err == nil && string(magic) == binMagic {
+		return LoadBinary(br)
+	}
+	return Load(br, chunkDims)
+}
+
+// LoadFile opens and loads a cube dump from disk in either format —
+// the serving layer's cube-catalog loader and the CLI's -load both use
+// it. Chunked storage is requested (chunkDims as in LoadAuto) so the
+// result can drive the perspective-cube engine.
+func LoadFile(path string, chunkDims []int) (*cube.Cube, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadAuto(f, chunkDims)
+}

@@ -33,6 +33,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 
 	"whatifolap/internal/algebra"
@@ -201,6 +202,22 @@ func NewEvaluator(c *Cube) *Evaluator { return mdx.NewEvaluator(c) }
 func Query(c *Cube, src string) (*Grid, error) {
 	return mdx.NewEvaluator(c).Run(src)
 }
+
+// QueryContext is Query under a context: deadlines and cancellation
+// are observed at chunk-iteration boundaries in the engine and between
+// result rows, so long scans abandon promptly with the context's
+// error. This is the entry point the serving layer (cmd/whatifd) and
+// the CLI's -timeout flag use.
+func QueryContext(ctx context.Context, c *Cube, src string) (*Grid, error) {
+	return mdx.NewEvaluator(c).RunContext(ctx, src)
+}
+
+// NormalizeQuery canonicalizes extended-MDX source without parsing it:
+// comments stripped, whitespace collapsed, keywords upper-cased,
+// member names untouched. Queries that tokenize identically normalize
+// identically, which makes the result a sound cache key (the query
+// service keys its result cache on it).
+func NormalizeQuery(src string) (string, error) { return mdx.Normalize(src) }
 
 // ApplyPerspectives runs the negative-scenario pipeline of the algebra
 // (σ/Φ/ρ composition, paper Theorem 4.1) on any cube: the result holds

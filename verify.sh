@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification gate. Every PR must leave this green.
+set -eu
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go test ./...'
+go test ./...
+
+# Race-detector pass over the concurrent serving layer: the stress
+# test, cache tests and httptest endpoint tests.
+echo ">> go test -race -run 'Concurrent|Server|Cache' ./..."
+go test -race -run 'Concurrent|Server|Cache' ./...
+
+echo 'verify: ok'
