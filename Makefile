@@ -1,4 +1,4 @@
-.PHONY: verify test bench
+.PHONY: verify test bench bench-smoke
 
 verify:
 	./verify.sh
@@ -8,3 +8,8 @@ test:
 
 bench:
 	go test -run XXX -bench . ./...
+
+# A fast sanity pass over the figure benchmarks and the parallel-scan
+# series; full numbers come from `make bench` or cmd/benchfig.
+bench-smoke:
+	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan' -benchtime=100ms .

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, ablation-pebble, ablation-mode, ablation-rep, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, parallel-scan, ablation-pebble, ablation-mode, ablation-rep, all")
 		reps      = flag.Int("reps", 3, "repetitions per point (fastest wins)")
 		employees = flag.Int("employees", 0, "workforce scale override")
 		accounts  = flag.Int("accounts", 0, "accounts override")
@@ -50,9 +50,9 @@ func main() {
 	}
 
 	needWorkforce := map[string]bool{
-		"11": true, "13": true, "ablation-pebble": true,
-		"ablation-mode": true, "ablation-rep": true,
-		"ablation-compress": true, "all": true,
+		"11": true, "13": true, "parallel-scan": true,
+		"ablation-pebble": true, "ablation-mode": true,
+		"ablation-rep": true, "ablation-compress": true, "all": true,
 	}
 	var w *workload.Workforce
 	if needWorkforce[*fig] {
@@ -72,6 +72,8 @@ func main() {
 		fig12(*reps)
 	case "13":
 		fig13(w, *reps)
+	case "parallel-scan":
+		parallelScan(w, *reps)
 	case "ablation-pebble":
 		ablationPebble(w)
 	case "ablation-mode":
@@ -84,6 +86,7 @@ func main() {
 		fig11(w, *reps)
 		fig12(*reps)
 		fig13(w, *reps)
+		parallelScan(w, *reps)
 		ablationPebble(w)
 		ablationMode(w, *reps)
 		ablationRep(w, *reps)
@@ -134,6 +137,21 @@ func fig13(w *workload.Workforce, reps int) {
 	}
 	for _, r := range rows {
 		fmt.Printf("%d,%.3f,%d,%d\n", r.Members, r.WallMS, r.Instances, r.ChunksRead)
+	}
+	fmt.Println()
+}
+
+func parallelScan(w *workload.Workforce, reps int) {
+	fmt.Println("# Parallel scan — scan workers vs. query time")
+	fmt.Println("# dynamic forward over all changing employees, 4 perspectives {Jan,Apr,Jul,Oct};")
+	fmt.Println("# the scan fans out over independent merge groups, speedup relative to 1 worker")
+	fmt.Println("workers,wall_ms,speedup,merge_groups,chunk_reads")
+	rows, err := bench.ParallelScan(w, []int{1, 2, 4, 8}, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%d,%.3f,%.2f,%d,%d\n", r.Workers, r.WallMS, r.Speedup, r.MergeGroups, r.ChunkReads)
 	}
 	fmt.Println()
 }

@@ -40,8 +40,9 @@ func main() {
 		chunked   = flag.Bool("chunked", true, "back the cube with chunked storage (enables the engine)")
 		query     = flag.String("query", "", "run a single query and exit")
 		showStats = flag.Bool("stats", false, "print engine statistics after each query")
-		explain   = flag.Bool("explain", false, "print the evaluation path and optimized plan before each result")
+		explain   = flag.Bool("explain", false, "print the evaluation path and physical plan before each result")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (e.g. 5s); 0 disables")
+		workers   = flag.Int("workers", 1, "scan workers per query (parallel merge-group scan; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -70,13 +71,13 @@ func main() {
 		// The deadline feeds the same cancellation mechanism the query
 		// daemon uses: checked at chunk-iteration boundaries in the
 		// engine and between grid rows.
-		runEv := ev
+		rc := olap.RunContext{Workers: *workers}
 		if *timeout > 0 {
 			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 			defer cancel()
-			runEv = ev.WithContext(ctx)
+			rc.Ctx = ctx
 		}
-		grid, stats, err := runEv.RunQueryStats(q)
+		grid, stats, err := ev.RunQueryStatsWith(rc, q)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "whatif:", err)
 			return
@@ -86,6 +87,9 @@ func main() {
 			fmt.Printf("-- scope=%d members, instances=%d, chunks read=%d, cells relocated=%d, merge edges=%d, peak resident=%d\n",
 				stats.MembersInScope, stats.SourceInstances, stats.ChunksRead,
 				stats.CellsRelocated, stats.MergeEdges, stats.PeakResidentChunks)
+			fmt.Printf("-- groups=%d, workers=%d, plan=%.2fms, scan=%.2fms, merge=%.2fms, project=%.2fms\n",
+				stats.MergeGroups, stats.ScanWorkers,
+				stats.PlanMs, stats.ScanMs, stats.MergeMs, stats.ProjectMs)
 		}
 		fmt.Println()
 	}

@@ -21,6 +21,9 @@ import (
 // atomic and spill fault-ins are serialized. Mutation (Set, PutChunk,
 // CompressAll, SpillTo, SetReadHook) must not race with readers; the
 // serving layer guarantees this by publishing cubes copy-on-write.
+// Both the serving layer's cross-query concurrency and the engine's
+// intra-query parallel merge-group scan (core.ExecContext.Workers)
+// lean on the concurrent-reader guarantee.
 type Store struct {
 	geom   *Geometry
 	chunks map[int]*Chunk // resident chunks by canonical ID

@@ -8,7 +8,6 @@ import (
 	"whatifolap/internal/chunk"
 	"whatifolap/internal/cube"
 	"whatifolap/internal/dimension"
-	"whatifolap/internal/pebble"
 	"whatifolap/internal/perspective"
 	"whatifolap/internal/simdisk"
 )
@@ -47,10 +46,20 @@ func (o ReadOrder) String() string {
 }
 
 // Engine evaluates what-if queries over a chunk-backed cube with one
-// varying dimension binding. Engines are not safe for concurrent use,
-// and the underlying chunk store's read accounting is unsynchronized:
-// run concurrent queries against independent cube clones, not a shared
-// store.
+// varying dimension binding, as a staged pipeline: Plan* builds an
+// inspectable PhysicalPlan (target pruning, merge groups, dependency
+// graph, read schedule), Exec* executes it (scan → relocate → merge →
+// assemble), optionally fanning the scan out over independent merge
+// groups.
+//
+// Concurrency: configure an engine (SetReadOrder, AttachDisk, the
+// deprecated SetContext) before sharing it; after that, the Plan*,
+// Exec* and Simulate* methods mutate no engine state and are safe for
+// concurrent use on one engine over one store. The serving layer relies
+// on this — shared-snapshot queries run through a single chunk store,
+// whose read path is safe for concurrent readers (see chunk.Store).
+// Per-query state (cancellation context, scan parallelism) travels in
+// an ExecContext instead of engine fields.
 type Engine struct {
 	base    *cube.Cube
 	store   *chunk.Store
@@ -58,7 +67,9 @@ type Engine struct {
 	vi, pi  int
 	order   ReadOrder
 	disk    *simdisk.Disk
-	ctx     context.Context
+	// ctx backs the deprecated SetContext shim; new callers thread an
+	// ExecContext through the Exec*With methods instead.
+	ctx context.Context
 }
 
 // New creates an engine over a cube whose store is a *chunk.Store and
@@ -81,24 +92,21 @@ func New(base *cube.Cube, varyingName string) (*Engine, error) {
 }
 
 // SetReadOrder selects the chunk read-order policy (default pebbling).
+// Configuration, not per-query state: set it before sharing the engine.
 func (e *Engine) SetReadOrder(o ReadOrder) { e.order = o }
 
-// SetContext attaches a context to the engine: cancellation and
-// deadlines are checked at chunk-iteration boundaries, so a long scan
-// over many chunks is abandoned promptly with the context's error. A
-// nil context disables the checks (the default).
+// SetContext attaches a default context observed by the Exec* methods
+// that take no ExecContext.
+//
+// Deprecated: thread an ExecContext through ExecPerspectiveWith,
+// ExecChangesWith or SimulateMultiMDXWith instead. SetContext mutates
+// shared engine state, so it is not safe to call concurrently with
+// execution, and one stored context cannot serve concurrent queries.
 func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
 
-// checkCtx reports the engine context's error, if any.
-func (e *Engine) checkCtx() error {
-	if e.ctx == nil {
-		return nil
-	}
-	return e.ctx.Err()
-}
-
 // AttachDisk routes all chunk reads through a simulated disk, whose
-// modeled cost appears in the view statistics.
+// modeled cost appears in the view statistics. Configuration, not
+// per-query state: attach before sharing the engine.
 func (e *Engine) AttachDisk(d *simdisk.Disk) {
 	e.disk = d
 	if d == nil {
@@ -177,14 +185,38 @@ func (e *Engine) planPerspective(q PerspectiveQuery) (members []string, target m
 	return members, target, scoped, nil
 }
 
+// PlanPerspective builds the physical plan for a perspective query
+// without executing it (no chunk I/O): explain output, tests and
+// benchmarks inspect the merge groups, read schedule and pebbling peak
+// from it.
+func (e *Engine) PlanPerspective(q PerspectiveQuery) (*PhysicalPlan, error) {
+	_, target, scoped, err := e.planPerspective(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.buildPlan(target, scoped)
+}
+
 // ExecPerspective plans and runs a perspective query, returning the
-// perspective-cube view.
+// perspective-cube view. Equivalent to ExecPerspectiveWith under the
+// deprecated SetContext context, scanning serially.
 func (e *Engine) ExecPerspective(q PerspectiveQuery) (*View, error) {
+	return e.ExecPerspectiveWith(ExecContext{Ctx: e.ctx}, q)
+}
+
+// ExecPerspectiveWith plans and runs a perspective query under an
+// explicit per-execution context: cancellation from ec.Ctx, scan
+// parallelism from ec.Workers.
+func (e *Engine) ExecPerspectiveWith(ec ExecContext, q PerspectiveQuery) (*View, error) {
 	members, target, scoped, err := e.planPerspective(q)
 	if err != nil {
 		return nil, err
 	}
-	view, stats, err := e.run(target, scoped, nil, nil, q.Mode)
+	plan, err := e.buildPlan(target, scoped)
+	if err != nil {
+		return nil, err
+	}
+	view, stats, err := e.execute(ec, plan, nil, nil, q.Mode)
 	if err != nil {
 		return nil, err
 	}
@@ -206,9 +238,20 @@ type ChangesQuery struct {
 	Mode    perspective.Mode
 }
 
-// ExecChanges plans and runs a positive-scenario query. The result
-// view's varying dimension is extended with the hypothetical instances.
-func (e *Engine) ExecChanges(q ChangesQuery) (*View, error) {
+// changesPlan pairs the physical plan of a positive scenario with the
+// view-assembly inputs it needs: the extended dimension set, rebased
+// bindings and the view→base ordinal remap.
+type changesPlan struct {
+	phys        *PhysicalPlan
+	newDims     []*dimension.Dimension
+	newBindings []*dimension.Binding
+	baseOrd     []int
+	affected    int
+}
+
+// planChanges resolves a positive scenario into a physical plan plus
+// the extended-dimension assembly inputs.
+func (e *Engine) planChanges(q ChangesQuery) (*changesPlan, error) {
 	if len(q.Changes) == 0 {
 		return nil, fmt.Errorf("core: empty change relation")
 	}
@@ -280,191 +323,50 @@ func (e *Engine) ExecChanges(q ChangesQuery) (*View, error) {
 	copy(newDims, e.base.Dims())
 	newDims[e.vi] = newDim
 
-	view, stats, err := e.run(target, scoped, newDims, newBindings, q.Mode)
+	phys, err := e.buildPlan(target, scoped)
 	if err != nil {
 		return nil, err
 	}
-	stats.MembersInScope = len(affected)
-	view.Stats = stats
-	// Remap the view store through baseOrd.
-	view.result.Store().(*viewStore).baseOrd = baseOrd
-	return view, nil
+	return &changesPlan{
+		phys: phys, newDims: newDims, newBindings: newBindings,
+		baseOrd: baseOrd, affected: len(affected),
+	}, nil
 }
 
-// run executes the relocation plan: find relevant chunks, build the
-// merge dependency graph, order reads, and fill the overlay. When
-// newDims is nil the view shares the base cube's dimensions; otherwise
-// the view exposes newDims/newBindings (positive scenarios).
-func (e *Engine) run(target map[int][]int, scoped []bool, newDims []*dimension.Dimension,
-	newBindings []*dimension.Binding, mode perspective.Mode) (*View, Stats, error) {
+// PlanChanges builds the physical plan for a positive scenario without
+// executing it (no chunk I/O).
+func (e *Engine) PlanChanges(q ChangesQuery) (*PhysicalPlan, error) {
+	cp, err := e.planChanges(q)
+	if err != nil {
+		return nil, err
+	}
+	return cp.phys, nil
+}
 
-	g := e.store.Geometry()
-	cdV := g.ChunkDims[e.vi]
-	cdP := g.ChunkDims[e.pi]
-	var stats Stats
+// ExecChanges plans and runs a positive-scenario query. The result
+// view's varying dimension is extended with the hypothetical instances.
+// Equivalent to ExecChangesWith under the deprecated SetContext
+// context, scanning serially.
+func (e *Engine) ExecChanges(q ChangesQuery) (*View, error) {
+	return e.ExecChangesWith(ExecContext{Ctx: e.ctx}, q)
+}
 
-	// Drop source rows that contribute nothing (every destination -1):
-	// e.g. under static semantics, instances not valid at any
-	// perspective. Confining reads to contributing rows is the paper's
-	// §6.3 point — work must track the varying members in scope.
-	for srcOrd, row := range target {
-		live := false
-		for _, dst := range row {
-			if dst >= 0 {
-				live = true
-				break
-			}
-		}
-		if !live {
-			delete(target, srcOrd)
-		}
+// ExecChangesWith plans and runs a positive-scenario query under an
+// explicit per-execution context.
+func (e *Engine) ExecChangesWith(ec ExecContext, q ChangesQuery) (*View, error) {
+	cp, err := e.planChanges(q)
+	if err != nil {
+		return nil, err
 	}
-
-	// Varying-dimension chunk indices holding source rows.
-	srcVCs := map[int]bool{}
-	for srcOrd := range target {
-		srcVCs[srcOrd/cdV] = true
+	view, stats, err := e.execute(ec, cp.phys, cp.newDims, cp.newBindings, q.Mode)
+	if err != nil {
+		return nil, err
 	}
-	stats.SourceInstances = len(target)
-
-	// Cross-chunk transfers: (vcSrc, vcDst, paramChunk) triples.
-	type triple struct{ vs, vd, pc int }
-	transfers := map[triple]bool{}
-	for srcOrd, row := range target {
-		vs := srcOrd / cdV
-		for t, dstOrd := range row {
-			if dstOrd < 0 {
-				continue
-			}
-			vd := dstOrd / cdV
-			if vd != vs {
-				transfers[triple{vs, vd, t / cdP}] = true
-			}
-		}
-	}
-
-	// Relevant chunks: materialized chunks whose varying coordinate
-	// holds source rows. Group them by their coordinates outside the
-	// varying dimension to find merge partners.
-	type group struct {
-		paramCoord int
-		byVC       map[int]int // varying chunk coord -> chunk ID
-	}
-	groups := map[string]*group{}
-	graph := pebble.NewGraph()
-	var relevant []int
-	ccoord := make([]int, g.NumDims())
-	for _, id := range e.store.ChunkIDs() {
-		g.CoordOf(id, ccoord)
-		if !srcVCs[ccoord[e.vi]] {
-			continue
-		}
-		relevant = append(relevant, id)
-		graph.AddNode(id)
-		key := restKey(ccoord, e.vi)
-		grp := groups[key]
-		if grp == nil {
-			grp = &group{paramCoord: ccoord[e.pi], byVC: map[int]int{}}
-			groups[key] = grp
-		}
-		grp.byVC[ccoord[e.vi]] = id
-	}
-	stats.RelevantChunks = len(relevant)
-
-	// Merge dependency edges: chunks in the same group whose varying
-	// coordinates exchange data at this group's parameter coordinate.
-	for tr := range transfers {
-		for _, grp := range groups {
-			if grp.paramCoord != tr.pc {
-				continue
-			}
-			a, okA := grp.byVC[tr.vs]
-			b, okB := grp.byVC[tr.vd]
-			if okA && okB && a != b {
-				if !graph.HasEdge(a, b) {
-					graph.AddEdge(a, b)
-					stats.MergeEdges++
-				}
-			}
-		}
-	}
-
-	// Read order.
-	var order []int
-	switch e.order {
-	case OrderPebbling:
-		sched := pebble.HeuristicPebble(graph)
-		order = sched.Order
-		stats.PeakResidentChunks = sched.Peak
-	default:
-		perm := e.readPermutation()
-		order = sortChunksByOrder(g, relevant, perm)
-		peak, err := pebble.VerifySchedule(graph, order)
-		if err != nil {
-			return nil, stats, fmt.Errorf("core: sequential schedule invalid: %w", err)
-		}
-		stats.PeakResidentChunks = peak
-	}
-
-	// Process chunks, relocating scoped cells into the overlay.
-	overlay := cube.NewMemStore(g.NumDims())
-	var diskBefore float64
-	if e.disk != nil {
-		diskBefore = e.disk.Stats().CostMs
-	}
-	addr := make([]int, g.NumDims())
-	out := make([]int, g.NumDims())
-	for _, id := range order {
-		if err := e.checkCtx(); err != nil {
-			return nil, stats, err
-		}
-		ch := e.store.ReadChunk(id)
-		stats.ChunksRead++
-		if ch == nil {
-			continue
-		}
-		g.CoordOf(id, ccoord)
-		ch.ForEach(func(off int, v float64) bool {
-			g.Join(ccoord, off, addr)
-			row := target[addr[e.vi]]
-			if row == nil {
-				return true
-			}
-			dst := row[addr[e.pi]]
-			if dst < 0 {
-				return true
-			}
-			copy(out, addr)
-			out[e.vi] = dst
-			overlay.Set(out, v)
-			stats.CellsRelocated++
-			return true
-		})
-	}
-	if e.disk != nil {
-		stats.DiskCostMs = e.disk.Stats().CostMs - diskBefore
-	}
-
-	// Assemble the view cube.
-	vs := &viewStore{base: e.store, overlay: overlay, vi: e.vi, scoped: scoped}
-	var result *cube.Cube
-	if newDims == nil {
-		result = cube.NewWithStore(vs, e.base.Dims()...)
-		for _, b := range e.base.Bindings() {
-			if err := result.AddBinding(b); err != nil {
-				return nil, stats, err
-			}
-		}
-	} else {
-		result = cube.NewWithStore(vs, newDims...)
-		for _, b := range newBindings {
-			if err := result.AddBinding(b); err != nil {
-				return nil, stats, err
-			}
-		}
-	}
-	result.SetRules(e.base.Rules())
-	return &View{input: e.base, result: result, mode: mode}, stats, nil
+	stats.MembersInScope = cp.affected
+	view.Stats = stats
+	// Remap the view store through baseOrd.
+	view.result.Store().(*viewStore).baseOrd = cp.baseOrd
+	return view, nil
 }
 
 // readPermutation builds the dimension permutation for sequential read
@@ -545,6 +447,12 @@ func restKey(ccoord []int, vi int) string {
 // statistics sum the per-query work, exposing the repeated planning and
 // chunk reads that the direct implementation avoids.
 func (e *Engine) SimulateMultiMDX(members []string, perspectives []int, mode perspective.Mode) (*View, error) {
+	return e.SimulateMultiMDXWith(ExecContext{Ctx: e.ctx}, members, perspectives, mode)
+}
+
+// SimulateMultiMDXWith is SimulateMultiMDX under an explicit
+// per-execution context.
+func (e *Engine) SimulateMultiMDXWith(ec ExecContext, members []string, perspectives []int, mode perspective.Mode) (*View, error) {
 	if len(perspectives) == 0 {
 		return nil, fmt.Errorf("core: empty perspective set")
 	}
@@ -552,10 +460,10 @@ func (e *Engine) SimulateMultiMDX(members []string, perspectives []int, mode per
 	var stats Stats
 	merged := cube.NewMemStore(e.base.NumDims())
 	for _, p := range perspectives {
-		if err := e.checkCtx(); err != nil {
+		if err := ec.err(); err != nil {
 			return nil, err
 		}
-		v, err := e.ExecPerspective(PerspectiveQuery{
+		v, err := e.ExecPerspectiveWith(ec, PerspectiveQuery{
 			Members:      members,
 			Perspectives: []int{p},
 			Sem:          perspective.Static,

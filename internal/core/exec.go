@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/dimension"
+	"whatifolap/internal/perspective"
+)
+
+// scanTally accumulates one scan unit's counters. Per-group tallies are
+// summed in group order at the merge barrier, so parallel statistics
+// are deterministic.
+type scanTally struct {
+	chunksRead     int
+	cellsRelocated int
+}
+
+// execute runs the staged execution of a physical plan:
+//
+//	scan     chunk reads + cell relocation, fanned out over merge
+//	         groups when ec.Workers > 1, serial in the plan's global
+//	         schedule otherwise;
+//	merge    combining the per-group overlays into one (a no-op when
+//	         serial — the scan writes the final overlay directly);
+//	assemble wiring the overlay view cube.
+//
+// When newDims is nil the view shares the base cube's dimensions;
+// otherwise the view exposes newDims/newBindings (positive scenarios).
+func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.Dimension,
+	newBindings []*dimension.Binding, mode perspective.Mode) (*View, Stats, error) {
+
+	stats := p.Stats
+	workers := ec.Workers
+	if workers > len(p.Groups) {
+		workers = len(p.Groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats.ScanWorkers = workers
+
+	var diskBefore float64
+	if e.disk != nil {
+		diskBefore = e.disk.Stats().CostMs
+	}
+
+	scanStart := time.Now()
+	var overlay *cube.MemStore
+	if workers > 1 {
+		overlays, tallies, err := e.scanParallel(ec, p, workers)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, t := range tallies {
+			stats.ChunksRead += t.chunksRead
+			stats.CellsRelocated += t.cellsRelocated
+		}
+		stats.ScanMs = msSince(scanStart)
+		mergeStart := time.Now()
+		overlay = cube.NewMemStore(e.store.Geometry().NumDims())
+		for _, ov := range overlays {
+			ov.NonNull(func(addr []int, v float64) bool {
+				overlay.Set(addr, v)
+				return true
+			})
+		}
+		stats.MergeMs = msSince(mergeStart)
+	} else {
+		overlay = cube.NewMemStore(e.store.Geometry().NumDims())
+		t, err := e.scanInto(ec.Ctx, p.Schedule, p.Target, overlay)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.ChunksRead += t.chunksRead
+		stats.CellsRelocated += t.cellsRelocated
+		stats.ScanMs = msSince(scanStart)
+	}
+	if e.disk != nil {
+		stats.DiskCostMs = e.disk.Stats().CostMs - diskBefore
+	}
+
+	// Assemble the view cube.
+	vs := &viewStore{base: e.store, overlay: overlay, vi: e.vi, scoped: p.Scoped}
+	var result *cube.Cube
+	if newDims == nil {
+		result = cube.NewWithStore(vs, e.base.Dims()...)
+		for _, b := range e.base.Bindings() {
+			if err := result.AddBinding(b); err != nil {
+				return nil, stats, err
+			}
+		}
+	} else {
+		result = cube.NewWithStore(vs, newDims...)
+		for _, b := range newBindings {
+			if err := result.AddBinding(b); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	result.SetRules(e.base.Rules())
+	return &View{input: e.base, result: result, mode: mode}, stats, nil
+}
+
+// scanInto reads the scheduled chunks in order, relocating scoped cells
+// through target into the overlay. The context, when non-nil, is
+// checked before every chunk read. target is only read, so concurrent
+// scanInto calls over disjoint overlays are safe.
+func (e *Engine) scanInto(ctx context.Context, schedule []int, target map[int][]int,
+	overlay *cube.MemStore) (scanTally, error) {
+
+	var tally scanTally
+	g := e.store.Geometry()
+	ccoord := make([]int, g.NumDims())
+	addr := make([]int, g.NumDims())
+	out := make([]int, g.NumDims())
+	for _, id := range schedule {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return tally, err
+			}
+		}
+		ch := e.store.ReadChunk(id)
+		tally.chunksRead++
+		if ch == nil {
+			continue
+		}
+		g.CoordOf(id, ccoord)
+		ch.ForEach(func(off int, v float64) bool {
+			g.Join(ccoord, off, addr)
+			row := target[addr[e.vi]]
+			if row == nil {
+				return true
+			}
+			dst := row[addr[e.pi]]
+			if dst < 0 {
+				return true
+			}
+			copy(out, addr)
+			out[e.vi] = dst
+			overlay.Set(out, v)
+			tally.cellsRelocated++
+			return true
+		})
+	}
+	return tally, nil
+}
+
+// scanParallel fans the scan out over the plan's merge groups on a
+// bounded worker pool. Each group scans into a private overlay in its
+// own schedule order — merge edges never cross groups, so the pebbling
+// order stays legal per group — and the caller merges the overlays at
+// the barrier in group order. Cells from different groups can never
+// collide (they differ in a non-varying coordinate), so the merged
+// overlay is identical to the serial scan's.
+func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, workers int) ([]*cube.MemStore, []scanTally, error) {
+	nd := e.store.Geometry().NumDims()
+	overlays := make([]*cube.MemStore, len(p.Groups))
+	tallies := make([]scanTally, len(p.Groups))
+
+	base := ec.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // stop the feeder and the sibling workers promptly
+		})
+	}
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range work {
+				ov := cube.NewMemStore(nd)
+				t, err := e.scanInto(ctx, p.Groups[gi].Chunks, p.Target, ov)
+				tallies[gi] = t
+				if err != nil {
+					fail(err)
+					return
+				}
+				overlays[gi] = ov
+			}
+		}()
+	}
+feed:
+	for gi := range p.Groups {
+		select {
+		case work <- gi:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr == nil && base.Err() != nil {
+		firstErr = base.Err()
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return overlays, tallies, nil
+}

@@ -197,6 +197,21 @@ type Stats struct {
 	// PeakResidentChunks is the peak number of chunks that must be
 	// co-resident under the chosen read order (pebbling peak).
 	PeakResidentChunks int
+	// MergeGroups is the number of independent merge groups the scan
+	// can fan out over (chunks sharing all non-varying coordinates).
+	MergeGroups int
+	// ScanWorkers is the number of scan workers the execution used
+	// (1 = serial).
+	ScanWorkers int
+	// PlanMs, ScanMs, MergeMs and ProjectMs are the per-stage wall
+	// times in milliseconds: plan (target pruning, merge graph, read
+	// scheduling), scan (chunk reads + cell relocation), merge
+	// (combining per-group overlays; zero on a serial scan), project
+	// (grid projection, filled in by the mdx layer).
+	PlanMs    float64
+	ScanMs    float64
+	MergeMs   float64
+	ProjectMs float64
 	// Ranges is the number of perspective ranges processed (dynamic
 	// semantics only).
 	Ranges int
@@ -220,6 +235,16 @@ func (s *Stats) Add(s2 Stats) {
 	if s2.PeakResidentChunks > s.PeakResidentChunks {
 		s.PeakResidentChunks = s2.PeakResidentChunks
 	}
+	if s2.MergeGroups > s.MergeGroups {
+		s.MergeGroups = s2.MergeGroups
+	}
+	if s2.ScanWorkers > s.ScanWorkers {
+		s.ScanWorkers = s2.ScanWorkers
+	}
 	s.Ranges += s2.Ranges
 	s.DiskCostMs += s2.DiskCostMs
+	s.PlanMs += s2.PlanMs
+	s.ScanMs += s2.ScanMs
+	s.MergeMs += s2.MergeMs
+	s.ProjectMs += s2.ProjectMs
 }

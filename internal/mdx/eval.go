@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"whatifolap/internal/algebra"
 	"whatifolap/internal/chunk"
@@ -23,81 +24,123 @@ type Coord struct {
 // Tuple is an ordered list of coordinates from distinct dimensions.
 type Tuple []Coord
 
+// RunContext carries per-query execution parameters through the
+// evaluator into the engine: cancellation (checked at chunk-iteration
+// boundaries and between grid rows during projection) and the engine's
+// scan parallelism. The zero value runs serially without cancellation.
+type RunContext struct {
+	// Ctx, when non-nil, bounds the query: it is observed at
+	// chunk-iteration boundaries in the engine and between grid rows.
+	Ctx context.Context
+	// Workers fans the engine's chunk scan out over independent merge
+	// groups; <= 1 scans serially.
+	Workers int
+}
+
+// execContext converts the run context into the engine's form.
+func (rc RunContext) execContext() core.ExecContext {
+	return core.ExecContext{Ctx: rc.Ctx, Workers: rc.Workers}
+}
+
+// err reports the run context's error, if any.
+func (rc RunContext) err() error {
+	if rc.Ctx == nil {
+		return nil
+	}
+	return rc.Ctx.Err()
+}
+
 // Evaluator runs extended-MDX queries against a cube. Cubes backed by
 // chunked storage get the perspective-cube engine for what-if clauses;
 // other cubes fall back to the algebra operators.
+//
+// Concurrency: an evaluator holds no per-query state, so one evaluator
+// is safe for concurrent use — per-query parameters travel in a
+// RunContext through the *With methods (the deprecated WithContext shim
+// returns a copy and stays safe, but cannot carry per-query workers).
 type Evaluator struct {
 	cube *cube.Cube
-	ctx  context.Context
+	// rc is the default RunContext, set only by the deprecated
+	// WithContext shim; the *With methods ignore it.
+	rc RunContext
 }
 
 // NewEvaluator creates an evaluator bound to a cube.
 func NewEvaluator(c *cube.Cube) *Evaluator { return &Evaluator{cube: c} }
 
 // WithContext returns a copy of the evaluator whose queries observe the
-// context: cancellation and deadlines are checked at chunk-iteration
-// boundaries in the engine and between grid rows during projection.
+// context.
+//
+// Deprecated: pass a RunContext to RunWith, RunQueryWith or
+// RunQueryStatsWith instead; explicit threading also carries the scan
+// worker count.
 func (ev *Evaluator) WithContext(ctx context.Context) *Evaluator {
 	out := *ev
-	out.ctx = ctx
+	out.rc.Ctx = ctx
 	return &out
-}
-
-// checkCtx reports the evaluator context's error, if any.
-func (ev *Evaluator) checkCtx() error {
-	if ev.ctx == nil {
-		return nil
-	}
-	return ev.ctx.Err()
 }
 
 // Run parses and evaluates a query in one call.
 func (ev *Evaluator) Run(src string) (*result.Grid, error) {
-	q, err := Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return ev.RunQuery(q)
+	return ev.RunWith(ev.rc, src)
 }
 
 // RunContext is Run under a context: the query is abandoned with the
 // context's error at the next cancellation check point.
 func (ev *Evaluator) RunContext(ctx context.Context, src string) (*result.Grid, error) {
-	return ev.WithContext(ctx).Run(src)
+	return ev.RunWith(RunContext{Ctx: ctx}, src)
+}
+
+// RunWith parses and evaluates a query under an explicit RunContext.
+func (ev *Evaluator) RunWith(rc RunContext, src string) (*result.Grid, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ev.RunQueryWith(rc, q)
 }
 
 // RunQuery evaluates a parsed query into a grid.
 func (ev *Evaluator) RunQuery(q *Query) (*result.Grid, error) {
-	out, mode, stats, err := ev.applyScenarios(q)
-	if err != nil {
-		return nil, err
-	}
-	g, err := ev.project(q, out, mode)
-	if err != nil {
-		return nil, err
-	}
-	_ = stats
-	return g, nil
+	return ev.RunQueryWith(ev.rc, q)
+}
+
+// RunQueryWith evaluates a parsed query under an explicit RunContext.
+func (ev *Evaluator) RunQueryWith(rc RunContext, q *Query) (*result.Grid, error) {
+	g, _, err := ev.RunQueryStatsWith(rc, q)
+	return g, err
 }
 
 // RunQueryStats evaluates a parsed query and also returns engine
 // statistics when the engine path executed (zero otherwise). The
 // benchmark harness uses this to report chunk reads and merge work.
 func (ev *Evaluator) RunQueryStats(q *Query) (*result.Grid, core.Stats, error) {
-	out, mode, stats, err := ev.applyScenarios(q)
+	return ev.RunQueryStatsWith(ev.rc, q)
+}
+
+// RunQueryStatsWith evaluates a parsed query under an explicit
+// RunContext, returning engine statistics including the per-stage wall
+// times (the projection stage is timed here).
+func (ev *Evaluator) RunQueryStatsWith(rc RunContext, q *Query) (*result.Grid, core.Stats, error) {
+	out, mode, stats, err := ev.applyScenarios(rc, q)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	g, err := ev.project(q, out, mode)
+	projStart := time.Now()
+	g, err := ev.project(rc, q, out, mode)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
+	stats.ProjectMs = float64(time.Since(projStart)) / float64(time.Millisecond)
 	return g, stats, nil
 }
 
 // Explain describes how the evaluator would execute the query: which
 // path (engine or algebra), the lowered operator plan, and the
-// rewrites the optimizer applies. Nothing is executed.
+// rewrites the optimizer applies. For engine paths the physical plan is
+// printed under the logical summary — merge groups, the chunk read
+// schedule, and the peak resident chunk count. Planning runs (it is
+// pure), but no chunks are read and nothing is executed.
 func (ev *Evaluator) Explain(q *Query) (string, error) {
 	var b strings.Builder
 	_, chunked := ev.cube.Store().(*chunk.Store)
@@ -106,10 +149,46 @@ func (ev *Evaluator) Explain(q *Query) (string, error) {
 	switch {
 	case engineChanges:
 		fmt.Fprintf(&b, "path: perspective-cube engine (positive scenario, %d change rows)\n", len(q.Changes.Rows))
+		changes, varying, err := ev.resolveChanges(q.Changes)
+		if err != nil {
+			return "", err
+		}
+		eng, err := core.New(ev.cube, varying)
+		if err != nil {
+			return "", err
+		}
+		plan, err := eng.PlanChanges(core.ChangesQuery{Changes: changes, Mode: q.Changes.Mode})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(plan.Describe())
 	case enginePersp:
 		pc := q.Perspectives[0]
 		fmt.Fprintf(&b, "path: perspective-cube engine (%v on %s, %d perspectives, %v)\n",
 			pc.Sem, pc.Varying, len(pc.Points), pc.Mode)
+		bnd := ev.cube.BindingFor(pc.Varying)
+		if bnd == nil {
+			return "", fmt.Errorf("mdx: dimension %q has no varying binding", pc.Varying)
+		}
+		points, err := ev.resolvePerspectivePoints(ev.cube, bnd, pc.Points)
+		if err != nil {
+			return "", err
+		}
+		eng, err := core.New(ev.cube, pc.Varying)
+		if err != nil {
+			return "", err
+		}
+		members, err := ev.scopeMembers(q, bnd)
+		if err != nil {
+			return "", err
+		}
+		plan, err := eng.PlanPerspective(core.PerspectiveQuery{
+			Members: members, Perspectives: points, Sem: pc.Sem, Mode: pc.Mode,
+		})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(plan.Describe())
 	default:
 		plan, _, err := ev.lowerToPlan(q)
 		if err != nil {
@@ -134,10 +213,10 @@ func (ev *Evaluator) Explain(q *Query) (string, error) {
 // applyScenarios computes the scenario-transformed cube (the
 // perspective cube) and the evaluation mode for non-leaf cells. Cubes
 // on chunked storage with a single what-if clause run on the
-// perspective-cube engine; everything else lowers to an algebra plan,
-// which is optimized (paper §8's operator-manipulation direction)
-// before execution.
-func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, core.Stats, error) {
+// perspective-cube engine (under rc's context and worker count);
+// everything else lowers to an algebra plan, which is optimized (paper
+// §8's operator-manipulation direction) before execution.
+func (ev *Evaluator) applyScenarios(rc RunContext, q *Query) (*cube.Cube, perspective.Mode, core.Stats, error) {
 	mode := perspective.NonVisual
 	var stats core.Stats
 	_, chunked := ev.cube.Store().(*chunk.Store)
@@ -152,8 +231,7 @@ func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, cor
 		if err != nil {
 			return nil, mode, stats, err
 		}
-		eng.SetContext(ev.ctx)
-		view, err := eng.ExecChanges(core.ChangesQuery{Changes: changes, Mode: q.Changes.Mode})
+		view, err := eng.ExecChangesWith(rc.execContext(), core.ChangesQuery{Changes: changes, Mode: q.Changes.Mode})
 		if err != nil {
 			return nil, mode, stats, err
 		}
@@ -173,12 +251,11 @@ func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, cor
 		if err != nil {
 			return nil, mode, stats, err
 		}
-		eng.SetContext(ev.ctx)
 		members, err := ev.scopeMembers(q, b)
 		if err != nil {
 			return nil, mode, stats, err
 		}
-		view, err := eng.ExecPerspective(core.PerspectiveQuery{
+		view, err := eng.ExecPerspectiveWith(rc.execContext(), core.PerspectiveQuery{
 			Members:      members,
 			Perspectives: points,
 			Sem:          pc.Sem,
@@ -191,7 +268,7 @@ func (ev *Evaluator) applyScenarios(q *Query) (*cube.Cube, perspective.Mode, cor
 	}
 
 	// Algebra path: lower to a plan, optimize, execute.
-	if err := ev.checkCtx(); err != nil {
+	if err := rc.err(); err != nil {
 		return nil, mode, stats, err
 	}
 	plan, mode, err := ev.lowerToPlan(q)
@@ -443,7 +520,7 @@ func (ev *Evaluator) resolveChanges(cc *ChangesClause) ([]algebra.Change, string
 }
 
 // project evaluates the axes and builds the output grid.
-func (ev *Evaluator) project(q *Query, out *cube.Cube, mode perspective.Mode) (*result.Grid, error) {
+func (ev *Evaluator) project(rc RunContext, q *Query, out *cube.Cube, mode perspective.Mode) (*result.Grid, error) {
 	var cols, rows []Tuple
 	var hasCols, hasRows, rowsNonEmpty, colsNonEmpty bool
 	for _, ax := range q.Axes {
@@ -503,7 +580,7 @@ func (ev *Evaluator) project(q *Query, out *cube.Cube, mode perspective.Mode) (*
 	}
 	ids := make([]dimension.MemberID, out.NumDims())
 	for i, rt := range rows {
-		if err := ev.checkCtx(); err != nil {
+		if err := rc.err(); err != nil {
 			return nil, err
 		}
 		g.RowLabels[i] = ev.tupleLabel(out, rt)

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"whatifolap/internal/core"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds) of the latency
@@ -83,6 +85,14 @@ type Metrics struct {
 
 	latency histogram
 
+	// Per-stage pipeline time accumulators (microseconds) plus the
+	// sample count, fed by ObserveStages after engine-backed queries.
+	stagePlanUs    atomic.Int64
+	stageScanUs    atomic.Int64
+	stageMergeUs   atomic.Int64
+	stageProjectUs atomic.Int64
+	stageCount     atomic.Int64
+
 	mu    sync.Mutex
 	bySem map[string]int64
 
@@ -99,11 +109,31 @@ func NewMetrics() *Metrics {
 // ObserveLatency records one successful query execution time.
 func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observe(d) }
 
+// ObserveStages records one query's staged-pipeline timings
+// (plan / scan / merge / project) from the engine stats.
+func (m *Metrics) ObserveStages(s core.Stats) {
+	m.stagePlanUs.Add(int64(s.PlanMs * 1000))
+	m.stageScanUs.Add(int64(s.ScanMs * 1000))
+	m.stageMergeUs.Add(int64(s.MergeMs * 1000))
+	m.stageProjectUs.Add(int64(s.ProjectMs * 1000))
+	m.stageCount.Add(1)
+}
+
 // CountSemantics bumps the per-semantics query breakdown.
 func (m *Metrics) CountSemantics(sem string) {
 	m.mu.Lock()
 	m.bySem[sem]++
 	m.mu.Unlock()
+}
+
+// StageSnapshot reports the mean per-stage pipeline time, in
+// milliseconds, over the queries observed so far.
+type StageSnapshot struct {
+	Count     int64   `json:"count"`
+	PlanMs    float64 `json:"plan_ms"`
+	ScanMs    float64 `json:"scan_ms"`
+	MergeMs   float64 `json:"merge_ms"`
+	ProjectMs float64 `json:"project_ms"`
 }
 
 // MetricsSnapshot is the JSON shape served at /metrics.
@@ -120,6 +150,7 @@ type MetricsSnapshot struct {
 	CacheBytes    int              `json:"cache_bytes"`
 	QueueDepth    int              `json:"queue_depth"`
 	Latency       LatencySnapshot  `json:"latency"`
+	Stages        StageSnapshot    `json:"stage_ms"`
 	BySemantics   map[string]int64 `json:"by_semantics"`
 }
 
@@ -146,6 +177,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			P50Ms:  m.latency.quantile(0.50),
 			P95Ms:  m.latency.quantile(0.95),
 			P99Ms:  m.latency.quantile(0.99),
+		}
+	}
+	if n := m.stageCount.Load(); n > 0 {
+		s.Stages = StageSnapshot{
+			Count:     n,
+			PlanMs:    float64(m.stagePlanUs.Load()) / 1000 / float64(n),
+			ScanMs:    float64(m.stageScanUs.Load()) / 1000 / float64(n),
+			MergeMs:   float64(m.stageMergeUs.Load()) / 1000 / float64(n),
+			ProjectMs: float64(m.stageProjectUs.Load()) / 1000 / float64(n),
 		}
 	}
 	m.mu.Lock()

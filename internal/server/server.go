@@ -38,6 +38,11 @@ const StatusClientClosedRequest = 499
 type Config struct {
 	// Workers bounds query parallelism (default: GOMAXPROCS).
 	Workers int
+	// ScanWorkers bounds each query's intra-query parallelism: the
+	// engine's chunk scan fans out over independent merge groups on
+	// this many workers. 0 or 1 scans serially — the right default when
+	// Workers already saturates the cores with concurrent queries.
+	ScanWorkers int
 	// QueueCap bounds the admission queue; a full queue sheds load with
 	// HTTP 429 (default: 4 × workers).
 	QueueCap int
@@ -144,6 +149,8 @@ type queryStats struct {
 	ChunksRead     int `json:"chunks_read"`
 	CellsRelocated int `json:"cells_relocated"`
 	MergeEdges     int `json:"merge_edges"`
+	MergeGroups    int `json:"merge_groups"`
+	ScanWorkers    int `json:"scan_workers,omitempty"`
 }
 
 // queryResponse is the POST /query success body. Values use null for
@@ -233,14 +240,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var grid *result.Grid
 	var stats core.Stats
 	err = s.exec.Do(ctx, func(ctx context.Context) error {
+		// The worker's context goes straight into the engine through an
+		// explicit RunContext — no mutation of shared evaluator or
+		// engine state between concurrent queries.
 		var runErr error
-		grid, stats, runErr = mdx.NewEvaluator(snap.Cube).WithContext(ctx).RunQueryStats(q)
+		rc := mdx.RunContext{Ctx: ctx, Workers: s.cfg.ScanWorkers}
+		grid, stats, runErr = mdx.NewEvaluator(snap.Cube).RunQueryStatsWith(rc, q)
 		return runErr
 	})
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
+	s.metrics.ObserveStages(stats)
 
 	body, err := json.Marshal(buildResponse(snap, grid, stats))
 	if err != nil {
@@ -303,6 +315,8 @@ func buildResponse(snap *Snapshot, g *result.Grid, stats core.Stats) queryRespon
 			ChunksRead:     stats.ChunksRead,
 			CellsRelocated: stats.CellsRelocated,
 			MergeEdges:     stats.MergeEdges,
+			MergeGroups:    stats.MergeGroups,
+			ScanWorkers:    stats.ScanWorkers,
 		},
 	}
 }

@@ -93,6 +93,17 @@ type (
 	EngineStats = core.Stats
 	// ReadOrder selects the engine's chunk read-order policy.
 	ReadOrder = core.ReadOrder
+	// ExecContext carries per-execution settings (context, scan
+	// workers) into the engine's ExecPerspectiveWith/ExecChangesWith.
+	ExecContext = core.ExecContext
+	// PhysicalPlan is the engine's inspectable execution plan: pruned
+	// relocation targets, merge groups and the chunk read schedule.
+	PhysicalPlan = core.PhysicalPlan
+	// MergeGroup is one independently scannable partition of a plan.
+	MergeGroup = core.MergeGroup
+	// RunContext carries per-run settings into Evaluator.RunWith and
+	// friends.
+	RunContext = mdx.RunContext
 	// Grid is a two-axis query result.
 	Grid = result.Grid
 	// Evaluator runs extended-MDX queries against a cube.
@@ -210,6 +221,22 @@ func Query(c *Cube, src string) (*Grid, error) {
 // the CLI's -timeout flag use.
 func QueryContext(ctx context.Context, c *Cube, src string) (*Grid, error) {
 	return mdx.NewEvaluator(c).RunContext(ctx, src)
+}
+
+// ExecOptions tunes one query execution.
+type ExecOptions struct {
+	// Workers bounds the engine's parallel chunk scan: the scan fans
+	// out over independent merge groups on up to Workers goroutines.
+	// 0 or 1 scans serially in the plan's global read order.
+	Workers int
+}
+
+// QueryOptions is QueryContext with execution options: the context and
+// the scan-worker bound are threaded through the evaluator into the
+// engine for this run only, so one cube can serve differently
+// configured queries concurrently.
+func QueryOptions(ctx context.Context, c *Cube, src string, opts ExecOptions) (*Grid, error) {
+	return mdx.NewEvaluator(c).RunWith(mdx.RunContext{Ctx: ctx, Workers: opts.Workers}, src)
 }
 
 // NormalizeQuery canonicalizes extended-MDX source without parsing it:

@@ -11,9 +11,10 @@ go build ./...
 echo '>> go test ./...'
 go test ./...
 
-# Race-detector pass over the concurrent serving layer: the stress
-# test, cache tests and httptest endpoint tests.
-echo ">> go test -race -run 'Concurrent|Server|Cache' ./..."
-go test -race -run 'Concurrent|Server|Cache' ./...
+# Race-detector pass over the concurrent paths: the serving layer's
+# stress, cache and httptest endpoint tests, plus the engine's
+# parallel merge-group scan tests.
+echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel' ./..."
+go test -race -run 'Concurrent|Server|Cache|Parallel' ./...
 
 echo 'verify: ok'
