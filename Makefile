@@ -9,7 +9,8 @@ test:
 bench:
 	go test -run XXX -bench . ./...
 
-# A fast sanity pass over the figure benchmarks and the parallel-scan
-# series; full numbers come from `make bench` or cmd/benchfig.
+# A fast sanity pass over the figure benchmarks, the parallel-scan
+# series and the overlay-kernel write-path comparison; full numbers
+# come from `make bench` or cmd/benchfig.
 bench-smoke:
-	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan' -benchtime=100ms .
+	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan|BenchmarkRelocationKernel' -benchtime=100ms .

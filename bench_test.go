@@ -202,6 +202,40 @@ func BenchmarkParallelScan(b *testing.B) {
 	}
 }
 
+// --- Relocation kernel: overlay write path ---
+
+// BenchmarkRelocationKernel replays one query's relocation stream into
+// each overlay write path: the legacy string-keyed cube.MemStore (one
+// address-key allocation per relocated cell) against the chunk-native
+// chunk.Overlay (integer (chunkID, offset) arithmetic, allocation-free
+// once destination chunks exist). Divide allocs/op by cells/op for the
+// per-cell figure recorded in BENCH_overlay_kernel.json.
+func BenchmarkRelocationKernelMemStore(b *testing.B) {
+	k, err := bench.NewKernel(benchWorkforce(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		cells = k.RunMemStore()
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+func BenchmarkRelocationKernelChunkNative(b *testing.B) {
+	k, err := bench.NewKernel(benchWorkforce(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		cells = k.RunChunkNative()
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationPebbling(b *testing.B) {

@@ -9,6 +9,7 @@
 //	benchfig -fig 11            # perspectives vs. query time (§6.1)
 //	benchfig -fig 12            # chunk co-location vs. query time (§6.2)
 //	benchfig -fig 13            # varying members vs. query time (§6.3)
+//	benchfig -fig overlay-kernel  # overlay write path: MemStore vs chunk-native
 //	benchfig -fig ablation-pebble | ablation-mode | ablation-rep
 //	benchfig -fig all
 //	benchfig -fig 11 -employees 20250 -accounts 100 -scenarios 5  # paper scale
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, parallel-scan, ablation-pebble, ablation-mode, ablation-rep, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, parallel-scan, overlay-kernel, ablation-pebble, ablation-mode, ablation-rep, all")
 		reps      = flag.Int("reps", 3, "repetitions per point (fastest wins)")
 		employees = flag.Int("employees", 0, "workforce scale override")
 		accounts  = flag.Int("accounts", 0, "accounts override")
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	needWorkforce := map[string]bool{
-		"11": true, "13": true, "parallel-scan": true,
+		"11": true, "13": true, "parallel-scan": true, "overlay-kernel": true,
 		"ablation-pebble": true, "ablation-mode": true,
 		"ablation-rep": true, "ablation-compress": true, "all": true,
 	}
@@ -74,6 +75,8 @@ func main() {
 		fig13(w, *reps)
 	case "parallel-scan":
 		parallelScan(w, *reps)
+	case "overlay-kernel":
+		overlayKernel(w, *reps)
 	case "ablation-pebble":
 		ablationPebble(w)
 	case "ablation-mode":
@@ -87,6 +90,7 @@ func main() {
 		fig12(*reps)
 		fig13(w, *reps)
 		parallelScan(w, *reps)
+		overlayKernel(w, *reps)
 		ablationPebble(w)
 		ablationMode(w, *reps)
 		ablationRep(w, *reps)
@@ -152,6 +156,22 @@ func parallelScan(w *workload.Workforce, reps int) {
 	}
 	for _, r := range rows {
 		fmt.Printf("%d,%.3f,%.2f,%d,%d\n", r.Workers, r.WallMS, r.Speedup, r.MergeGroups, r.ChunkReads)
+	}
+	fmt.Println()
+}
+
+func overlayKernel(w *workload.Workforce, reps int) {
+	fmt.Println("# Overlay kernel — relocation write path: legacy MemStore vs chunk-native")
+	fmt.Println("# identical relocation stream (dynamic forward over all changing employees,")
+	fmt.Println("# 4 perspectives {Jan,Apr,Jul,Oct}) replayed into each overlay store")
+	fmt.Println("kernel,cells,wall_ms,cells_per_sec,allocs_per_cell,steady_allocs_per_cell")
+	rows, err := bench.RelocationKernel(w, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%.3f,%.0f,%.4f,%.4f\n",
+			r.Kernel, r.Cells, r.WallMS, r.CellsPerSec, r.AllocsPerCell, r.SteadyAllocsPerCell)
 	}
 	fmt.Println()
 }

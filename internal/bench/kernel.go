@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"whatifolap/internal/chunk"
+	"whatifolap/internal/core"
+	"whatifolap/internal/cube"
+	"whatifolap/internal/perspective"
+	"whatifolap/internal/workload"
+)
+
+// Kernel is a prepared relocation-kernel runner. NewKernel plans the
+// standard workload query (dynamic forward over every changing
+// employee, 4 perspectives) and materializes its relocation stream —
+// the (destination address, value) writes the scan emits — once.
+// RunMemStore and RunChunkNative then replay the identical stream into
+// the legacy string-keyed cube.MemStore and the chunk-native
+// chunk.Overlay respectively, so the comparison isolates the overlay
+// write path the engine's scan sits on: per cell, MemStore encodes an
+// address key (allocating) and probes a string map, while Overlay does
+// integer (chunkID, offset) arithmetic and writes in place.
+type Kernel struct {
+	geom *chunk.Geometry
+	// The relocation stream, flattened: addrs holds cells*dims ordinals,
+	// vals the cell values.
+	addrs []int
+	vals  []float64
+}
+
+// NewKernel plans the standard workload query against w and captures
+// its relocation stream.
+func NewKernel(w *workload.Workforce) (*Kernel, error) {
+	e, err := core.New(w.Cube, workload.DimDepartment)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := e.PlanPerspective(core.PerspectiveQuery{
+		Members: w.Changing, Perspectives: []int{0, 3, 6, 9},
+		Sem: perspective.Forward, Mode: perspective.NonVisual,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, ok := w.Cube.Store().(*chunk.Store)
+	if !ok {
+		return nil, fmt.Errorf("bench: workforce cube store is %T, want *chunk.Store", w.Cube.Store())
+	}
+	b := e.Binding()
+	vi := w.Cube.DimIndex(b.Varying.Name())
+	pi := w.Cube.DimIndex(b.Param.Name())
+
+	g := st.Geometry()
+	k := &Kernel{geom: g}
+	ccoord := make([]int, g.NumDims())
+	addr := make([]int, g.NumDims())
+	for _, id := range plan.Schedule {
+		ch := st.PeekChunk(id)
+		if ch == nil {
+			continue
+		}
+		g.CoordOf(id, ccoord)
+		ch.ForEach(func(off int, v float64) bool {
+			g.Join(ccoord, off, addr)
+			row := plan.Target[addr[vi]]
+			if row == nil {
+				return true
+			}
+			dst := row[addr[pi]]
+			if dst < 0 {
+				return true
+			}
+			k.addrs = append(k.addrs, addr...)
+			k.addrs[len(k.addrs)-g.NumDims()+vi] = dst
+			k.vals = append(k.vals, v)
+			return true
+		})
+	}
+	if len(k.vals) == 0 {
+		return nil, fmt.Errorf("bench: kernel relocated no cells")
+	}
+	return k, nil
+}
+
+// Cells returns the number of relocated cells per run.
+func (k *Kernel) Cells() int { return len(k.vals) }
+
+// RunMemStore replays the relocation stream into a fresh legacy
+// MemStore and returns the number of cells written.
+func (k *Kernel) RunMemStore() int {
+	return k.replayMemStore(cube.NewMemStore(k.geom.NumDims()))
+}
+
+// RunChunkNative replays the relocation stream into a fresh
+// chunk-grained Overlay and returns the number of cells written.
+func (k *Kernel) RunChunkNative() int {
+	return k.replayOverlay(chunk.NewOverlay(k.geom))
+}
+
+func (k *Kernel) replayMemStore(ms *cube.MemStore) int {
+	d := k.geom.NumDims()
+	for i, v := range k.vals {
+		ms.Set(k.addrs[i*d:(i+1)*d], v)
+	}
+	return len(k.vals)
+}
+
+func (k *Kernel) replayOverlay(ov *chunk.Overlay) int {
+	d := k.geom.NumDims()
+	for i, v := range k.vals {
+		ov.Set(k.addrs[i*d:(i+1)*d], v)
+	}
+	return len(k.vals)
+}
+
+// KernelRow is one line of the overlay-kernel comparison.
+type KernelRow struct {
+	Kernel      string
+	Cells       int
+	WallMS      float64
+	CellsPerSec float64
+	// AllocsPerCell amortizes a full run — including building the
+	// destination store from scratch — over the relocated cells.
+	AllocsPerCell float64
+	// SteadyAllocsPerCell replays the stream into an already-warm
+	// destination: the per-cell write cost once destination chunks
+	// exist. Chunk-native is 0 here (integer arithmetic only); the
+	// MemStore path pays its address-key allocations on every write.
+	SteadyAllocsPerCell float64
+}
+
+// RelocationKernel compares the two overlay write paths on the standard
+// workload query's relocation stream: wall time (fastest of reps),
+// write throughput, and heap allocations per relocated cell, fresh and
+// steady-state.
+func RelocationKernel(w *workload.Workforce, reps int) ([]KernelRow, error) {
+	k, err := NewKernel(w)
+	if err != nil {
+		return nil, err
+	}
+	warmMem := cube.NewMemStore(k.geom.NumDims())
+	warmOv := chunk.NewOverlay(k.geom)
+	variants := []struct {
+		name   string
+		run    func() int
+		replay func()
+	}{
+		{"memstore", k.RunMemStore, func() { k.replayMemStore(warmMem) }},
+		{"chunk-native", k.RunChunkNative, func() { k.replayOverlay(warmOv) }},
+	}
+	var rows []KernelRow
+	for _, v := range variants {
+		cells := v.run() // warm caches
+		wall, err := timeIt(reps, func() error { v.run(); return nil })
+		if err != nil {
+			return nil, err
+		}
+		row := KernelRow{
+			Kernel:              v.name,
+			Cells:               cells,
+			WallMS:              wall,
+			AllocsPerCell:       allocsPerRun(5, func() { v.run() }) / float64(cells),
+			SteadyAllocsPerCell: allocsPerRun(5, v.replay) / float64(cells),
+		}
+		if wall > 0 {
+			row.CellsPerSec = float64(cells) / (wall / 1000)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// allocsPerRun counts fn's heap allocations averaged over runs, after
+// one warm-up call (the library-code analogue of testing.AllocsPerRun).
+func allocsPerRun(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(runs)
+}

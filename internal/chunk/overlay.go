@@ -1,0 +1,214 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"whatifolap/internal/cube"
+)
+
+// Overlay is a chunk-grained sparse cell store: canonical chunk ID →
+// dense-or-sparse Chunk under a Geometry. The engine's relocation scan
+// writes every moved cell into one; unlike the string-keyed
+// cube.MemStore it replaces, a write is pure integer arithmetic
+// (Geometry.SplitID) plus one map probe — no per-cell allocation once
+// the destination chunk exists. Chunks start sparse and promote to
+// dense past the occupancy threshold, exactly like Store's cells.
+//
+// Overlay implements cube.Store. It is not safe for concurrent writers;
+// concurrent readers are safe once writing has stopped (the engine
+// builds an overlay in one scan goroutine, then publishes it read-only
+// inside a view).
+type Overlay struct {
+	geom   *Geometry
+	chunks map[int]*Chunk
+	cells  int
+}
+
+// NewOverlay creates an empty overlay under the geometry.
+func NewOverlay(g *Geometry) *Overlay {
+	return &Overlay{geom: g, chunks: make(map[int]*Chunk)}
+}
+
+// Geometry returns the overlay's chunking geometry.
+func (o *Overlay) Geometry() *Geometry { return o.geom }
+
+// Get implements cube.Store.
+func (o *Overlay) Get(addr []int) float64 {
+	id, off := o.geom.SplitID(addr)
+	c := o.chunks[id]
+	if c == nil {
+		return math.NaN()
+	}
+	return c.Get(off)
+}
+
+// Set implements cube.Store. Setting NaN deletes; a chunk emptied by
+// deletion is dropped.
+func (o *Overlay) Set(addr []int, v float64) {
+	id, off := o.geom.SplitID(addr)
+	c := o.chunks[id]
+	if c == nil {
+		if math.IsNaN(v) {
+			return
+		}
+		c = NewSparse(o.geom.ChunkCap())
+		o.chunks[id] = c
+	}
+	before := c.Len()
+	c.Set(off, v)
+	o.cells += c.Len() - before
+	if c.Len() == 0 {
+		delete(o.chunks, id)
+	}
+}
+
+// NonNull implements cube.Store. Chunks are visited in canonical ID
+// order, cells within a chunk in offset order, so iteration is
+// deterministic.
+func (o *Overlay) NonNull(fn func(addr []int, v float64) bool) {
+	ids := make([]int, 0, len(o.chunks))
+	for id := range o.chunks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	addr := make([]int, o.geom.NumDims())
+	ccoord := make([]int, o.geom.NumDims())
+	for _, id := range ids {
+		c := o.chunks[id]
+		o.geom.CoordOf(id, ccoord)
+		stop := false
+		c.ForEach(func(off int, v float64) bool {
+			o.geom.Join(ccoord, off, addr)
+			if !fn(addr, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Len implements cube.Store.
+func (o *Overlay) Len() int { return o.cells }
+
+// Clone implements cube.Store.
+func (o *Overlay) Clone() cube.Store {
+	out := NewOverlay(o.geom)
+	for id, c := range o.chunks {
+		out.chunks[id] = c.Clone()
+	}
+	out.cells = o.cells
+	return out
+}
+
+// NumChunks returns the number of materialized overlay chunks.
+func (o *Overlay) NumChunks() int { return len(o.chunks) }
+
+// MemBytes estimates the overlay's resident size.
+func (o *Overlay) MemBytes() int {
+	n := 0
+	for _, c := range o.chunks {
+		n += c.MemBytes()
+	}
+	return n
+}
+
+// PartitionedOverlay routes reads to the overlay owning the cell's
+// merge group, identified by the masked chunk ID (the chunk coordinate
+// with one dimension — the engine's varying dimension — zeroed). The
+// engine's parallel scan builds one Overlay per merge group; since
+// merge edges never cross rest-coordinate groups, the per-group
+// overlays are disjoint by construction and never need to be copied
+// into one store: attaching them here is the whole merge step, O(groups)
+// instead of O(cells).
+//
+// PartitionedOverlay implements cube.Store (writes route to the owning
+// part and panic when no part owns the cell's group).
+type PartitionedOverlay struct {
+	geom    *Geometry
+	maskDim int
+	parts   map[int]*Overlay
+	// order preserves attachment order for deterministic iteration.
+	order []*Overlay
+}
+
+// NewPartitionedOverlay creates an empty router under the geometry,
+// masking maskDim when computing rest keys.
+func NewPartitionedOverlay(g *Geometry, maskDim int) *PartitionedOverlay {
+	return &PartitionedOverlay{geom: g, maskDim: maskDim, parts: make(map[int]*Overlay)}
+}
+
+// Attach routes the masked chunk ID to ov. Attaching two overlays under
+// one masked ID is a bug in the caller (merge groups are disjoint).
+func (p *PartitionedOverlay) Attach(maskedID int, ov *Overlay) {
+	if _, dup := p.parts[maskedID]; dup {
+		panic(fmt.Sprintf("chunk: masked ID %d attached twice", maskedID))
+	}
+	p.parts[maskedID] = ov
+	p.order = append(p.order, ov)
+}
+
+// NumParts returns the number of attached overlays.
+func (p *PartitionedOverlay) NumParts() int { return len(p.parts) }
+
+// Get implements cube.Store: one masked-ID computation, one map probe,
+// then the owning overlay's read path. Cells in groups no overlay owns
+// read as absent.
+func (p *PartitionedOverlay) Get(addr []int) float64 {
+	ov := p.parts[p.geom.MaskedID(addr, p.maskDim)]
+	if ov == nil {
+		return math.NaN()
+	}
+	return ov.Get(addr)
+}
+
+// Set implements cube.Store by routing to the owning part.
+func (p *PartitionedOverlay) Set(addr []int, v float64) {
+	ov := p.parts[p.geom.MaskedID(addr, p.maskDim)]
+	if ov == nil {
+		panic(fmt.Sprintf("chunk: no overlay part owns address %v", addr))
+	}
+	ov.Set(addr, v)
+}
+
+// NonNull implements cube.Store: parts in attachment order (the
+// engine attaches merge groups in plan order, which is deterministic).
+func (p *PartitionedOverlay) NonNull(fn func(addr []int, v float64) bool) {
+	stopped := false
+	for _, ov := range p.order {
+		ov.NonNull(func(addr []int, v float64) bool {
+			if !fn(addr, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Len implements cube.Store.
+func (p *PartitionedOverlay) Len() int {
+	n := 0
+	for _, ov := range p.order {
+		n += ov.Len()
+	}
+	return n
+}
+
+// Clone implements cube.Store by flattening into a single Overlay.
+func (p *PartitionedOverlay) Clone() cube.Store {
+	out := NewOverlay(p.geom)
+	p.NonNull(func(addr []int, v float64) bool {
+		out.Set(addr, v)
+		return true
+	})
+	return out
+}

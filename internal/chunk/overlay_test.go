@@ -1,0 +1,242 @@
+package chunk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whatifolap/internal/cube"
+)
+
+func TestSplitIDMatchesSplitPlusCanonicalID(t *testing.T) {
+	g := MustGeometry([]int{7, 5, 9}, []int{2, 3, 4})
+	ccoord := make([]int, 3)
+	for a := 0; a < 7; a++ {
+		for b := 0; b < 5; b++ {
+			for c := 0; c < 9; c++ {
+				addr := []int{a, b, c}
+				off := g.Split(addr, ccoord)
+				id := g.CanonicalID(ccoord)
+				gotID, gotOff := g.SplitID(addr)
+				if gotID != id || gotOff != off {
+					t.Fatalf("SplitID(%v) = (%d,%d), want (%d,%d)", addr, gotID, gotOff, id, off)
+				}
+			}
+		}
+	}
+}
+
+func TestMaskedIDGroupsRestCoordinates(t *testing.T) {
+	g := MustGeometry([]int{8, 6, 4}, []int{2, 2, 2})
+	// Addresses differing only in the masked dimension share a masked
+	// ID; addresses differing in any other chunk coordinate do not.
+	const mask = 1
+	base := []int{5, 0, 3}
+	want := g.MaskedID(base, mask)
+	for b := 0; b < 6; b++ {
+		if got := g.MaskedID([]int{5, b, 3}, mask); got != want {
+			t.Fatalf("MaskedID varies along the masked dimension: %d != %d", got, want)
+		}
+	}
+	if got := g.MaskedID([]int{1, 0, 3}, mask); got == want {
+		t.Fatal("MaskedID ignores a non-masked chunk coordinate change")
+	}
+	// MaskedIDOfCoord agrees, and accepts the -1 mask marker.
+	ccoord := make([]int, 3)
+	g.Split(base, ccoord)
+	ccoord[mask] = -1
+	if got := g.MaskedIDOfCoord(ccoord, mask); got != want {
+		t.Fatalf("MaskedIDOfCoord = %d, want %d", got, want)
+	}
+}
+
+// Property: an Overlay behaves exactly like the map-backed MemStore it
+// replaced, under random workloads of sets, deletes and reads.
+func TestQuickOverlayMatchesMemStore(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := MustGeometry([]int{20, 12}, []int{1 + r.Intn(5), 1 + r.Intn(6)})
+		ov := NewOverlay(g)
+		ms := cube.NewMemStore(2)
+		for i := 0; i < 400; i++ {
+			addr := []int{r.Intn(20), r.Intn(12)}
+			if r.Intn(4) == 0 {
+				ov.Set(addr, math.NaN())
+				ms.Set(addr, math.NaN())
+			} else {
+				v := float64(1 + r.Intn(50))
+				ov.Set(addr, v)
+				ms.Set(addr, v)
+			}
+		}
+		if ov.Len() != ms.Len() {
+			return false
+		}
+		for a := 0; a < 20; a++ {
+			for b := 0; b < 12; b++ {
+				x, y := ov.Get([]int{a, b}), ms.Get([]int{a, b})
+				if math.IsNaN(x) != math.IsNaN(y) || (!math.IsNaN(x) && x != y) {
+					return false
+				}
+			}
+		}
+		// NonNull visits every cell exactly once, deterministically.
+		seen := map[[2]int]float64{}
+		ov.NonNull(func(addr []int, v float64) bool {
+			seen[[2]int{addr[0], addr[1]}] = v
+			return true
+		})
+		if len(seen) != ms.Len() {
+			return false
+		}
+		ok := true
+		ms.NonNull(func(addr []int, v float64) bool {
+			if seen[[2]int{addr[0], addr[1]}] != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlayCloneIndependent(t *testing.T) {
+	g := MustGeometry([]int{8}, []int{4})
+	ov := NewOverlay(g)
+	ov.Set([]int{1}, 10)
+	cl := ov.Clone()
+	ov.Set([]int{1}, 99)
+	ov.Set([]int{2}, 5)
+	if cl.Get([]int{1}) != 10 || !math.IsNaN(cl.Get([]int{2})) {
+		t.Fatal("clone shares state with the original")
+	}
+	if cl.Len() != 1 || ov.Len() != 2 {
+		t.Fatalf("Len: clone=%d original=%d", cl.Len(), ov.Len())
+	}
+}
+
+// The relocation kernel's contract: once a cell's destination chunk is
+// resident (dense), writing and reading relocated cells allocates
+// nothing — the win over the string-keyed MemStore, whose every Set
+// allocates an address key.
+func TestOverlayZeroAllocsPerRelocatedCell(t *testing.T) {
+	g := MustGeometry([]int{16, 16}, []int{4, 4})
+	ov := NewOverlay(g)
+	// Warm one chunk past the density threshold so it is dense.
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			ov.Set([]int{a, b}, 1)
+		}
+	}
+	addr := []int{2, 3}
+	if allocs := testing.AllocsPerRun(1000, func() { ov.Set(addr, 42.5) }); allocs != 0 {
+		t.Fatalf("Overlay.Set on a resident dense chunk: %v allocs per cell, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { _ = ov.Get(addr) }); allocs != 0 {
+		t.Fatalf("Overlay.Get: %v allocs per cell, want 0", allocs)
+	}
+	// Sparse in-place overwrite is also allocation-free.
+	sv := NewOverlay(g)
+	sv.Set([]int{9, 9}, 1)
+	saddr := []int{9, 9}
+	if allocs := testing.AllocsPerRun(1000, func() { sv.Set(saddr, 2) }); allocs != 0 {
+		t.Fatalf("Overlay.Set overwriting a sparse cell: %v allocs, want 0", allocs)
+	}
+	// The baseline this replaced allocates on every single write.
+	ms := cube.NewMemStore(2)
+	if allocs := testing.AllocsPerRun(1000, func() { ms.Set(addr, 42.5) }); allocs == 0 {
+		t.Fatal("MemStore.Set unexpectedly allocation-free; baseline comparison is vacuous")
+	}
+}
+
+func TestPartitionedOverlayRoutesByRestKey(t *testing.T) {
+	// 2-D space, mask dimension 0 (the "varying" dimension): groups are
+	// chunk columns of dimension 1.
+	g := MustGeometry([]int{8, 8}, []int{2, 2})
+	const mask = 0
+	po := NewPartitionedOverlay(g, mask)
+
+	ovA := NewOverlay(g) // owns cells whose dim-1 chunk coord is 0
+	ovA.Set([]int{1, 1}, 10)
+	ovB := NewOverlay(g) // owns dim-1 chunk coord 3
+	ovB.Set([]int{6, 7}, 20)
+	po.Attach(g.MaskedID([]int{0, 1}, mask), ovA)
+	po.Attach(g.MaskedID([]int{0, 7}, mask), ovB)
+
+	if po.NumParts() != 2 {
+		t.Fatalf("NumParts = %d, want 2", po.NumParts())
+	}
+	if got := po.Get([]int{1, 1}); got != 10 {
+		t.Fatalf("routed Get = %v, want 10", got)
+	}
+	// Same rest key, different masked-dimension coordinate: still ovA,
+	// absent there.
+	if got := po.Get([]int{7, 1}); !math.IsNaN(got) {
+		t.Fatalf("absent cell in owned group = %v, want NaN", got)
+	}
+	if got := po.Get([]int{6, 7}); got != 20 {
+		t.Fatalf("routed Get = %v, want 20", got)
+	}
+	// A group no overlay owns reads as absent.
+	if got := po.Get([]int{0, 4}); !math.IsNaN(got) {
+		t.Fatalf("unowned group = %v, want NaN", got)
+	}
+	if po.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", po.Len())
+	}
+	// Writes route to the owning part; unowned groups panic.
+	po.Set([]int{0, 0}, 7)
+	if ovA.Get([]int{0, 0}) != 7 {
+		t.Fatal("Set did not route to the owning part")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Set into an unowned group should panic")
+			}
+		}()
+		po.Set([]int{0, 4}, 1)
+	}()
+	// Duplicate attachment is a caller bug.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate Attach should panic")
+			}
+		}()
+		po.Attach(g.MaskedID([]int{0, 1}, mask), ovB)
+	}()
+	// NonNull covers all parts; Clone flattens.
+	n := 0
+	po.NonNull(func(addr []int, v float64) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("NonNull visited %d cells, want 3", n)
+	}
+	cl := po.Clone()
+	if cl.Len() != 3 || cl.Get([]int{6, 7}) != 20 {
+		t.Fatal("Clone lost cells")
+	}
+}
+
+// PartitionedOverlay reads must be allocation-free too: viewStore.Get
+// resolves every scoped read through the router.
+func TestPartitionedOverlayZeroAllocGet(t *testing.T) {
+	g := MustGeometry([]int{16, 16}, []int{4, 4})
+	po := NewPartitionedOverlay(g, 0)
+	ov := NewOverlay(g)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			ov.Set([]int{a, b}, 1)
+		}
+	}
+	po.Attach(g.MaskedID([]int{0, 0}, 0), ov)
+	addr := []int{2, 3}
+	if allocs := testing.AllocsPerRun(1000, func() { _ = po.Get(addr) }); allocs != 0 {
+		t.Fatalf("PartitionedOverlay.Get: %v allocs, want 0", allocs)
+	}
+}

@@ -14,6 +14,23 @@ import (
 // file and faulted back in on access. The spill file is append-only
 // (rewritten spans supersede older ones); it is a cache extension, not
 // a durability format — use workload.SaveBinary for persistence.
+//
+// The tier is a small buffer pool, not just a cache: recency tracking
+// is an O(1) intrusive list (not a slice scan), chunks can be pinned
+// against eviction while the executor still needs their merge-
+// dependency partners (the paper's §5.2 pebbling objective), and
+// fault-in I/O runs outside the pool lock with per-chunk in-flight
+// deduplication, so concurrent queries faulting different chunks
+// overlap their reads instead of serializing behind one mutex.
+
+// Spill record layout, shared by encodeChunk, decodeChunk and
+// Store.Len (which sizes spilled chunks without loading them).
+const (
+	// spillHeaderLen is the record header: a uint32 cell count.
+	spillHeaderLen = 4
+	// spillCellLen is one serialized cell: uint32 offset + float64 bits.
+	spillCellLen = 12
+)
 
 // span locates one serialized chunk in the spill file.
 type span struct {
@@ -21,18 +38,84 @@ type span struct {
 	len int64
 }
 
-// spillTier manages the backing file and the LRU bookkeeping.
+// lruNode is one resident chunk's slot in the intrusive recency list.
+type lruNode struct {
+	id         int
+	prev, next *lruNode
+}
+
+// spillTier manages the backing file and the buffer-pool bookkeeping.
+// All fields are guarded by the owning Store's mu except f (ReadAt and
+// WriteAt are safe at distinct offsets).
 type spillTier struct {
 	f      *os.File
 	end    int64
 	index  map[int]span // spilled chunk id -> file span
 	budget int          // resident byte budget
-	// lru tracks resident chunk ids, most recent last.
-	lru []int
+	// nodes maps resident chunk ids to their recency-list slot; head is
+	// the least recently used, tail the most. touch is O(1).
+	nodes      map[int]*lruNode
+	head, tail *lruNode
+	// pins counts Pin calls per chunk id; a pinned chunk is never
+	// evicted. Pins are independent of residency so a Pin racing an
+	// eviction still protects the next fault-in.
+	pins map[int]int
+	// inflight marks chunk ids whose fault-in I/O is running outside
+	// the lock; waiters block on the channel instead of re-reading.
+	inflight map[int]chan struct{}
 	// residentBytes approximates resident chunk memory.
 	residentBytes int
 	faults        int
 	evictions     int
+}
+
+// lruPushBack appends a node as most recently used.
+func (t *spillTier) lruPushBack(n *lruNode) {
+	n.prev, n.next = t.tail, nil
+	if t.tail != nil {
+		t.tail.next = n
+	} else {
+		t.head = n
+	}
+	t.tail = n
+}
+
+// lruRemove unlinks a node.
+func (t *spillTier) lruRemove(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// touch marks a resident chunk as recently used, inserting it when it
+// has no slot yet. O(1), unlike the slice scan it replaced.
+func (t *spillTier) touch(id int) {
+	if n, ok := t.nodes[id]; ok {
+		if t.tail != n {
+			t.lruRemove(n)
+			t.lruPushBack(n)
+		}
+		return
+	}
+	n := &lruNode{id: id}
+	t.nodes[id] = n
+	t.lruPushBack(n)
+}
+
+// drop removes a chunk's recency slot, if any.
+func (t *spillTier) drop(id int) {
+	if n, ok := t.nodes[id]; ok {
+		t.lruRemove(n)
+		delete(t.nodes, id)
+	}
 }
 
 // SpillTo attaches a backing file and a resident-memory budget to the
@@ -50,24 +133,91 @@ func (s *Store) SpillTo(path string, budgetBytes int) error {
 	if err != nil {
 		return err
 	}
-	t := &spillTier{f: f, index: make(map[int]span), budget: budgetBytes}
+	t := &spillTier{
+		f:        f,
+		index:    make(map[int]span),
+		budget:   budgetBytes,
+		nodes:    make(map[int]*lruNode),
+		pins:     make(map[int]int),
+		inflight: make(map[int]chan struct{}),
+	}
 	for id, c := range s.chunks {
-		t.lru = append(t.lru, id)
+		t.touch(id)
 		t.residentBytes += c.MemBytes()
 	}
 	s.tier = t
-	s.maybeEvict()
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
 	return nil
 }
 
-// SpillStats reports the spill tier's state: resident and spilled chunk
-// counts, and how many faults (loads from file) have occurred. All
-// zeros when no tier is attached.
-func (s *Store) SpillStats() (resident, spilled, faults int) {
+// SpillStats describes the buffer pool's state. The zero value is
+// returned augmented with the resident count when no tier is attached.
+type SpillStats struct {
+	// Resident and Spilled are the chunk counts on each side of the
+	// budget line.
+	Resident int
+	Spilled  int
+	// Faults counts loads from the spill file.
+	Faults int
+	// Evictions counts chunks written out to the spill file.
+	Evictions int
+	// Pinned is the number of distinct chunk ids currently pinned.
+	Pinned int
+}
+
+// SpillStats reports the spill tier's state. Resident is the full chunk
+// count and the rest zero when no tier is attached.
+func (s *Store) SpillStats() SpillStats {
 	if s.tier == nil {
-		return len(s.chunks), 0, 0
+		return SpillStats{Resident: len(s.chunks)}
 	}
-	return len(s.chunks), len(s.tier.index), s.tier.faults
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpillStats{
+		Resident:  len(s.chunks),
+		Spilled:   len(s.tier.index),
+		Faults:    s.tier.faults,
+		Evictions: s.tier.evictions,
+		Pinned:    len(s.tier.pins),
+	}
+}
+
+// Pooled reports whether a spill tier (buffer pool) is attached. The
+// executor skips its pin bookkeeping entirely on unpooled stores.
+func (s *Store) Pooled() bool { return s.tier != nil }
+
+// Pin marks a chunk unevictable until a matching Unpin. The executor
+// pins chunks whose merge-dependency partners are still unscanned, so
+// the pebbling-optimal resident set survives concurrent queries'
+// evictions. Pinning is by id and independent of residency: pinning a
+// spilled chunk protects it from the moment it faults back in. No-op
+// without a spill tier.
+func (s *Store) Pin(id int) {
+	if s.tier == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tier.pins[id]++
+	s.mu.Unlock()
+}
+
+// Unpin releases one Pin. When the last pin drops, deferred evictions
+// proceed. Unpinning a chunk that is not pinned is a no-op.
+func (s *Store) Unpin(id int) {
+	if s.tier == nil {
+		return
+	}
+	s.mu.Lock()
+	if t := s.tier; t.pins[id] > 0 {
+		t.pins[id]--
+		if t.pins[id] == 0 {
+			delete(t.pins, id)
+			s.evictLocked()
+		}
+	}
+	s.mu.Unlock()
 }
 
 // CloseSpill detaches and closes the spill file after faulting every
@@ -77,13 +227,15 @@ func (s *Store) CloseSpill() error {
 		return nil
 	}
 	// Lift the budget so faulting in does not re-evict mid-iteration.
+	s.mu.Lock()
 	s.tier.budget = int(^uint(0) >> 1)
 	ids := make([]int, 0, len(s.tier.index))
 	for id := range s.tier.index {
 		ids = append(ids, id)
 	}
+	s.mu.Unlock()
 	for _, id := range ids {
-		if _, err := s.faultIn(id); err != nil {
+		if _, err := s.poolGet(id); err != nil {
 			return err
 		}
 	}
@@ -92,77 +244,97 @@ func (s *Store) CloseSpill() error {
 	return err
 }
 
-// touch marks a resident chunk as recently used.
-func (t *spillTier) touch(id int) {
-	for i, x := range t.lru {
-		if x == id {
-			copy(t.lru[i:], t.lru[i+1:])
-			t.lru[len(t.lru)-1] = id
-			return
-		}
-	}
-	t.lru = append(t.lru, id)
-}
-
 // chunkAt returns the chunk for id, faulting it in from the spill file
 // when necessary. It returns nil when the chunk exists nowhere. With a
-// spill tier attached, lookups mutate LRU/residency state, so they are
-// serialized under mu; without one, the resident map is read directly
-// (safe for concurrent readers).
+// spill tier attached, lookups go through the pool (short map/recency
+// critical sections under mu, fault I/O outside it); without one, the
+// resident map is read directly (safe for concurrent readers).
 func (s *Store) chunkAt(id int) *Chunk {
 	if s.tier == nil {
 		return s.chunks[id]
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.chunks[id]; ok {
-		s.tier.touch(id)
-		return c
-	}
-	c, err := s.faultIn(id)
+	c, err := s.poolGet(id)
 	if err != nil {
 		panic(fmt.Sprintf("chunk: spill fault for chunk %d: %v", id, err))
 	}
 	return c
 }
 
-// faultIn loads a spilled chunk into residence. It returns nil, nil when
-// the id is not in the spill index.
-func (s *Store) faultIn(id int) (*Chunk, error) {
+// poolGet is the buffer pool's lookup: resident hit, wait on an
+// in-flight fault, or fault in. The disk read and decode run outside
+// mu so concurrent fault-ins of different chunks overlap; per-chunk
+// in-flight channels prevent duplicate reads of the same chunk.
+func (s *Store) poolGet(id int) (*Chunk, error) {
 	t := s.tier
-	sp, ok := t.index[id]
-	if !ok {
-		return nil, nil
+	for {
+		s.mu.Lock()
+		if c, ok := s.chunks[id]; ok {
+			t.touch(id)
+			s.mu.Unlock()
+			return c, nil
+		}
+		if ch, busy := t.inflight[id]; busy {
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		sp, ok := t.index[id]
+		if !ok {
+			s.mu.Unlock()
+			return nil, nil
+		}
+		ch := make(chan struct{})
+		t.inflight[id] = ch
+		s.mu.Unlock()
+
+		buf := make([]byte, sp.len)
+		var c *Chunk
+		_, err := t.f.ReadAt(buf, sp.off)
+		if err == nil {
+			c, err = decodeChunk(buf, s.geom.ChunkCap())
+		}
+
+		s.mu.Lock()
+		delete(t.inflight, id)
+		if err != nil {
+			s.mu.Unlock()
+			close(ch)
+			return nil, err
+		}
+		delete(t.index, id)
+		s.chunks[id] = c
+		t.touch(id)
+		t.residentBytes += c.MemBytes()
+		t.faults++
+		s.evictLocked()
+		s.mu.Unlock()
+		close(ch)
+		return c, nil
 	}
-	buf := make([]byte, sp.len)
-	if _, err := t.f.ReadAt(buf, sp.off); err != nil {
-		return nil, err
-	}
-	c, err := decodeChunk(buf, s.geom.ChunkCap())
-	if err != nil {
-		return nil, err
-	}
-	delete(t.index, id)
-	s.chunks[id] = c
-	t.residentBytes += c.MemBytes()
-	t.faults++
-	t.touch(id)
-	s.maybeEvict()
-	return c, nil
 }
 
-// maybeEvict spills least-recently-used chunks until the resident set
-// fits the budget (always keeping at least one chunk resident).
-func (s *Store) maybeEvict() {
+// evictLocked spills least-recently-used unpinned chunks until the
+// resident set fits the budget (always keeping at least one chunk
+// resident). Pinned chunks are skipped, not unlinked: their recency
+// position survives the pin. Caller holds mu.
+func (s *Store) evictLocked() {
 	t := s.tier
 	if t == nil {
 		return
 	}
-	for t.residentBytes > t.budget && len(t.lru) > 1 {
-		victim := t.lru[0]
-		t.lru = t.lru[1:]
+	n := t.head
+	for t.residentBytes > t.budget && len(t.nodes) > 1 && n != nil {
+		next := n.next
+		if t.pins[n.id] > 0 {
+			n = next
+			continue
+		}
+		victim := n.id
 		c, ok := s.chunks[victim]
 		if !ok {
+			// Defensive: a node without a resident chunk is stale.
+			t.drop(victim)
+			n = next
 			continue
 		}
 		buf := encodeChunk(c)
@@ -175,6 +347,8 @@ func (s *Store) maybeEvict() {
 		t.residentBytes -= c.MemBytes()
 		t.evictions++
 		delete(s.chunks, victim)
+		t.drop(victim)
+		n = next
 	}
 }
 
@@ -184,32 +358,30 @@ func (s *Store) noteMutation(id int, delta int) {
 	if s.tier == nil {
 		return
 	}
-	s.tier.residentBytes += delta
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tier
+	t.residentBytes += delta
 	if _, resident := s.chunks[id]; resident {
-		s.tier.touch(id)
+		t.touch(id)
 		// A resident write supersedes any stale spilled copy.
-		delete(s.tier.index, id)
+		delete(t.index, id)
 	} else {
-		// Deleted: drop from LRU and any stale spill span.
-		for i, x := range s.tier.lru {
-			if x == id {
-				s.tier.lru = append(s.tier.lru[:i], s.tier.lru[i+1:]...)
-				break
-			}
-		}
-		delete(s.tier.index, id)
+		// Deleted: drop the recency slot and any stale spill span.
+		t.drop(id)
+		delete(t.index, id)
 	}
-	s.maybeEvict()
+	s.evictLocked()
 }
 
 // encodeChunk serializes a chunk in the sparse pair format.
 func encodeChunk(c *Chunk) []byte {
-	buf := make([]byte, 4, 4+12*c.Len())
+	buf := make([]byte, spillHeaderLen, spillHeaderLen+spillCellLen*c.Len())
 	binary.LittleEndian.PutUint32(buf, uint32(c.Len()))
-	var cell [12]byte
+	var cell [spillCellLen]byte
 	c.ForEach(func(off int, v float64) bool {
 		binary.LittleEndian.PutUint32(cell[0:4], uint32(off))
-		binary.LittleEndian.PutUint64(cell[4:12], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(cell[4:spillCellLen], math.Float64bits(v))
 		buf = append(buf, cell[:]...)
 		return true
 	})
@@ -218,21 +390,27 @@ func encodeChunk(c *Chunk) []byte {
 
 // decodeChunk deserializes a chunk written by encodeChunk.
 func decodeChunk(buf []byte, capacity int) (*Chunk, error) {
-	if len(buf) < 4 {
+	if len(buf) < spillHeaderLen {
 		return nil, io.ErrUnexpectedEOF
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
-	if len(buf) != 4+12*n {
+	if len(buf) != spillHeaderLen+spillCellLen*n {
 		return nil, fmt.Errorf("chunk: corrupt spill record: %d cells in %d bytes", n, len(buf))
 	}
 	c := NewSparse(capacity)
 	for i := 0; i < n; i++ {
-		off := int(binary.LittleEndian.Uint32(buf[4+12*i:]))
-		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8+12*i:]))
+		rec := buf[spillHeaderLen+spillCellLen*i:]
+		off := int(binary.LittleEndian.Uint32(rec))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(rec[4:]))
 		if off >= capacity {
 			return nil, fmt.Errorf("chunk: corrupt spill record: offset %d beyond capacity %d", off, capacity)
 		}
 		c.Set(off, v)
 	}
 	return c, nil
+}
+
+// spilledCells sizes a spilled chunk from its span without loading it.
+func (sp span) spilledCells() int {
+	return int((sp.len - spillHeaderLen) / spillCellLen)
 }

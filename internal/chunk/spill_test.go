@@ -25,9 +25,12 @@ func TestSpillEvictsUnderBudget(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		s.Set([]int{i}, float64(i+1))
 	}
-	resident, spilled, _ := s.SpillStats()
-	if spilled == 0 {
-		t.Fatalf("nothing spilled: resident=%d spilled=%d", resident, spilled)
+	st := s.SpillStats()
+	if st.Spilled == 0 {
+		t.Fatalf("nothing spilled: resident=%d spilled=%d", st.Resident, st.Spilled)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("evictions must be surfaced once chunks spill")
 	}
 	if s.NumChunks() != 16 {
 		t.Fatalf("NumChunks = %d, want 16", s.NumChunks())
@@ -41,7 +44,7 @@ func TestSpillEvictsUnderBudget(t *testing.T) {
 			t.Fatalf("Get(%d) = %v, want %v", i, got, float64(i+1))
 		}
 	}
-	if _, _, faults := s.SpillStats(); faults == 0 {
+	if s.SpillStats().Faults == 0 {
 		t.Fatal("full scan should have faulted spilled chunks")
 	}
 }
@@ -110,9 +113,9 @@ func TestCloseSpill(t *testing.T) {
 	if err := s.CloseSpill(); err != nil {
 		t.Fatal(err)
 	}
-	resident, spilled, _ := s.SpillStats()
-	if spilled != 0 || resident != 16 {
-		t.Fatalf("after CloseSpill: resident=%d spilled=%d", resident, spilled)
+	st := s.SpillStats()
+	if st.Spilled != 0 || st.Resident != 16 {
+		t.Fatalf("after CloseSpill: resident=%d spilled=%d", st.Resident, st.Spilled)
 	}
 	for i := 0; i < 64; i++ {
 		if s.Get([]int{i}) != float64(i) {

@@ -17,9 +17,12 @@ import (
 // accounting, and eviction.
 //
 // Concurrency: a fully loaded store is safe for concurrent *readers*
-// (Get, ReadChunk, PeekChunk, NonNull, ChunkIDs) — read accounting is
-// atomic and spill fault-ins are serialized. Mutation (Set, PutChunk,
-// CompressAll, SpillTo, SetReadHook) must not race with readers; the
+// (Get, ReadChunk, PeekChunk, NonNull, ChunkIDs, SpillStats, Pin,
+// Unpin) — read accounting is atomic, the read hook is swapped
+// atomically (SetReadHook is safe against concurrent readers), and
+// spill fault-ins go through the buffer pool, which overlaps distinct
+// chunks' I/O and deduplicates same-chunk faults. Mutation (Set,
+// PutChunk, CompressAll, SpillTo) must not race with readers; the
 // serving layer guarantees this by publishing cubes copy-on-write.
 // Both the serving layer's cross-query concurrency and the engine's
 // intra-query parallel merge-group scan (core.ExecContext.Workers)
@@ -32,14 +35,21 @@ type Store struct {
 	// co-location experiment use it to account I/O.
 	reads atomic.Int64
 	// readHook, when set, observes every chunk read with its canonical
-	// ID (the simulated disk attaches here). Hooks are invoked under mu,
-	// so hook state needs no synchronization of its own.
-	readHook func(id int)
+	// ID (the simulated disk attaches here). The pointer is accessed
+	// atomically so SetReadHook never races a concurrent reader; the
+	// hook itself is invoked under hookMu, so hook state needs no
+	// synchronization of its own.
+	readHook atomic.Pointer[func(id int)]
+	// hookMu serializes read-hook invocations. It is deliberately
+	// separate from mu: a slow hook (the simulated disk's cost model)
+	// must not block other queries' pool fault-ins.
+	hookMu sync.Mutex
 	// tier, when non-nil, spills least-recently-used chunks to a file
 	// (SpillTo) so the resident set fits a memory budget.
 	tier *spillTier
-	// mu serializes spill fault-ins and read-hook invocations so
-	// concurrent queries can share one store.
+	// mu guards the resident chunk map and the buffer-pool bookkeeping
+	// (recency list, spill index, pins) whenever a tier is attached.
+	// Fault-in I/O runs outside it — see poolGet.
 	mu sync.Mutex
 }
 
@@ -52,7 +62,16 @@ func NewStore(geom *Geometry) *Store {
 func (s *Store) Geometry() *Geometry { return s.geom }
 
 // SetReadHook installs fn to observe chunk reads. Pass nil to remove.
-func (s *Store) SetReadHook(fn func(id int)) { s.readHook = fn }
+// The swap is atomic, so installing or removing a hook never races
+// concurrent readers; reads in flight may still invoke the previous
+// hook once.
+func (s *Store) SetReadHook(fn func(id int)) {
+	if fn == nil {
+		s.readHook.Store(nil)
+		return
+	}
+	s.readHook.Store(&fn)
+}
 
 // Reads returns the number of chunk reads so far.
 func (s *Store) Reads() int { return int(s.reads.Load()) }
@@ -123,15 +142,19 @@ func (s *Store) NonNull(fn func(addr []int, v float64) bool) {
 }
 
 // Len implements cube.Store. Spilled chunks contribute without being
-// loaded (their cell counts are implied by the span sizes).
+// loaded (their cell counts are implied by the record layout).
 func (s *Store) Len() int {
+	if s.tier != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	n := 0
 	for _, c := range s.chunks {
 		n += c.Len()
 	}
 	if s.tier != nil {
 		for _, sp := range s.tier.index {
-			n += int((sp.len - 4) / 12)
+			n += sp.spilledCells()
 		}
 	}
 	return n
@@ -152,6 +175,10 @@ func (s *Store) Clone() cube.Store {
 // ChunkIDs returns the canonical IDs of the materialized chunks —
 // resident and spilled — sorted.
 func (s *Store) ChunkIDs() []int {
+	if s.tier != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	ids := make([]int, 0, len(s.chunks))
 	for id := range s.chunks {
 		ids = append(ids, id)
@@ -168,6 +195,10 @@ func (s *Store) ChunkIDs() []int {
 // NumChunks returns the number of materialized chunks, resident or
 // spilled.
 func (s *Store) NumChunks() int {
+	if s.tier != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	n := len(s.chunks)
 	if s.tier != nil {
 		n += len(s.tier.index)
@@ -180,10 +211,10 @@ func (s *Store) NumChunks() int {
 // means the chunk is empty (not materialized).
 func (s *Store) ReadChunk(id int) *Chunk {
 	s.reads.Add(1)
-	if s.readHook != nil {
-		s.mu.Lock()
-		s.readHook(id)
-		s.mu.Unlock()
+	if fn := s.readHook.Load(); fn != nil {
+		s.hookMu.Lock()
+		(*fn)(id)
+		s.hookMu.Unlock()
 	}
 	return s.chunkAt(id)
 }

@@ -458,7 +458,7 @@ func (e *Engine) SimulateMultiMDXWith(ec ExecContext, members []string, perspect
 	}
 	var combined *View
 	var stats Stats
-	merged := cube.NewMemStore(e.base.NumDims())
+	merged := chunk.NewOverlay(e.store.Geometry())
 	for _, p := range perspectives {
 		if err := ec.err(); err != nil {
 			return nil, err

@@ -556,7 +556,7 @@ func TestEngineOverSpilledStore(t *testing.T) {
 	if err := st.SpillTo(t.TempDir()+"/cube.spill", 200); err != nil {
 		t.Fatal(err)
 	}
-	if _, spilled, _ := st.SpillStats(); spilled == 0 {
+	if st.SpillStats().Spilled == 0 {
 		t.Fatal("budget too large; nothing spilled — test is vacuous")
 	}
 	e, err := New(c, "Organization")
@@ -579,7 +579,7 @@ func TestEngineOverSpilledStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertCubesAgree(t, v, ref, memRef, perspective.Visual)
-	if _, _, faults := st.SpillStats(); faults == 0 {
+	if st.SpillStats().Faults == 0 {
 		t.Fatal("query over a spilled store should fault chunks")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"whatifolap/internal/chunk"
 	"whatifolap/internal/cube"
 	"whatifolap/internal/dimension"
 	"whatifolap/internal/perspective"
@@ -20,11 +21,16 @@ type scanTally struct {
 
 // execute runs the staged execution of a physical plan:
 //
-//	scan     chunk reads + cell relocation, fanned out over merge
-//	         groups when ec.Workers > 1, serial in the plan's global
-//	         schedule otherwise;
-//	merge    combining the per-group overlays into one (a no-op when
-//	         serial — the scan writes the final overlay directly);
+//	scan     chunk reads + cell relocation into a chunk-grained
+//	         overlay (pure integer (chunkID, offset) math, no per-cell
+//	         allocation), fanned out over merge groups when
+//	         ec.Workers > 1, serial in the plan's global schedule
+//	         otherwise;
+//	merge    zero-copy: merge edges never cross rest-coordinate
+//	         groups, so the per-group overlays are disjoint and are
+//	         attached to a partitioned router keyed by masked chunk ID
+//	         — O(groups), not O(cells) (a no-op when serial, where the
+//	         scan writes the final overlay directly);
 //	assemble wiring the overlay view cube.
 //
 // When newDims is nil the view shares the base cube's dimensions;
@@ -42,15 +48,31 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 	}
 	stats.ScanWorkers = workers
 
+	// The overlay's geometry matches the base store's, except that a
+	// positive scenario extends the varying dimension with hypothetical
+	// instances whose ordinals lie beyond the base extent.
+	og := e.store.Geometry()
+	if newDims != nil {
+		ext := append([]int(nil), og.Extents...)
+		if n := newDims[e.vi].NumLeaves(); n > ext[e.vi] {
+			ext[e.vi] = n
+		}
+		var err error
+		og, err = chunk.NewGeometry(ext, og.ChunkDims)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+
 	var diskBefore float64
 	if e.disk != nil {
 		diskBefore = e.disk.Stats().CostMs
 	}
 
 	scanStart := time.Now()
-	var overlay *cube.MemStore
+	var overlay cube.Store
 	if workers > 1 {
-		overlays, tallies, err := e.scanParallel(ec, p, workers)
+		overlays, tallies, err := e.scanParallel(ec, p, og, workers)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -60,22 +82,21 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 		}
 		stats.ScanMs = msSince(scanStart)
 		mergeStart := time.Now()
-		overlay = cube.NewMemStore(e.store.Geometry().NumDims())
-		for _, ov := range overlays {
-			ov.NonNull(func(addr []int, v float64) bool {
-				overlay.Set(addr, v)
-				return true
-			})
+		po := chunk.NewPartitionedOverlay(og, e.vi)
+		for gi, mg := range p.Groups {
+			po.Attach(og.MaskedIDOfCoord(mg.Rest, e.vi), overlays[gi])
 		}
+		overlay = po
 		stats.MergeMs = msSince(mergeStart)
 	} else {
-		overlay = cube.NewMemStore(e.store.Geometry().NumDims())
-		t, err := e.scanInto(ec.Ctx, p.Schedule, p.Target, overlay)
+		ov := chunk.NewOverlay(og)
+		t, err := e.scanInto(ec.Ctx, p.Schedule, p, ov)
 		if err != nil {
 			return nil, stats, err
 		}
 		stats.ChunksRead += t.chunksRead
 		stats.CellsRelocated += t.cellsRelocated
+		overlay = ov
 		stats.ScanMs = msSince(scanStart)
 	}
 	if e.disk != nil {
@@ -104,18 +125,100 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 	return &View{input: e.base, result: result, mode: mode}, stats, nil
 }
 
+// pinTracker enforces the executor side of the pebbling objective on a
+// pooled store: a scanned chunk stays pinned while any of its merge-
+// dependency partners (plan.Neighbors) is still unscanned, so another
+// query's fault-ins cannot evict it before the exchange completes; it
+// is released the moment its last partner is read. On an unpooled
+// store (Pin is a no-op) the tracker is not built at all.
+type pinTracker struct {
+	store     *chunk.Store
+	pos       map[int]int
+	neighbors map[int][]int
+	// outstanding counts a chunk's partners positioned after it in the
+	// schedule that have not been scanned yet.
+	outstanding map[int]int
+	pinned      map[int]bool
+}
+
+func newPinTracker(store *chunk.Store, schedule []int, neighbors map[int][]int) *pinTracker {
+	pt := &pinTracker{
+		store:       store,
+		pos:         make(map[int]int, len(schedule)),
+		neighbors:   neighbors,
+		outstanding: make(map[int]int),
+		pinned:      make(map[int]bool),
+	}
+	for i, id := range schedule {
+		pt.pos[id] = i
+	}
+	for _, id := range schedule {
+		for _, nb := range neighbors[id] {
+			if pnb, ok := pt.pos[nb]; ok && pnb > pt.pos[id] {
+				pt.outstanding[id]++
+			}
+		}
+	}
+	return pt
+}
+
+// scanned records that id was just read: pin it when partners are still
+// ahead in the schedule, and release earlier partners this read
+// satisfies.
+func (pt *pinTracker) scanned(id int) {
+	if pt.outstanding[id] > 0 {
+		pt.store.Pin(id)
+		pt.pinned[id] = true
+	}
+	myPos, ok := pt.pos[id]
+	if !ok {
+		return
+	}
+	for _, nb := range pt.neighbors[id] {
+		if pnb, ok := pt.pos[nb]; !ok || pnb >= myPos {
+			continue
+		}
+		if pt.outstanding[nb] > 0 {
+			pt.outstanding[nb]--
+			if pt.outstanding[nb] == 0 && pt.pinned[nb] {
+				pt.store.Unpin(nb)
+				delete(pt.pinned, nb)
+			}
+		}
+	}
+}
+
+// releaseAll unpins whatever is still pinned — a no-op after a complete
+// scan, the safety net on error and cancellation paths.
+func (pt *pinTracker) releaseAll() {
+	for id := range pt.pinned {
+		pt.store.Unpin(id)
+	}
+	pt.pinned = map[int]bool{}
+}
+
 // scanInto reads the scheduled chunks in order, relocating scoped cells
-// through target into the overlay. The context, when non-nil, is
-// checked before every chunk read. target is only read, so concurrent
+// through the plan's target tables into the overlay. Relocation is
+// chunk-native: the destination address decomposes to (chunkID, offset)
+// by integer arithmetic and the write allocates nothing once the
+// destination chunk exists. The context, when non-nil, is checked
+// before every chunk read. The plan is only read, so concurrent
 // scanInto calls over disjoint overlays are safe.
-func (e *Engine) scanInto(ctx context.Context, schedule []int, target map[int][]int,
-	overlay *cube.MemStore) (scanTally, error) {
+func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
+	overlay *chunk.Overlay) (scanTally, error) {
 
 	var tally scanTally
 	g := e.store.Geometry()
 	ccoord := make([]int, g.NumDims())
 	addr := make([]int, g.NumDims())
 	out := make([]int, g.NumDims())
+
+	var pins *pinTracker
+	if e.store.Pooled() && len(p.Neighbors) > 0 {
+		pins = newPinTracker(e.store, schedule, p.Neighbors)
+		defer pins.releaseAll()
+	}
+
 	for _, id := range schedule {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -124,13 +227,16 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, target map[int][]
 		}
 		ch := e.store.ReadChunk(id)
 		tally.chunksRead++
+		if pins != nil {
+			pins.scanned(id)
+		}
 		if ch == nil {
 			continue
 		}
 		g.CoordOf(id, ccoord)
 		ch.ForEach(func(off int, v float64) bool {
 			g.Join(ccoord, off, addr)
-			row := target[addr[e.vi]]
+			row := p.Target[addr[e.vi]]
 			if row == nil {
 				return true
 			}
@@ -149,15 +255,17 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, target map[int][]
 }
 
 // scanParallel fans the scan out over the plan's merge groups on a
-// bounded worker pool. Each group scans into a private overlay in its
-// own schedule order — merge edges never cross groups, so the pebbling
-// order stays legal per group — and the caller merges the overlays at
-// the barrier in group order. Cells from different groups can never
-// collide (they differ in a non-varying coordinate), so the merged
-// overlay is identical to the serial scan's.
-func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, workers int) ([]*cube.MemStore, []scanTally, error) {
-	nd := e.store.Geometry().NumDims()
-	overlays := make([]*cube.MemStore, len(p.Groups))
+// bounded worker pool. Each group scans into a private chunk-grained
+// overlay in its own schedule order — merge edges never cross groups,
+// so the pebbling order stays legal per group — and the caller attaches
+// the overlays to a partitioned router at the barrier in group order.
+// Cells from different groups can never collide (they differ in a
+// non-varying coordinate), so the routed overlay is identical to the
+// serial scan's without copying a single cell.
+func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, og *chunk.Geometry,
+	workers int) ([]*chunk.Overlay, []scanTally, error) {
+
+	overlays := make([]*chunk.Overlay, len(p.Groups))
 	tallies := make([]scanTally, len(p.Groups))
 
 	base := ec.Ctx
@@ -184,8 +292,8 @@ func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, workers int) ([]*
 		go func() {
 			defer wg.Done()
 			for gi := range work {
-				ov := cube.NewMemStore(nd)
-				t, err := e.scanInto(ctx, p.Groups[gi].Chunks, p.Target, ov)
+				ov := chunk.NewOverlay(og)
+				t, err := e.scanInto(ctx, p.Groups[gi].Chunks, p, ov)
 				tallies[gi] = t
 				if err != nil {
 					fail(err)

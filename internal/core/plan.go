@@ -74,6 +74,12 @@ type PhysicalPlan struct {
 	// Groups partitions Schedule into independent merge groups, in
 	// deterministic (masked-coordinate) order.
 	Groups []MergeGroup
+	// Neighbors is the merge dependency adjacency: for each relevant
+	// chunk, the chunks it exchanges relocated cells with. The executor
+	// feeds it to the chunk store's buffer pool as pin hints — a chunk
+	// stays pinned against eviction while any of its partners is still
+	// unscanned (the §5.2 pebbling objective, enforced at the pool).
+	Neighbors map[int][]int
 	// Stats carries the planning-stage statistics: source instances,
 	// relevant chunks, merge edges and groups, the pebbling peak, and
 	// the planning wall time.
@@ -169,6 +175,7 @@ func (e *Engine) buildPlan(target map[int][]int, scoped []bool) (*PhysicalPlan, 
 
 	// Merge dependency edges: chunks in the same group whose varying
 	// coordinates exchange data at this group's parameter coordinate.
+	p.Neighbors = make(map[int][]int)
 	for tr := range transfers {
 		for _, grp := range groups {
 			if grp.paramCoord != tr.pc {
@@ -179,6 +186,8 @@ func (e *Engine) buildPlan(target map[int][]int, scoped []bool) (*PhysicalPlan, 
 			if okA && okB && a != b && !graph.HasEdge(a, b) {
 				graph.AddEdge(a, b)
 				grp.graph.AddEdge(a, b)
+				p.Neighbors[a] = append(p.Neighbors[a], b)
+				p.Neighbors[b] = append(p.Neighbors[b], a)
 				p.Stats.MergeEdges++
 			}
 		}

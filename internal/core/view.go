@@ -22,8 +22,13 @@ import (
 // optionally through an ordinal remap (positive scenarios extend the
 // varying dimension, shifting leaf ordinals).
 type viewStore struct {
-	base    cube.Store
-	overlay *cube.MemStore
+	base cube.Store
+	// overlay holds the relocated cells: a chunk-grained chunk.Overlay
+	// from a serial scan, a chunk.PartitionedOverlay routing to the
+	// per-group overlays after a parallel scan, or a merged store from
+	// the multi-MDX simulation. Reads of scoped rows resolve here with
+	// pure integer (chunkID, offset) arithmetic.
+	overlay cube.Store
 	vi      int
 	// scoped marks varying leaf ordinals (in view coordinates) owned by
 	// the overlay.
@@ -206,7 +211,8 @@ type Stats struct {
 	// PlanMs, ScanMs, MergeMs and ProjectMs are the per-stage wall
 	// times in milliseconds: plan (target pruning, merge graph, read
 	// scheduling), scan (chunk reads + cell relocation), merge
-	// (combining per-group overlays; zero on a serial scan), project
+	// (attaching per-group overlays to the partitioned router — O(merge
+	// groups), no per-cell copying; zero on a serial scan), project
 	// (grid projection, filled in by the mdx layer).
 	PlanMs    float64
 	ScanMs    float64

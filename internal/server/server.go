@@ -151,6 +151,11 @@ type queryStats struct {
 	MergeEdges     int `json:"merge_edges"`
 	MergeGroups    int `json:"merge_groups"`
 	ScanWorkers    int `json:"scan_workers,omitempty"`
+	// Wall-clock stage times (scan_ms, merge_ms, ...) are deliberately
+	// NOT in the body: responses must be byte-identical for identical
+	// queries so the result cache can serve stored bodies verbatim.
+	// Per-stage means — where merge ~0 shows the zero-copy partitioned
+	// merge — are aggregated at /metrics (StageSnapshot).
 }
 
 // queryResponse is the POST /query success body. Values use null for

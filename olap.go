@@ -112,6 +112,9 @@ type (
 	DiskModel = simdisk.Model
 	// Disk accumulates modeled I/O cost.
 	Disk = simdisk.Disk
+	// SpillStats describes a spilled cube's buffer pool: resident and
+	// spilled chunk counts, fault-ins, evictions, and pinned chunks.
+	SpillStats = chunk.SpillStats
 )
 
 // Workload generator types.
@@ -198,6 +201,18 @@ func SpillTo(c *Cube, path string, budgetBytes int) error {
 		return fmt.Errorf("olap: SpillTo requires a chunk-backed cube, got %T", c.Store())
 	}
 	return st.SpillTo(path, budgetBytes)
+}
+
+// CubeSpillStats reports the buffer-pool state of a chunk-backed cube:
+// chunk counts on each side of the budget line, fault-ins, evictions,
+// and currently pinned chunks. Without a spill tier (no SpillTo call)
+// only Resident is populated. Safe to call while queries run.
+func CubeSpillStats(c *Cube) (SpillStats, error) {
+	st, ok := c.Store().(*chunk.Store)
+	if !ok {
+		return SpillStats{}, fmt.Errorf("olap: CubeSpillStats requires a chunk-backed cube, got %T", c.Store())
+	}
+	return st.SpillStats(), nil
 }
 
 // NewEngine creates a perspective-cube engine over a chunk-backed cube

@@ -195,8 +195,21 @@ FROM W WHERE ([Location].[NY], [Measures].[Salary])`)
 	if grid.Values[0][0] != 40 {
 		t.Fatalf("spilled query = %v, want 40", grid.Values[0][0])
 	}
+	st, err := olap.CubeSpillStats(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spilled == 0 {
+		t.Fatalf("spill stats after SpillTo(budget=200) = %+v, want spilled chunks", st)
+	}
+	if st.Faults == 0 {
+		t.Fatalf("spill stats after a query = %+v, want fault-ins", st)
+	}
 	// Non-chunked cubes are rejected.
 	if err := olap.SpillTo(olap.PaperWarehouse(), t.TempDir()+"/x", 100); err == nil {
 		t.Fatal("SpillTo over MemStore should fail")
+	}
+	if _, err := olap.CubeSpillStats(olap.PaperWarehouse()); err == nil {
+		t.Fatal("CubeSpillStats over MemStore should fail")
 	}
 }

@@ -12,9 +12,10 @@ echo '>> go test ./...'
 go test ./...
 
 # Race-detector pass over the concurrent paths: the serving layer's
-# stress, cache and httptest endpoint tests, plus the engine's
-# parallel merge-group scan tests.
-echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel' ./..."
-go test -race -run 'Concurrent|Server|Cache|Parallel' ./...
+# stress, cache and httptest endpoint tests, the engine's parallel
+# merge-group scan and overlay-kernel equivalence tests, and the
+# buffer pool's concurrent fault-in tests.
+echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel' ./..."
+go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel' ./...
 
 echo 'verify: ok'
