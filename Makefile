@@ -1,4 +1,4 @@
-.PHONY: verify test bench bench-smoke
+.PHONY: verify test bench bench-smoke prof
 
 verify:
 	./verify.sh
@@ -10,7 +10,13 @@ bench:
 	go test -run XXX -bench . ./...
 
 # A fast sanity pass over the figure benchmarks, the parallel-scan
-# series and the overlay-kernel write-path comparison; full numbers
-# come from `make bench` or cmd/benchfig.
+# series, the overlay-kernel write-path comparison and the trace
+# overhead guard; full numbers come from `make bench` or cmd/benchfig.
 bench-smoke:
-	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan|BenchmarkRelocationKernel' -benchtime=100ms .
+	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan|BenchmarkRelocationKernel|BenchmarkTrace' -benchtime=100ms .
+
+# CPU profile of the relocation kernel under the trace hooks; inspect
+# with `go tool pprof cpu.prof`.
+prof:
+	go test -run '^$$' -bench 'BenchmarkTraceOff|BenchmarkTraceOn' -benchtime=2s -cpuprofile cpu.prof .
+	@echo "wrote cpu.prof — open with: go tool pprof cpu.prof"

@@ -18,6 +18,7 @@ import (
 	"whatifolap/internal/dimension"
 	"whatifolap/internal/perspective"
 	"whatifolap/internal/simdisk"
+	"whatifolap/internal/trace"
 	"whatifolap/internal/workload"
 )
 
@@ -232,6 +233,71 @@ func BenchmarkRelocationKernelChunkNative(b *testing.B) {
 	var cells int
 	for i := 0; i < b.N; i++ {
 		cells = k.RunChunkNative()
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+// --- Trace overhead ---
+
+// BenchmarkTraceOff bounds what the disabled trace hooks cost on the
+// relocation hot path: the steady-state chunk-native replay with the
+// engine's per-chunk span instrumentation compiled in but a nil
+// recorder. Must show 0 allocs/op and stay within 2% of
+// BenchmarkRelocationKernelSteady (the same replay without any hooks);
+// BENCH_trace_overhead.json records both.
+func BenchmarkTraceOff(b *testing.B) {
+	k, err := bench.NewKernel(benchWorkforce(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := k.NewOverlay()
+	k.ReplayTraced(nil, trace.SpanRef{}, ov) // warm destination chunks
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		cells = k.ReplayTraced(nil, trace.SpanRef{}, ov)
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+// BenchmarkTraceOn is the same replay with a live recorder: the span
+// per source chunk is claimed with one atomic add and two monotonic
+// clock reads, still allocation-free (the buffer is preallocated).
+func BenchmarkTraceOn(b *testing.B) {
+	k, err := bench.NewKernel(benchWorkforce(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := k.NewOverlay()
+	tr := trace.New(8192)
+	k.ReplayTraced(tr, trace.SpanRef{}, ov)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		root := tr.Start(trace.SpanRef{}, "replay")
+		cells = k.ReplayTraced(tr, root, ov)
+		root.End()
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+// BenchmarkRelocationKernelSteady is the untraced steady-state baseline
+// BenchmarkTraceOff is measured against.
+func BenchmarkRelocationKernelSteady(b *testing.B) {
+	k, err := bench.NewKernel(benchWorkforce(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := k.NewOverlay()
+	k.Replay(ov)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		cells = k.Replay(ov)
 	}
 	b.ReportMetric(float64(cells), "cells/op")
 }

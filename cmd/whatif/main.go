@@ -29,6 +29,7 @@ import (
 
 	olap "whatifolap"
 	"whatifolap/internal/mdx"
+	"whatifolap/internal/trace"
 	"whatifolap/internal/workload"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		query     = flag.String("query", "", "run a single query and exit")
 		showStats = flag.Bool("stats", false, "print engine statistics after each query")
 		explain   = flag.Bool("explain", false, "print the evaluation path and physical plan before each result")
+		showTrace = flag.Bool("trace", false, "print the span tree of each query's execution")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (e.g. 5s); 0 disables")
 		workers   = flag.Int("workers", 1, "scan workers per query (parallel merge-group scan; 1 = serial)")
 	)
@@ -63,11 +65,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "whatif:", err)
 			return
 		}
-		if *explain {
-			if ex, err := ev.Explain(q); err == nil {
-				fmt.Print(ex)
-			}
-		}
 		// The deadline feeds the same cancellation mechanism the query
 		// daemon uses: checked at chunk-iteration boundaries in the
 		// engine and between grid rows.
@@ -77,12 +74,56 @@ func main() {
 			defer cancel()
 			rc.Ctx = ctx
 		}
+		// An EXPLAIN-prefixed query dispatches like in the daemon: plain
+		// EXPLAIN plans without executing, EXPLAIN ANALYZE executes under
+		// a span trace and prints the analysis with the result.
+		if q.Explain && !q.Analyze {
+			ex, err := ev.Explain(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whatif:", err)
+				return
+			}
+			fmt.Print(ex)
+			fmt.Println()
+			return
+		}
+		if q.Explain {
+			text, grid, _, err := ev.ExplainAnalyze(rc, q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whatif:", err)
+				return
+			}
+			fmt.Print(grid)
+			fmt.Print(text)
+			fmt.Println()
+			return
+		}
+		if *explain {
+			if ex, err := ev.Explain(q); err == nil {
+				fmt.Print(ex)
+			}
+		}
+		var tr *trace.Trace
+		var root trace.SpanRef
+		if *showTrace {
+			tr = trace.New(0)
+			root = tr.Start(trace.SpanRef{}, "eval")
+			base := rc.Ctx
+			if base == nil {
+				base = context.Background()
+			}
+			rc.Ctx = trace.WithSpan(trace.NewContext(base, tr), root)
+		}
 		grid, stats, err := ev.RunQueryStatsWith(rc, q)
+		root.End()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "whatif:", err)
 			return
 		}
 		fmt.Print(grid)
+		if *showTrace {
+			fmt.Print(tr.Render())
+		}
 		if *showStats {
 			fmt.Printf("-- scope=%d members, instances=%d, chunks read=%d, cells relocated=%d, merge edges=%d, peak resident=%d\n",
 				stats.MembersInScope, stats.SourceInstances, stats.ChunksRead,

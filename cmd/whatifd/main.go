@@ -5,10 +5,16 @@
 //
 // Endpoints:
 //
-//	POST /query    {"cube": "wf", "query": "SELECT ...", "timeout_ms": 0}
-//	GET  /cubes    catalog listing (name, version, dims, cells, in-flight)
-//	GET  /metrics  counters, cache hit ratio, queue depth, p50/p95/p99
-//	GET  /healthz  liveness
+//	POST /query          {"cube": "wf", "query": "SELECT ...", "timeout_ms": 0}
+//	GET  /cubes          catalog listing (name, version, dims, cells, in-flight)
+//	GET  /metrics        counters, cache hit ratio, queue depth, p50/p95/p99
+//	                     (?format=prom for Prometheus text exposition)
+//	GET  /debug/slowlog  recent slow queries with their span traces
+//	GET  /healthz        liveness
+//
+// With -debug-addr a second listener serves net/http/pprof at
+// /debug/pprof/ — kept off the query port so profiling endpoints are
+// never exposed where queries are.
 //
 // Cube sources mirror cmd/whatif: -paper, -workforce, and repeatable
 // -load name=path flags accepting both dump formats of cmd/cubegen.
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // pprof handlers on http.DefaultServeMux, served via -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -58,6 +65,10 @@ func main() {
 		queueCap   = flag.Int("queue", 0, "admission queue capacity (0 = 4×workers); overflow returns 429")
 		cacheBytes = flag.Int("cache-bytes", server.DefaultCacheBytes, "result cache byte budget (0 disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query deadline (0 = none)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+		slowMs     = flag.Float64("slowlog", server.DefaultSlowQueryMs, "slow-query log threshold in ms (negative disables)")
+		slowCap    = flag.Int("slowlog-cap", 0, "slow-query ring buffer capacity (0 = default)")
+		traceSpans = flag.Int("trace-spans", 0, "span buffer size per traced query (0 = default)")
 	)
 	flag.Var(&loads, "load", "serve a cube dump as name=path (repeatable; text or binary format)")
 	flag.Parse()
@@ -97,8 +108,23 @@ func main() {
 		QueueCap:       *queueCap,
 		CacheBytes:     *cacheBytes,
 		DefaultTimeout: *timeout,
+		SlowQueryMs:    *slowMs,
+		SlowlogCap:     *slowCap,
+		TraceSpans:     *traceSpans,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	if *debugAddr != "" {
+		// http.DefaultServeMux carries the pprof handlers registered by
+		// the net/http/pprof import; it is deliberately NOT the query mux.
+		dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "whatifd: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "whatifd: pprof on %s/debug/pprof/\n", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

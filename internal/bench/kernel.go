@@ -8,6 +8,7 @@ import (
 	"whatifolap/internal/core"
 	"whatifolap/internal/cube"
 	"whatifolap/internal/perspective"
+	"whatifolap/internal/trace"
 	"whatifolap/internal/workload"
 )
 
@@ -27,6 +28,10 @@ type Kernel struct {
 	// vals the cell values.
 	addrs []int
 	vals  []float64
+	// chunkEnds marks where the stream crosses a source-chunk boundary
+	// (exclusive end index into vals per contributing chunk), so traced
+	// replays can mirror the engine's per-chunk span granularity.
+	chunkEnds []int
 }
 
 // NewKernel plans the standard workload query against w and captures
@@ -76,6 +81,9 @@ func NewKernel(w *workload.Workforce) (*Kernel, error) {
 			k.vals = append(k.vals, v)
 			return true
 		})
+		if n := len(k.chunkEnds); len(k.vals) > 0 && (n == 0 || k.chunkEnds[n-1] < len(k.vals)) {
+			k.chunkEnds = append(k.chunkEnds, len(k.vals))
+		}
 	}
 	if len(k.vals) == 0 {
 		return nil, fmt.Errorf("bench: kernel relocated no cells")
@@ -96,6 +104,35 @@ func (k *Kernel) RunMemStore() int {
 // chunk-grained Overlay and returns the number of cells written.
 func (k *Kernel) RunChunkNative() int {
 	return k.replayOverlay(chunk.NewOverlay(k.geom))
+}
+
+// NewOverlay returns an empty destination overlay matching the kernel's
+// geometry, for steady-state (warm-destination) replays.
+func (k *Kernel) NewOverlay() *chunk.Overlay { return chunk.NewOverlay(k.geom) }
+
+// Replay replays the relocation stream into the given (possibly warm)
+// overlay — the steady-state untraced baseline for BenchmarkTraceOff.
+func (k *Kernel) Replay(ov *chunk.Overlay) int { return k.replayOverlay(ov) }
+
+// ReplayTraced replays the relocation stream with the engine's span
+// instrumentation pattern: one span per source-chunk segment, annotated
+// with its cell count. A nil recorder exercises exactly the no-op path
+// the engine takes when tracing is off, so benchmarking
+// ReplayTraced(nil, ...) against Replay bounds the cost the disabled
+// hooks add to the hot write loop.
+func (k *Kernel) ReplayTraced(tr *trace.Trace, parent trace.SpanRef, ov *chunk.Overlay) int {
+	d := k.geom.NumDims()
+	start := 0
+	for _, end := range k.chunkEnds {
+		sp := tr.Start(parent, "chunk")
+		for i := start; i < end; i++ {
+			ov.Set(k.addrs[i*d:(i+1)*d], k.vals[i])
+		}
+		sp.Int("cells", int64(end-start))
+		sp.End()
+		start = end
+	}
+	return len(k.vals)
 }
 
 func (k *Kernel) replayMemStore(ms *cube.MemStore) int {

@@ -24,6 +24,10 @@ type Overlay struct {
 	geom   *Geometry
 	chunks map[int]*Chunk
 	cells  int
+	// promotions counts chunks that crossed the occupancy threshold and
+	// switched from sparse to dense representation during writes — the
+	// trace attribute behind per-merge-group "overlay_promotions".
+	promotions int
 }
 
 // NewOverlay creates an empty overlay under the geometry.
@@ -57,12 +61,20 @@ func (o *Overlay) Set(addr []int, v float64) {
 		o.chunks[id] = c
 	}
 	before := c.Len()
+	wasSparse := c.dense == nil
 	c.Set(off, v)
+	if wasSparse && c.dense != nil {
+		o.promotions++
+	}
 	o.cells += c.Len() - before
 	if c.Len() == 0 {
 		delete(o.chunks, id)
 	}
 }
+
+// Promotions returns how many sparse→dense representation promotions
+// the overlay's writes have triggered so far.
+func (o *Overlay) Promotions() int { return o.promotions }
 
 // NonNull implements cube.Store. Chunks are visited in canonical ID
 // order, cells within a chunk in offset order, so iteration is

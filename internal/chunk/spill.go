@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 )
 
 // Spill tier: the paper's testbed holds a 20.2 GB cube behind a 256 MB
@@ -235,7 +236,7 @@ func (s *Store) CloseSpill() error {
 	}
 	s.mu.Unlock()
 	for _, id := range ids {
-		if _, err := s.poolGet(id); err != nil {
+		if _, _, err := s.poolGet(id); err != nil {
 			return err
 		}
 	}
@@ -253,25 +254,38 @@ func (s *Store) chunkAt(id int) *Chunk {
 	if s.tier == nil {
 		return s.chunks[id]
 	}
-	c, err := s.poolGet(id)
+	c, _, err := s.poolGet(id)
 	if err != nil {
 		panic(fmt.Sprintf("chunk: spill fault for chunk %d: %v", id, err))
 	}
 	return c
 }
 
+// faultInfo describes what one poolGet did: whether it faulted the
+// chunk in from the spill file, how long the fault I/O took, how many
+// evictions it triggered, and whether the chunk was pinned. It feeds
+// ReadInfo so the engine can attribute pool behaviour per query.
+type faultInfo struct {
+	faulted   bool
+	faultMs   float64
+	evictions int
+	pinned    bool
+}
+
 // poolGet is the buffer pool's lookup: resident hit, wait on an
 // in-flight fault, or fault in. The disk read and decode run outside
 // mu so concurrent fault-ins of different chunks overlap; per-chunk
 // in-flight channels prevent duplicate reads of the same chunk.
-func (s *Store) poolGet(id int) (*Chunk, error) {
+func (s *Store) poolGet(id int) (*Chunk, faultInfo, error) {
 	t := s.tier
+	var fi faultInfo
 	for {
 		s.mu.Lock()
 		if c, ok := s.chunks[id]; ok {
 			t.touch(id)
+			fi.pinned = t.pins[id] > 0
 			s.mu.Unlock()
-			return c, nil
+			return c, fi, nil
 		}
 		if ch, busy := t.inflight[id]; busy {
 			s.mu.Unlock()
@@ -281,47 +295,53 @@ func (s *Store) poolGet(id int) (*Chunk, error) {
 		sp, ok := t.index[id]
 		if !ok {
 			s.mu.Unlock()
-			return nil, nil
+			return nil, fi, nil
 		}
 		ch := make(chan struct{})
 		t.inflight[id] = ch
 		s.mu.Unlock()
 
+		faultStart := time.Now()
 		buf := make([]byte, sp.len)
 		var c *Chunk
 		_, err := t.f.ReadAt(buf, sp.off)
 		if err == nil {
 			c, err = decodeChunk(buf, s.geom.ChunkCap())
 		}
+		fi.faultMs = float64(time.Since(faultStart)) / float64(time.Millisecond)
 
 		s.mu.Lock()
 		delete(t.inflight, id)
 		if err != nil {
 			s.mu.Unlock()
 			close(ch)
-			return nil, err
+			return nil, fi, err
 		}
 		delete(t.index, id)
 		s.chunks[id] = c
 		t.touch(id)
 		t.residentBytes += c.MemBytes()
 		t.faults++
-		s.evictLocked()
+		fi.faulted = true
+		fi.evictions = s.evictLocked()
+		fi.pinned = t.pins[id] > 0
 		s.mu.Unlock()
 		close(ch)
-		return c, nil
+		return c, fi, nil
 	}
 }
 
 // evictLocked spills least-recently-used unpinned chunks until the
 // resident set fits the budget (always keeping at least one chunk
-// resident). Pinned chunks are skipped, not unlinked: their recency
-// position survives the pin. Caller holds mu.
-func (s *Store) evictLocked() {
+// resident), returning the number of chunks evicted. Pinned chunks are
+// skipped, not unlinked: their recency position survives the pin.
+// Caller holds mu.
+func (s *Store) evictLocked() int {
 	t := s.tier
 	if t == nil {
-		return
+		return 0
 	}
+	evicted := 0
 	n := t.head
 	for t.residentBytes > t.budget && len(t.nodes) > 1 && n != nil {
 		next := n.next
@@ -346,10 +366,12 @@ func (s *Store) evictLocked() {
 		t.index[victim] = span{off: off, len: int64(len(buf))}
 		t.residentBytes -= c.MemBytes()
 		t.evictions++
+		evicted++
 		delete(s.chunks, victim)
 		t.drop(victim)
 		n = next
 	}
+	return evicted
 }
 
 // noteMutation updates spill accounting after a resident chunk changed

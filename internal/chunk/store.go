@@ -35,11 +35,17 @@ type Store struct {
 	// co-location experiment use it to account I/O.
 	reads atomic.Int64
 	// readHook, when set, observes every chunk read with its canonical
-	// ID (the simulated disk attaches here). The pointer is accessed
-	// atomically so SetReadHook never races a concurrent reader; the
-	// hook itself is invoked under hookMu, so hook state needs no
-	// synchronization of its own.
+	// ID. The pointer is accessed atomically so SetReadHook never races
+	// a concurrent reader; the hook itself is invoked under hookMu, so
+	// hook state needs no synchronization of its own.
 	readHook atomic.Pointer[func(id int)]
+	// costHook, when set, charges every chunk read against an I/O cost
+	// model (the simulated disk attaches here) and returns that read's
+	// modeled cost in milliseconds. Unlike the observer readHook, the
+	// return value flows back to the reader, so a query accumulates
+	// exactly the cost of its own reads — the race-free replacement for
+	// diffing the disk's global counters around an execution.
+	costHook atomic.Pointer[func(id int) float64]
 	// hookMu serializes read-hook invocations. It is deliberately
 	// separate from mu: a slow hook (the simulated disk's cost model)
 	// must not block other queries' pool fault-ins.
@@ -71,6 +77,19 @@ func (s *Store) SetReadHook(fn func(id int)) {
 		return
 	}
 	s.readHook.Store(&fn)
+}
+
+// SetCostHook installs fn to charge chunk reads against an I/O cost
+// model; fn returns the modeled cost of the read in milliseconds,
+// which ReadChunkInfo reports back to the reader. Pass nil to remove.
+// Like SetReadHook, the swap is atomic and invocation is serialized
+// under the hook mutex.
+func (s *Store) SetCostHook(fn func(id int) float64) {
+	if fn == nil {
+		s.costHook.Store(nil)
+		return
+	}
+	s.costHook.Store(&fn)
 }
 
 // Reads returns the number of chunk reads so far.
@@ -206,17 +225,67 @@ func (s *Store) NumChunks() int {
 	return n
 }
 
+// ReadInfo attributes one chunk read to the query that issued it: the
+// modeled I/O cost from the cost hook, and — on a pooled store — what
+// the buffer pool did to satisfy the read. The engine turns faulted
+// reads into trace spans and sums CostMs into per-query statistics.
+type ReadInfo struct {
+	// CostMs is this read's modeled I/O cost (0 without a cost hook).
+	CostMs float64
+	// Faulted reports that the chunk was loaded from the spill file.
+	Faulted bool
+	// FaultMs is the wall time of the fault-in I/O and decode (0 on a
+	// pool hit or an unpooled store).
+	FaultMs float64
+	// Evictions counts chunks this read's fault-in pushed out to the
+	// spill file to make room.
+	Evictions int
+	// Pinned reports that the chunk was pinned at read time (a merge
+	// partner protected it against eviction).
+	Pinned bool
+}
+
 // ReadChunk fetches the chunk with the given canonical ID, counting the
-// read and notifying the read hook (the simulated disk). A nil return
-// means the chunk is empty (not materialized).
+// read and notifying the read and cost hooks (the simulated disk). A
+// nil return means the chunk is empty (not materialized).
 func (s *Store) ReadChunk(id int) *Chunk {
+	c, _ := s.ReadChunkInfo(id)
+	return c
+}
+
+// ReadChunkInfo is ReadChunk with per-read attribution: the modeled
+// I/O cost of exactly this read, and the buffer pool's hit/fault/
+// eviction/pin outcome. This is the engine's read path — per-query
+// disk cost and per-fault trace spans are built from the returned
+// ReadInfo rather than from global counters, so concurrent queries
+// never absorb each other's I/O.
+func (s *Store) ReadChunkInfo(id int) (*Chunk, ReadInfo) {
 	s.reads.Add(1)
-	if fn := s.readHook.Load(); fn != nil {
+	var info ReadInfo
+	rh := s.readHook.Load()
+	ch := s.costHook.Load()
+	if rh != nil || ch != nil {
 		s.hookMu.Lock()
-		(*fn)(id)
+		if rh != nil {
+			(*rh)(id)
+		}
+		if ch != nil {
+			info.CostMs = (*ch)(id)
+		}
 		s.hookMu.Unlock()
 	}
-	return s.chunkAt(id)
+	if s.tier == nil {
+		return s.chunks[id], info
+	}
+	c, fi, err := s.poolGet(id)
+	if err != nil {
+		panic(fmt.Sprintf("chunk: spill fault for chunk %d: %v", id, err))
+	}
+	info.Faulted = fi.faulted
+	info.FaultMs = fi.faultMs
+	info.Evictions = fi.evictions
+	info.Pinned = fi.pinned
+	return c, info
 }
 
 // PeekChunk fetches a chunk without read accounting (metadata scans).

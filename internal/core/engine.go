@@ -10,6 +10,7 @@ import (
 	"whatifolap/internal/dimension"
 	"whatifolap/internal/perspective"
 	"whatifolap/internal/simdisk"
+	"whatifolap/internal/trace"
 )
 
 // ReadOrder selects how the engine orders chunk reads.
@@ -104,16 +105,18 @@ func (e *Engine) SetReadOrder(o ReadOrder) { e.order = o }
 // execution, and one stored context cannot serve concurrent queries.
 func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
 
-// AttachDisk routes all chunk reads through a simulated disk, whose
-// modeled cost appears in the view statistics. Configuration, not
-// per-query state: attach before sharing the engine.
+// AttachDisk routes all chunk reads through a simulated disk via the
+// store's cost hook: each read's modeled cost flows back to the query
+// that issued it (Stats.DiskCostMs), so concurrent queries sharing the
+// disk never absorb each other's I/O. Configuration, not per-query
+// state: attach before sharing the engine.
 func (e *Engine) AttachDisk(d *simdisk.Disk) {
 	e.disk = d
 	if d == nil {
-		e.store.SetReadHook(nil)
+		e.store.SetCostHook(nil)
 		return
 	}
-	e.store.SetReadHook(d.Hook())
+	e.store.SetCostHook(d.Hook())
 }
 
 // Binding returns the engine's varying/parameter binding.
@@ -208,6 +211,8 @@ func (e *Engine) ExecPerspective(q PerspectiveQuery) (*View, error) {
 // explicit per-execution context: cancellation from ec.Ctx, scan
 // parallelism from ec.Workers.
 func (e *Engine) ExecPerspectiveWith(ec ExecContext, q PerspectiveQuery) (*View, error) {
+	tr := trace.FromContext(ec.Ctx)
+	planStart := tr.Now()
 	members, target, scoped, err := e.planPerspective(q)
 	if err != nil {
 		return nil, err
@@ -216,6 +221,7 @@ func (e *Engine) ExecPerspectiveWith(ec ExecContext, q PerspectiveQuery) (*View,
 	if err != nil {
 		return nil, err
 	}
+	recordPlanSpan(tr, trace.SpanFromContext(ec.Ctx), planStart, plan)
 	view, stats, err := e.execute(ec, plan, nil, nil, q.Mode)
 	if err != nil {
 		return nil, err
@@ -354,10 +360,13 @@ func (e *Engine) ExecChanges(q ChangesQuery) (*View, error) {
 // ExecChangesWith plans and runs a positive-scenario query under an
 // explicit per-execution context.
 func (e *Engine) ExecChangesWith(ec ExecContext, q ChangesQuery) (*View, error) {
+	tr := trace.FromContext(ec.Ctx)
+	planStart := tr.Now()
 	cp, err := e.planChanges(q)
 	if err != nil {
 		return nil, err
 	}
+	recordPlanSpan(tr, trace.SpanFromContext(ec.Ctx), planStart, cp.phys)
 	view, stats, err := e.execute(ec, cp.phys, cp.newDims, cp.newBindings, q.Mode)
 	if err != nil {
 		return nil, err

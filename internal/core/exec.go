@@ -9,14 +9,56 @@ import (
 	"whatifolap/internal/cube"
 	"whatifolap/internal/dimension"
 	"whatifolap/internal/perspective"
+	"whatifolap/internal/trace"
 )
+
+// This file is a query hot path: span recording happens here, span
+// formatting must not (no fmt import — verify.sh enforces it).
 
 // scanTally accumulates one scan unit's counters. Per-group tallies are
 // summed in group order at the merge barrier, so parallel statistics
-// are deterministic.
+// are deterministic. diskCostMs sums the per-read costs returned by
+// the store's cost hook — the race-free replacement for diffing the
+// disk's global counters around the execution, which let overlapping
+// queries absorb each other's I/O cost.
 type scanTally struct {
 	chunksRead     int
 	cellsRelocated int
+	diskCostMs     float64
+	spillFaults    int
+	promotions     int
+}
+
+// add accumulates t2 into t.
+func (t *scanTally) add(t2 scanTally) {
+	t.chunksRead += t2.chunksRead
+	t.cellsRelocated += t2.cellsRelocated
+	t.diskCostMs += t2.diskCostMs
+	t.spillFaults += t2.spillFaults
+	t.promotions += t2.promotions
+}
+
+// recordPlanSpan claims a hindsight "plan" span covering the planning
+// stage (target pruning, merge graph, read scheduling) with the plan's
+// shape as attributes. No-op with tracing off.
+func recordPlanSpan(tr *trace.Trace, parent trace.SpanRef, startNs int64, p *PhysicalPlan) {
+	sp := tr.Record(parent, "plan", startNs, tr.Now())
+	sp.Int("merge_groups", int64(len(p.Groups)))
+	sp.Int("chunks", int64(len(p.Schedule)))
+	sp.IntNonZero("merge_edges", int64(p.Stats.MergeEdges))
+	sp.IntNonZero("pebbling_peak", int64(p.Stats.PeakResidentChunks))
+}
+
+// annotateScan attaches a tally's counters to a scan or group span.
+// No-op refs (tracing off) make every call free.
+func annotateScan(sp trace.SpanRef, t scanTally, workers int) {
+	sp.Int("chunks_read", int64(t.chunksRead))
+	sp.Int("cells_relocated", int64(t.cellsRelocated))
+	sp.IntNonZero("spill_faults", int64(t.spillFaults))
+	sp.IntNonZero("overlay_promotions", int64(t.promotions))
+	if workers > 0 {
+		sp.IntNonZero("workers", int64(workers))
+	}
 }
 
 // execute runs the staged execution of a physical plan:
@@ -64,23 +106,26 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 		}
 	}
 
-	var diskBefore float64
-	if e.disk != nil {
-		diskBefore = e.disk.Stats().CostMs
-	}
+	tr := trace.FromContext(ec.Ctx)
+	parent := trace.SpanFromContext(ec.Ctx)
 
+	scanSp := tr.Start(parent, "scan")
 	scanStart := time.Now()
+	var scanT scanTally
 	var overlay cube.Store
 	if workers > 1 {
-		overlays, tallies, err := e.scanParallel(ec, p, og, workers)
+		overlays, tallies, err := e.scanParallel(ec, p, og, workers, tr, scanSp)
 		if err != nil {
+			scanSp.End()
 			return nil, stats, err
 		}
 		for _, t := range tallies {
-			stats.ChunksRead += t.chunksRead
-			stats.CellsRelocated += t.cellsRelocated
+			scanT.add(t)
 		}
 		stats.ScanMs = msSince(scanStart)
+		annotateScan(scanSp, scanT, workers)
+		scanSp.End()
+		mergeSp := tr.Start(parent, "merge")
 		mergeStart := time.Now()
 		po := chunk.NewPartitionedOverlay(og, e.vi)
 		for gi, mg := range p.Groups {
@@ -88,22 +133,29 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 		}
 		overlay = po
 		stats.MergeMs = msSince(mergeStart)
+		mergeSp.Int("groups", int64(len(p.Groups)))
+		mergeSp.End()
 	} else {
 		ov := chunk.NewOverlay(og)
-		t, err := e.scanInto(ec.Ctx, p.Schedule, p, ov)
+		t, err := e.scanInto(ec.Ctx, p.Schedule, p, ov, tr, scanSp)
 		if err != nil {
+			scanSp.End()
 			return nil, stats, err
 		}
-		stats.ChunksRead += t.chunksRead
-		stats.CellsRelocated += t.cellsRelocated
+		scanT.add(t)
 		overlay = ov
 		stats.ScanMs = msSince(scanStart)
+		annotateScan(scanSp, scanT, 1)
+		scanSp.End()
 	}
-	if e.disk != nil {
-		stats.DiskCostMs = e.disk.Stats().CostMs - diskBefore
-	}
+	stats.ChunksRead += scanT.chunksRead
+	stats.CellsRelocated += scanT.cellsRelocated
+	stats.DiskCostMs += scanT.diskCostMs
+	stats.SpillFaults += scanT.spillFaults
 
 	// Assemble the view cube.
+	assembleSp := tr.Start(parent, "assemble")
+	defer assembleSp.End()
 	vs := &viewStore{base: e.store, overlay: overlay, vi: e.vi, scoped: p.Scoped}
 	var result *cube.Cube
 	if newDims == nil {
@@ -204,14 +256,20 @@ func (pt *pinTracker) releaseAll() {
 // destination chunk exists. The context, when non-nil, is checked
 // before every chunk read. The plan is only read, so concurrent
 // scanInto calls over disjoint overlays are safe.
+//
+// Per-read attribution flows through ReadChunkInfo: modeled disk cost
+// sums into the tally, and a buffer-pool fault becomes a "fault" span
+// under parent — recorded in hindsight via tr.Now()/tr.Record, so a
+// pool hit costs no span slot (and, with tracing off, nothing at all).
 func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
-	overlay *chunk.Overlay) (scanTally, error) {
+	overlay *chunk.Overlay, tr *trace.Trace, parent trace.SpanRef) (scanTally, error) {
 
 	var tally scanTally
 	g := e.store.Geometry()
 	ccoord := make([]int, g.NumDims())
 	addr := make([]int, g.NumDims())
 	out := make([]int, g.NumDims())
+	promBefore := overlay.Promotions()
 
 	var pins *pinTracker
 	if e.store.Pooled() && len(p.Neighbors) > 0 {
@@ -225,8 +283,19 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 				return tally, err
 			}
 		}
-		ch := e.store.ReadChunk(id)
+		readStart := tr.Now()
+		ch, info := e.store.ReadChunkInfo(id)
 		tally.chunksRead++
+		tally.diskCostMs += info.CostMs
+		if info.Faulted {
+			tally.spillFaults++
+			sp := tr.Record(parent, "fault", readStart, tr.Now())
+			sp.Int("chunk", int64(id))
+			sp.IntNonZero("evictions", int64(info.Evictions))
+			if info.Pinned {
+				sp.Int("pinned", 1)
+			}
+		}
 		if pins != nil {
 			pins.scanned(id)
 		}
@@ -251,6 +320,7 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 			return true
 		})
 	}
+	tally.promotions = overlay.Promotions() - promBefore
 	return tally, nil
 }
 
@@ -261,9 +331,11 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 // the overlays to a partitioned router at the barrier in group order.
 // Cells from different groups can never collide (they differ in a
 // non-varying coordinate), so the routed overlay is identical to the
-// serial scan's without copying a single cell.
+// serial scan's without copying a single cell. Each group records a
+// "group" child span under scanSp with its own tally (safe from worker
+// goroutines: span slots are claimed atomically).
 func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, og *chunk.Geometry,
-	workers int) ([]*chunk.Overlay, []scanTally, error) {
+	workers int, tr *trace.Trace, scanSp trace.SpanRef) ([]*chunk.Overlay, []scanTally, error) {
 
 	overlays := make([]*chunk.Overlay, len(p.Groups))
 	tallies := make([]scanTally, len(p.Groups))
@@ -293,7 +365,11 @@ func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, og *chunk.Geometr
 			defer wg.Done()
 			for gi := range work {
 				ov := chunk.NewOverlay(og)
-				t, err := e.scanInto(ctx, p.Groups[gi].Chunks, p, ov)
+				gsp := tr.Start(scanSp, "group")
+				gsp.Int("group", int64(gi))
+				t, err := e.scanInto(ctx, p.Groups[gi].Chunks, p, ov, tr, gsp)
+				annotateScan(gsp, t, 0)
+				gsp.End()
 				tallies[gi] = t
 				if err != nil {
 					fail(err)

@@ -9,6 +9,7 @@ import (
 	"whatifolap/internal/cube"
 	"whatifolap/internal/paperdata"
 	"whatifolap/internal/perspective"
+	"whatifolap/internal/trace"
 	"whatifolap/internal/workload"
 )
 
@@ -194,7 +195,7 @@ func TestKernelAmortizedAllocsPerCell(t *testing.T) {
 		t.Fatal(err)
 	}
 	ov := chunk.NewOverlay(e.store.Geometry())
-	tally, err := e.scanInto(nil, plan.Schedule, plan, ov)
+	tally, err := e.scanInto(nil, plan.Schedule, plan, ov, nil, trace.SpanRef{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestKernelAmortizedAllocsPerCell(t *testing.T) {
 		t.Fatal("no cells relocated; test is vacuous")
 	}
 	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := e.scanInto(nil, plan.Schedule, plan, ov); err != nil {
+		if _, err := e.scanInto(nil, plan.Schedule, plan, ov, nil, trace.SpanRef{}); err != nil {
 			t.Fatal(err)
 		}
 	})

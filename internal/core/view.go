@@ -222,8 +222,13 @@ type Stats struct {
 	// semantics only).
 	Ranges int
 	// DiskCostMs is the modeled I/O time if a simulated disk is
-	// attached, else 0.
+	// attached, else 0. Accumulated from the per-read costs the chunk
+	// store's cost hook returns, so a query is charged for exactly its
+	// own reads even when concurrent queries share the disk.
 	DiskCostMs float64
+	// SpillFaults counts chunk reads this query satisfied from the
+	// spill file (buffer-pool misses), else 0 on an unpooled store.
+	SpillFaults int
 	// CompressedBytes is the relocation-mapping footprint when the
 	// query ran compressed (ExecPerspectiveCompressed), else 0.
 	CompressedBytes int
@@ -249,6 +254,7 @@ func (s *Stats) Add(s2 Stats) {
 	}
 	s.Ranges += s2.Ranges
 	s.DiskCostMs += s2.DiskCostMs
+	s.SpillFaults += s2.SpillFaults
 	s.PlanMs += s2.PlanMs
 	s.ScanMs += s2.ScanMs
 	s.MergeMs += s2.MergeMs

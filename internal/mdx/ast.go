@@ -8,6 +8,13 @@ import (
 
 // Query is a parsed extended-MDX query.
 type Query struct {
+	// Explain marks an EXPLAIN-prefixed query: describe the execution
+	// path and physical plan instead of returning a grid. With Analyze
+	// also set (EXPLAIN ANALYZE), the query actually executes under a
+	// span trace and the output includes the recorded span tree and
+	// per-stage timings.
+	Explain bool
+	Analyze bool
 	// Perspectives are the negative-scenario prefixes, at most one per
 	// varying dimension (the paper's §2: "a cube may have several
 	// varying dimensions, each depending on one or more parameters").

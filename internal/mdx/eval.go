@@ -13,6 +13,7 @@ import (
 	"whatifolap/internal/dimension"
 	"whatifolap/internal/perspective"
 	"whatifolap/internal/result"
+	"whatifolap/internal/trace"
 )
 
 // Coord pins one dimension of a cell to a member.
@@ -92,11 +93,15 @@ func (ev *Evaluator) RunContext(ctx context.Context, src string) (*result.Grid, 
 }
 
 // RunWith parses and evaluates a query under an explicit RunContext.
+// When rc.Ctx carries a trace, parsing is recorded as a "parse" span.
 func (ev *Evaluator) RunWith(rc RunContext, src string) (*result.Grid, error) {
+	tr := trace.FromContext(rc.Ctx)
+	parseStart := tr.Now()
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	tr.Record(trace.SpanFromContext(rc.Ctx), "parse", parseStart, tr.Now())
 	return ev.RunQueryWith(rc, q)
 }
 
@@ -126,13 +131,51 @@ func (ev *Evaluator) RunQueryStatsWith(rc RunContext, q *Query) (*result.Grid, c
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
+	tr := trace.FromContext(rc.Ctx)
+	projTraceStart := tr.Now()
 	projStart := time.Now()
 	g, err := ev.project(rc, q, out, mode)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
 	stats.ProjectMs = float64(time.Since(projStart)) / float64(time.Millisecond)
+	tr.Record(trace.SpanFromContext(rc.Ctx), "project", projTraceStart, tr.Now())
 	return g, stats, nil
+}
+
+// ExplainAnalyze executes the query under a fresh span trace and
+// renders the recorded span tree followed by per-stage totals, which
+// reconcile with the returned core.Stats (the trace and the stats time
+// the same stage boundaries, so they agree to clock resolution). The
+// grid is returned too so callers can show results alongside the
+// analysis. This backs the EXPLAIN ANALYZE query prefix.
+func (ev *Evaluator) ExplainAnalyze(rc RunContext, q *Query) (string, *result.Grid, core.Stats, error) {
+	tr := trace.New(0)
+	base := rc.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	root := tr.Start(trace.SpanRef{}, "eval")
+	rc.Ctx = trace.WithSpan(trace.NewContext(base, tr), root)
+	g, stats, err := ev.RunQueryStatsWith(rc, q)
+	root.End()
+	if err != nil {
+		return "", nil, stats, err
+	}
+	var b strings.Builder
+	b.WriteString(tr.Render())
+	fmt.Fprintf(&b, "totals: plan=%.3fms scan=%.3fms merge=%.3fms project=%.3fms\n",
+		tr.StageMs("plan"), tr.StageMs("scan"), tr.StageMs("merge"), tr.StageMs("project"))
+	fmt.Fprintf(&b, "stats:  chunks_read=%d cells_relocated=%d merge_groups=%d workers=%d",
+		stats.ChunksRead, stats.CellsRelocated, stats.MergeGroups, stats.ScanWorkers)
+	if stats.DiskCostMs > 0 {
+		fmt.Fprintf(&b, " disk_cost_ms=%.3f", stats.DiskCostMs)
+	}
+	if stats.SpillFaults > 0 {
+		fmt.Fprintf(&b, " spill_faults=%d", stats.SpillFaults)
+	}
+	b.WriteByte('\n')
+	return b.String(), g, stats, nil
 }
 
 // Explain describes how the evaluator would execute the query: which

@@ -16,6 +16,7 @@ func init() {
 		"FROM", "WHERE", "NON", "EMPTY", "DIMENSION", "PROPERTIES",
 		"CROSSJOIN", "UNION", "HEAD", "DESCENDANTS", "SELF", "AFTER",
 		"SELF_AND_AFTER", "MEMBERS", "CHILDREN", "LEVELS",
+		"EXPLAIN", "ANALYZE",
 	} {
 		keywords[kw] = true
 	}

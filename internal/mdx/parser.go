@@ -77,6 +77,12 @@ func (p *parser) acceptKeyword(kw string) bool {
 
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
+	if p.acceptKeyword("EXPLAIN") {
+		q.Explain = true
+		if p.acceptKeyword("ANALYZE") {
+			q.Analyze = true
+		}
+	}
 	for keywordIs(p.tok, "WITH") {
 		if err := p.advance(); err != nil {
 			return nil, err

@@ -27,7 +27,9 @@ type cacheEntry struct {
 	body []byte
 }
 
-func (e *cacheEntry) cost() int { return len(e.body) + len(e.key.Query) + len(e.key.Cube) + entryOverhead }
+func (e *cacheEntry) cost() int {
+	return len(e.body) + len(e.key.Query) + len(e.key.Cube) + entryOverhead
+}
 
 // resultCache is an LRU result cache bounded by a byte budget rather
 // than an entry count: grids vary from a single cell to thousands, so

@@ -7,61 +7,96 @@ import (
 	"time"
 
 	"whatifolap/internal/core"
+	"whatifolap/internal/trace"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds) of the latency
 // histogram's exponential buckets; the final implicit bucket is +Inf.
-var latencyBucketsMs = [...]float64{
+var latencyBucketsMs = []float64{
 	0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
 	1000, 2000, 5000, 10000, 30000,
 }
 
-// histogram is a fixed-bucket latency histogram with atomic counters,
-// in the style of expvar: cheap to update from many goroutines, read by
-// snapshotting.
-type histogram struct {
-	counts [len(latencyBucketsMs) + 1]atomic.Int64
-	sumUs  atomic.Int64
-	count  atomic.Int64
+// spanBucketsMs bound the trace-derived duration histograms (merge-
+// group scan spans, spill fault-ins): these are intra-query stages, so
+// the range starts well below a millisecond.
+var spanBucketsMs = []float64{
+	0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 500,
 }
 
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := sort.SearchFloat64s(latencyBucketsMs[:], ms)
+// chunksReadBuckets bound the per-query chunk-read count histogram.
+var chunksReadBuckets = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+}
+
+// histogram is a fixed-bucket histogram with atomic counters, in the
+// style of expvar: cheap to update from many goroutines, read by
+// snapshotting. Buckets are cumulative only at exposition time; counts
+// here are per-bucket. The sum is kept in micro-units so it stays a
+// single atomic integer.
+type histogram struct {
+	bounds   []float64
+	counts   []atomic.Int64 // len(bounds)+1; the last bucket is +Inf
+	sumMicro atomic.Int64
+	count    atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one value (milliseconds for duration histograms).
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
-	h.sumUs.Add(d.Microseconds())
+	h.sumMicro.Add(int64(v * 1e6))
 	h.count.Add(1)
 }
 
-// quantile estimates the q-th quantile (0 < q < 1) in milliseconds from
-// the bucket counts, reporting each bucket's upper bound. The +Inf
-// bucket reports the largest finite bound.
+// observeDuration records one duration in milliseconds.
+func (h *histogram) observeDuration(d time.Duration) {
+	h.observe(float64(d) / float64(time.Millisecond))
+}
+
+func (h *histogram) sum() float64 { return float64(h.sumMicro.Load()) / 1e6 }
+
+// quantile estimates the q-th quantile (0 < q < 1) from the bucket
+// counts with linear interpolation inside the winning bucket (the
+// Prometheus histogram_quantile convention): the estimate moves
+// smoothly with the rank instead of jumping between bucket bounds. The
+// first bucket interpolates from 0; a rank landing in the +Inf bucket
+// clamps to the largest finite bound, since no upper edge exists to
+// interpolate toward.
 func (h *histogram) quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q*float64(total) + 0.5)
+	rank := q * float64(total)
 	if rank < 1 {
 		rank = 1
 	}
-	var cum int64
+	var cum float64
 	for i := range h.counts {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			if i < len(latencyBucketsMs) {
-				return latencyBucketsMs[i]
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
 			}
-			break
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-cum)/n
 		}
+		cum += n
 	}
-	return latencyBucketsMs[len(latencyBucketsMs)-1]
+	return h.bounds[len(h.bounds)-1]
 }
 
 // LatencySnapshot summarizes the latency histogram.
 type LatencySnapshot struct {
-	Count int64   `json:"count"`
+	Count  int64   `json:"count"`
 	MeanMs float64 `json:"mean_ms"`
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
@@ -69,9 +104,10 @@ type LatencySnapshot struct {
 }
 
 // Metrics is the serving layer's observability surface: expvar-style
-// counters, a latency histogram, and gauges sampled at snapshot time.
-// All update paths are atomic; one Metrics is shared by the executor,
-// cache and HTTP handlers.
+// counters, latency and trace-derived histograms, and gauges sampled at
+// snapshot time. All update paths are atomic; one Metrics is shared by
+// the executor, cache and HTTP handlers. Exposed as JSON (Snapshot) and
+// Prometheus text format (WriteProm).
 type Metrics struct {
 	start time.Time
 
@@ -82,8 +118,16 @@ type Metrics struct {
 	TimedOut      atomic.Int64 // queries abandoned by deadline
 	CacheHits     atomic.Int64
 	CacheMisses   atomic.Int64
+	SlowQueries   atomic.Int64 // queries recorded in the slow-query log
 
-	latency histogram
+	latency *histogram
+
+	// Trace-derived histograms, fed by ObserveTrace from each query's
+	// span tree: chunk reads per query, per-merge-group scan span
+	// durations, spill fault-in durations.
+	chunksRead   *histogram
+	groupSpanMs  *histogram
+	spillFaultMs *histogram
 
 	// Per-stage pipeline time accumulators (microseconds) plus the
 	// sample count, fed by ObserveStages after engine-backed queries.
@@ -103,11 +147,18 @@ type Metrics struct {
 
 // NewMetrics creates an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), bySem: make(map[string]int64)}
+	return &Metrics{
+		start:        time.Now(),
+		bySem:        make(map[string]int64),
+		latency:      newHistogram(latencyBucketsMs),
+		chunksRead:   newHistogram(chunksReadBuckets),
+		groupSpanMs:  newHistogram(spanBucketsMs),
+		spillFaultMs: newHistogram(spanBucketsMs),
+	}
 }
 
 // ObserveLatency records one successful query execution time.
-func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observe(d) }
+func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observeDuration(d) }
 
 // ObserveStages records one query's staged-pipeline timings
 // (plan / scan / merge / project) from the engine stats.
@@ -117,6 +168,32 @@ func (m *Metrics) ObserveStages(s core.Stats) {
 	m.stageMergeUs.Add(int64(s.MergeMs * 1000))
 	m.stageProjectUs.Add(int64(s.ProjectMs * 1000))
 	m.stageCount.Add(1)
+}
+
+// ObserveTrace folds one finished query's span tree into the
+// trace-derived histograms: "scan" spans contribute the query's chunk
+// reads, each "group" span its merge-group scan duration, each "fault"
+// span its spill fault-in duration. Call after the traced execution has
+// returned (snapshotting must not race recording).
+func (m *Metrics) ObserveTrace(spans []trace.Span) {
+	var chunks int64
+	sawScan := false
+	for _, s := range spans {
+		switch s.Name {
+		case "scan":
+			sawScan = true
+			if v, ok := s.Attr("chunks_read"); ok {
+				chunks += v
+			}
+		case "group":
+			m.groupSpanMs.observe(s.Ms())
+		case "fault":
+			m.spillFaultMs.observe(s.Ms())
+		}
+	}
+	if sawScan {
+		m.chunksRead.observe(float64(chunks))
+	}
 }
 
 // CountSemantics bumps the per-semantics query breakdown.
@@ -149,6 +226,7 @@ type MetricsSnapshot struct {
 	CacheHitRatio float64          `json:"cache_hit_ratio"`
 	CacheBytes    int              `json:"cache_bytes"`
 	QueueDepth    int              `json:"queue_depth"`
+	SlowQueries   int64            `json:"slow_queries"`
 	Latency       LatencySnapshot  `json:"latency"`
 	Stages        StageSnapshot    `json:"stage_ms"`
 	BySemantics   map[string]int64 `json:"by_semantics"`
@@ -165,6 +243,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		TimedOut:      m.TimedOut.Load(),
 		CacheHits:     m.CacheHits.Load(),
 		CacheMisses:   m.CacheMisses.Load(),
+		SlowQueries:   m.SlowQueries.Load(),
 		BySemantics:   make(map[string]int64),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
@@ -173,7 +252,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if n := m.latency.count.Load(); n > 0 {
 		s.Latency = LatencySnapshot{
 			Count:  n,
-			MeanMs: float64(m.latency.sumUs.Load()) / 1000 / float64(n),
+			MeanMs: m.latency.sum() / float64(n),
 			P50Ms:  m.latency.quantile(0.50),
 			P95Ms:  m.latency.quantile(0.95),
 			P99Ms:  m.latency.quantile(0.99),

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promFloat formats a float the way Prometheus clients do: shortest
+// representation that round-trips, no exponent for typical values.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writePromHistogram renders one histogram family in text format 0.0.4:
+// cumulative le-labelled buckets ending at +Inf, then _sum and _count.
+func writePromHistogram(w io.Writer, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+func writePromCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+func writePromGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+}
+
+// WriteProm writes every metric in Prometheus text exposition format
+// 0.0.4. The caller sets Content-Type; the body is self-contained and
+// scrape-ready. Counters snapshot atomically per line (the same
+// consistency /metrics JSON offers).
+func (m *Metrics) WriteProm(w io.Writer) {
+	s := m.Snapshot()
+
+	writePromGauge(w, "whatif_uptime_seconds", "Seconds since the server started.", s.UptimeSeconds)
+	writePromCounter(w, "whatif_queries_served_total", "Queries answered successfully, including cache hits.", s.QueriesServed)
+	writePromCounter(w, "whatif_query_errors_total", "Queries that failed to parse or evaluate.", s.QueryErrors)
+	writePromCounter(w, "whatif_overloaded_total", "Admissions rejected because the executor queue was full.", s.Overloaded)
+	writePromCounter(w, "whatif_canceled_total", "Queries abandoned by client cancellation.", s.Canceled)
+	writePromCounter(w, "whatif_timed_out_total", "Queries abandoned at their deadline.", s.TimedOut)
+	writePromCounter(w, "whatif_cache_hits_total", "Result-cache hits.", s.CacheHits)
+	writePromCounter(w, "whatif_cache_misses_total", "Result-cache misses.", s.CacheMisses)
+	writePromCounter(w, "whatif_slow_queries_total", "Queries recorded in the slow-query log.", s.SlowQueries)
+	writePromGauge(w, "whatif_cache_bytes", "Bytes held by the result cache.", float64(s.CacheBytes))
+	writePromGauge(w, "whatif_queue_depth", "Queries waiting in the executor queue.", float64(s.QueueDepth))
+
+	if len(s.BySemantics) > 0 {
+		fmt.Fprintf(w, "# HELP whatif_queries_by_semantics_total Queries by perspective semantics.\n")
+		fmt.Fprintf(w, "# TYPE whatif_queries_by_semantics_total counter\n")
+		sems := make([]string, 0, len(s.BySemantics))
+		for sem := range s.BySemantics {
+			sems = append(sems, sem)
+		}
+		sort.Strings(sems)
+		for _, sem := range sems {
+			fmt.Fprintf(w, "whatif_queries_by_semantics_total{semantics=%q} %d\n", sem, s.BySemantics[sem])
+		}
+	}
+
+	if s.Stages.Count > 0 {
+		fmt.Fprintf(w, "# HELP whatif_stage_ms_total Cumulative pipeline stage time in milliseconds.\n")
+		fmt.Fprintf(w, "# TYPE whatif_stage_ms_total counter\n")
+		n := float64(s.Stages.Count)
+		for _, st := range []struct {
+			name string
+			ms   float64
+		}{
+			{"plan", s.Stages.PlanMs},
+			{"scan", s.Stages.ScanMs},
+			{"merge", s.Stages.MergeMs},
+			{"project", s.Stages.ProjectMs},
+		} {
+			fmt.Fprintf(w, "whatif_stage_ms_total{stage=%q} %s\n", st.name, promFloat(st.ms*n))
+		}
+		writePromCounter(w, "whatif_stage_queries_total", "Engine-backed queries contributing to stage totals.", s.Stages.Count)
+	}
+
+	writePromHistogram(w, "whatif_query_latency_ms", "End-to-end query latency in milliseconds.", m.latency)
+	writePromHistogram(w, "whatif_query_chunks_read", "Chunks read per engine-backed query.", m.chunksRead)
+	writePromHistogram(w, "whatif_merge_group_span_ms", "Per-merge-group scan span duration in milliseconds.", m.groupSpanMs)
+	writePromHistogram(w, "whatif_spill_fault_ms", "Spill fault-in duration in milliseconds.", m.spillFaultMs)
+}

@@ -22,12 +22,14 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"whatifolap/internal/core"
 	"whatifolap/internal/cube"
 	"whatifolap/internal/mdx"
 	"whatifolap/internal/result"
+	"whatifolap/internal/trace"
 )
 
 // StatusClientClosedRequest reports client-side cancellation (the nginx
@@ -56,10 +58,27 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxBodyBytes bounds the /query request body (default 1 MiB).
 	MaxBodyBytes int64
+	// SlowQueryMs is the slow-query log threshold in milliseconds:
+	// engine-backed queries at or above it are recorded with their span
+	// trace at /debug/slowlog. 0 uses DefaultSlowQueryMs; negative
+	// disables the log.
+	SlowQueryMs float64
+	// SlowlogCap bounds the slow-query ring buffer (default 128).
+	SlowlogCap int
+	// TraceSpans sizes each query's span buffer (default
+	// trace.DefaultMaxSpans). Spans beyond the cap are dropped, never
+	// allocated.
+	TraceSpans int
 }
 
 // DefaultCacheBytes is the daemon's default result-cache budget.
 const DefaultCacheBytes = 32 << 20
+
+// DefaultSlowQueryMs is the slow-query log threshold when Config
+// leaves SlowQueryMs zero.
+const DefaultSlowQueryMs = 250
+
+const defaultSlowlogCap = 128
 
 // Server wires catalog, executor, cache and metrics together behind an
 // http.Handler. Create with New, serve Handler(), stop with Close.
@@ -68,7 +87,13 @@ type Server struct {
 	exec    *Executor
 	cache   *resultCache
 	metrics *Metrics
+	slowlog *slowlog
 	cfg     Config
+
+	// tracePool recycles span buffers across queries: every engine-backed
+	// query runs traced (the recorder is allocation-free once its buffer
+	// exists), so pooling makes steady-state tracing alloc-free too.
+	tracePool sync.Pool
 }
 
 // New creates a server over the catalog.
@@ -82,13 +107,18 @@ func New(catalog *Catalog, cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.SlowQueryMs == 0 {
+		cfg.SlowQueryMs = DefaultSlowQueryMs
+	}
 	s := &Server{
 		catalog: catalog,
 		exec:    NewExecutor(cfg.Workers, cfg.QueueCap),
 		cache:   newResultCache(cfg.CacheBytes),
 		metrics: NewMetrics(),
+		slowlog: newSlowlog(cfg.SlowlogCap),
 		cfg:     cfg,
 	}
+	s.tracePool.New = func() interface{} { return trace.New(cfg.TraceSpans) }
 	s.metrics.queueDepth = s.exec.QueueDepth
 	s.metrics.cacheBytes = s.cache.Bytes
 	return s
@@ -119,15 +149,18 @@ func (s *Server) UpdateCube(name string, mutate func(c *cube.Cube) (*cube.Cube, 
 
 // Handler returns the HTTP surface:
 //
-//	POST /query    {"cube": "...", "query": "...", "timeout_ms": 0}
-//	GET  /cubes    catalog listing
-//	GET  /metrics  counters + latency histogram snapshot
-//	GET  /healthz  liveness
+//	POST /query          {"cube": "...", "query": "...", "timeout_ms": 0}
+//	GET  /cubes          catalog listing
+//	GET  /metrics        counters + histogram snapshot (JSON; ?format=prom
+//	                     for Prometheus text exposition)
+//	GET  /debug/slowlog  recent slow queries with their span traces
+//	GET  /healthz        liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/cubes", s.handleCubes)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -242,6 +275,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	if q.Explain {
+		// EXPLAIN output is never cached: ANALYZE timings differ per run,
+		// and plain EXPLAIN is pure planning — cheaper than a cache slot.
+		s.handleExplain(w, ctx, snap, q, started)
+		return
+	}
+
+	// Every engine-backed query runs under a pooled span trace: the
+	// recorder is allocation-free, and the spans feed the trace-derived
+	// histograms plus the slow-query log.
+	tr := s.tracePool.Get().(*trace.Trace)
+	defer func() {
+		tr.Reset()
+		s.tracePool.Put(tr)
+	}()
+
 	var grid *result.Grid
 	var stats core.Stats
 	err = s.exec.Do(ctx, func(ctx context.Context) error {
@@ -249,6 +298,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// explicit RunContext — no mutation of shared evaluator or
 		// engine state between concurrent queries.
 		var runErr error
+		root := tr.Start(trace.SpanRef{}, "eval")
+		defer root.End()
+		ctx = trace.WithSpan(trace.NewContext(ctx, tr), root)
 		rc := mdx.RunContext{Ctx: ctx, Workers: s.cfg.ScanWorkers}
 		grid, stats, runErr = mdx.NewEvaluator(snap.Cube).RunQueryStatsWith(rc, q)
 		return runErr
@@ -258,6 +310,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.ObserveStages(stats)
+	s.metrics.ObserveTrace(tr.Spans())
+	s.observeSlow(snap.Name, norm, time.Since(started), tr)
 
 	body, err := json.Marshal(buildResponse(snap, grid, stats))
 	if err != nil {
@@ -269,6 +323,79 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.QueriesServed.Add(1)
 	s.metrics.ObserveLatency(time.Since(started))
 	writeCached(w, snap.Version, body, false)
+}
+
+// observeSlow records the query in the slow-query log when it crossed
+// the configured threshold. The span trace is rendered eagerly: the
+// trace buffer goes back to the pool when the handler returns, but the
+// log entry must outlive it.
+func (s *Server) observeSlow(cubeName, norm string, elapsed time.Duration, tr *trace.Trace) {
+	if s.cfg.SlowQueryMs < 0 {
+		return
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	if ms < s.cfg.SlowQueryMs {
+		return
+	}
+	s.metrics.SlowQueries.Add(1)
+	s.slowlog.record(SlowQueryRecord{
+		Time:      time.Now(),
+		Cube:      cubeName,
+		Query:     norm,
+		LatencyMs: ms,
+		Trace:     tr.Render(),
+	})
+}
+
+// explainResponse is the POST /query body for EXPLAIN queries.
+type explainResponse struct {
+	Cube    string     `json:"cube"`
+	Version int64      `json:"version"`
+	Analyze bool       `json:"analyze"`
+	Explain string     `json:"explain"`
+	Stats   queryStats `json:"stats,omitempty"`
+}
+
+// handleExplain serves EXPLAIN (pure planning, runs inline) and
+// EXPLAIN ANALYZE (full traced execution through the admission queue,
+// like any other query).
+func (s *Server) handleExplain(w http.ResponseWriter, ctx context.Context, snap *Snapshot, q *mdx.Query, started time.Time) {
+	resp := explainResponse{Cube: snap.Name, Version: snap.Version, Analyze: q.Analyze}
+	if !q.Analyze {
+		text, err := mdx.NewEvaluator(snap.Cube).Explain(q)
+		if err != nil {
+			s.metrics.QueryErrors.Add(1)
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+			return
+		}
+		resp.Explain = text
+		s.metrics.QueriesServed.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var stats core.Stats
+	err := s.exec.Do(ctx, func(ctx context.Context) error {
+		var runErr error
+		rc := mdx.RunContext{Ctx: ctx, Workers: s.cfg.ScanWorkers}
+		resp.Explain, _, stats, runErr = mdx.NewEvaluator(snap.Cube).ExplainAnalyze(rc, q)
+		return runErr
+	})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	resp.Stats = queryStats{
+		MembersInScope: stats.MembersInScope,
+		ChunksRead:     stats.ChunksRead,
+		CellsRelocated: stats.CellsRelocated,
+		MergeEdges:     stats.MergeEdges,
+		MergeGroups:    stats.MergeGroups,
+		ScanWorkers:    stats.ScanWorkers,
+	}
+	s.metrics.ObserveStages(stats)
+	s.metrics.QueriesServed.Add(1)
+	s.metrics.ObserveLatency(time.Since(started))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeQueryError maps execution errors to status codes and counters.
@@ -358,7 +485,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
 		return
 	}
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.metrics.WriteProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// slowlogResponse is the GET /debug/slowlog body.
+type slowlogResponse struct {
+	ThresholdMs float64           `json:"threshold_ms"`
+	Total       int64             `json:"total"`
+	Queries     []SlowQueryRecord `json:"queries"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	records, total := s.slowlog.snapshot()
+	writeJSON(w, http.StatusOK, slowlogResponse{
+		ThresholdMs: s.cfg.SlowQueryMs,
+		Total:       total,
+		Queries:     records,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

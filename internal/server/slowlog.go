@@ -1,0 +1,60 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQueryRecord is one slow-query log entry: the normalized query,
+// how long it took, and the rendered span tree captured while it ran.
+type SlowQueryRecord struct {
+	Time      time.Time `json:"time"`
+	Cube      string    `json:"cube"`
+	Query     string    `json:"query"`
+	LatencyMs float64   `json:"latency_ms"`
+	Trace     string    `json:"trace,omitempty"`
+}
+
+// slowlog is a fixed-capacity ring buffer of the most recent slow
+// queries. Writes overwrite the oldest entry once full; reads return a
+// newest-first copy. A mutex (not atomics) is fine here: the log is
+// only touched for queries that already took SlowQueryMs, so contention
+// is negligible by construction.
+type slowlog struct {
+	mu    sync.Mutex
+	buf   []SlowQueryRecord
+	next  int   // ring write position
+	total int64 // records ever written (>= len when wrapped)
+}
+
+func newSlowlog(capacity int) *slowlog {
+	if capacity <= 0 {
+		capacity = defaultSlowlogCap
+	}
+	return &slowlog{buf: make([]SlowQueryRecord, 0, capacity)}
+}
+
+func (l *slowlog) record(r SlowQueryRecord) {
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, r)
+	} else {
+		l.buf[l.next] = r
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.total++
+	l.mu.Unlock()
+}
+
+// snapshot returns the retained records, newest first, plus the count
+// of records ever logged (so readers can tell how many were evicted).
+func (l *slowlog) snapshot() ([]SlowQueryRecord, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQueryRecord, 0, len(l.buf))
+	// Entries [next-1, next-2, ...] wrapping backwards are newest first.
+	for i := 0; i < len(l.buf); i++ {
+		out = append(out, l.buf[(l.next-1-i+len(l.buf))%len(l.buf)])
+	}
+	return out, l.total
+}

@@ -18,6 +18,7 @@ package simdisk
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -59,8 +60,20 @@ func (m Model) ReadCost(from, to int) float64 {
 
 // Disk accumulates modeled I/O cost over a sequence of chunk reads. The
 // zero value is not usable; create with New.
+//
+// Concurrency: a Disk is safe for concurrent use. The head position
+// and the counters update together under an internal mutex, so
+// concurrent queries sharing one disk interleave reads exactly as a
+// shared physical head would, and Stats always returns a consistent
+// snapshot. Per-query cost attribution does NOT come from diffing
+// Stats around an execution (two overlapping queries would each absorb
+// the other's cost) — Read returns the cost of each individual read,
+// and the engine sums the costs of its own reads into its per-query
+// statistics (core.Stats.DiskCostMs) via the chunk store's cost hook.
 type Disk struct {
 	model Model
+
+	mu    sync.Mutex
 	head  int
 	stats Stats
 }
@@ -98,8 +111,11 @@ func MustNew(model Model) *Disk {
 }
 
 // Read models a read of the chunk at the given physical position and
-// returns its cost.
+// returns its cost. Safe for concurrent use; the cost returned is the
+// cost of exactly this read, so callers can attribute it to the query
+// that issued it.
 func (d *Disk) Read(pos int) float64 {
+	d.mu.Lock()
 	c := d.model.ReadCost(d.head, pos)
 	if pos > d.head {
 		d.stats.SeekChunks += pos - d.head
@@ -109,22 +125,35 @@ func (d *Disk) Read(pos int) float64 {
 	d.head = pos
 	d.stats.Reads++
 	d.stats.CostMs += c
+	d.mu.Unlock()
 	return c
 }
 
-// Hook returns a function suitable for chunk.(*Store).SetReadHook.
-func (d *Disk) Hook() func(id int) {
-	return func(id int) { d.Read(id) }
+// Hook returns a cost hook suitable for chunk.(*Store).SetCostHook:
+// every chunk read is charged against the disk model and the modeled
+// cost flows back to the reader for per-query attribution.
+func (d *Disk) Hook() func(id int) float64 {
+	return d.Read
 }
 
-// Stats returns a copy of the accumulated statistics.
-func (d *Disk) Stats() Stats { return d.stats }
+// Stats returns a consistent copy of the accumulated statistics.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // Reset parks the head at 0 and clears statistics.
 func (d *Disk) Reset() {
+	d.mu.Lock()
 	d.head = 0
 	d.stats = Stats{}
+	d.mu.Unlock()
 }
 
 // Head returns the current head position.
-func (d *Disk) Head() int { return d.head }
+func (d *Disk) Head() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.head
+}

@@ -90,7 +90,7 @@ func TestHookIntegrationWithChunkStore(t *testing.T) {
 		st.Set([]int{i}, 1)
 	}
 	d := MustNew(Model{Base: 1, PerChunk: 1, SeekCap: 1000, Transfer: 0})
-	st.SetReadHook(d.Hook())
+	st.SetCostHook(d.Hook())
 	st.ReadChunk(0)
 	st.ReadChunk(9) // long seek
 	st.ReadChunk(9) // no seek

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	sp := tr.Start(SpanRef{}, "root")
+	if sp.Valid() {
+		t.Fatal("nil trace returned a valid span")
+	}
+	sp.Int("k", 1)
+	sp.End()
+	tr.Record(sp, "x", 0, 1)
+	if tr.Now() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace Spans() = %v, want nil", got)
+	}
+	if tr.Render() != "" {
+		t.Fatal("nil trace renders non-empty")
+	}
+	tr.Reset() // must not panic
+}
+
+func TestTraceZeroAllocsWhenOff(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start(SpanRef{}, "scan")
+		sp.Int("chunks_read", 3)
+		_ = tr.Now()
+		tr.Record(sp, "fault", 0, 10)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestTraceZeroAllocsWhenOn(t *testing.T) {
+	tr := New(1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start(SpanRef{}, "scan")
+		sp.Int("chunks_read", 3)
+		sp.IntNonZero("cells", 0)
+		tr.Record(sp, "fault", tr.Now(), tr.Now())
+		sp.End()
+		tr.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("active recording allocates: %v allocs/op (buffer should be reused)", allocs)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New(0)
+	root := tr.Start(SpanRef{}, "eval")
+	plan := tr.Start(root, "plan")
+	plan.Int("merge_groups", 4)
+	plan.End()
+	scan := tr.Start(root, "scan")
+	g0 := tr.Start(scan, "group")
+	g0.Int("chunks_read", 13)
+	g0.End()
+	scan.End()
+	root.End()
+
+	roots := tr.Tree()
+	if len(roots) != 1 || roots[0].Name != "eval" {
+		t.Fatalf("want one root 'eval', got %+v", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("want 2 children of eval, got %d", len(roots[0].Children))
+	}
+	scanNode := roots[0].Children[1]
+	if scanNode.Name != "scan" || len(scanNode.Children) != 1 || scanNode.Children[0].Name != "group" {
+		t.Fatalf("scan subtree wrong: %+v", scanNode)
+	}
+	if v, ok := scanNode.Children[0].Attr("chunks_read"); !ok || v != 13 {
+		t.Fatalf("group attr chunks_read = %d,%v", v, ok)
+	}
+	out := tr.Render()
+	for _, want := range []string{"eval", "plan", "scan", "group", "merge_groups=4", "chunks_read=13"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	tr := New(0)
+	sp := tr.Start(SpanRef{}, "work")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("want 1 span, got %d", len(spans))
+	}
+	if d := spans[0].Duration(); d < 1*time.Millisecond || d > 500*time.Millisecond {
+		t.Fatalf("span duration %v implausible for a 2ms sleep", d)
+	}
+	if ms := tr.StageMs("work"); ms < 1 {
+		t.Fatalf("StageMs(work) = %v, want >= 1", ms)
+	}
+	if ms := tr.StageMs("absent"); ms != 0 {
+		t.Fatalf("StageMs(absent) = %v, want 0", ms)
+	}
+}
+
+func TestBufferFullDrops(t *testing.T) {
+	tr := New(2)
+	a := tr.Start(SpanRef{}, "a")
+	b := tr.Start(a, "b")
+	c := tr.Start(b, "c") // buffer full
+	if c.Valid() {
+		t.Fatal("span beyond capacity should be invalid")
+	}
+	c.Int("k", 1) // must not panic
+	c.End()
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	b.End()
+	a.End()
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("recorded %d spans, want 2", got)
+	}
+	if !strings.Contains(tr.Render(), "dropped") {
+		t.Fatal("render does not note dropped spans")
+	}
+}
+
+func TestAttrOverflowIgnored(t *testing.T) {
+	tr := New(0)
+	sp := tr.Start(SpanRef{}, "s")
+	for i := 0; i < maxAttrs+4; i++ {
+		sp.Int("k", int64(i))
+	}
+	sp.End()
+	if n := len(tr.Spans()[0].Attrs); n != maxAttrs {
+		t.Fatalf("attrs = %d, want capped at %d", n, maxAttrs)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) should be nil")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+	tr := New(0)
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace not recovered from context")
+	}
+	// Nil trace leaves the context untouched.
+	base := context.Background()
+	if NewContext(base, nil) != base {
+		t.Fatal("NewContext(nil trace) should return ctx unchanged")
+	}
+}
+
+// TestConcurrentTraceStarts exercises the atomic slot claim from many
+// goroutines (the parallel merge-group scan's usage); run under -race
+// via the verify.sh Trace subset.
+func TestConcurrentTraceStarts(t *testing.T) {
+	tr := New(4096)
+	root := tr.Start(SpanRef{}, "scan")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				sp := tr.Start(root, "group")
+				sp.Int("worker", int64(w))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 1+8*256 {
+		t.Fatalf("recorded %d spans, want %d", len(spans), 1+8*256)
+	}
+	for _, s := range spans[1:] {
+		if s.Name != "group" || s.Parent != 0 {
+			t.Fatalf("corrupt span under concurrency: %+v", s)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 6; i++ { // overflow on purpose
+		tr.Start(SpanRef{}, "s").End()
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset did not clear the trace")
+	}
+	sp := tr.Start(SpanRef{}, "fresh")
+	sp.End()
+	if got := tr.Spans(); len(got) != 1 || got[0].Name != "fresh" {
+		t.Fatalf("post-reset recording broken: %+v", got)
+	}
+}

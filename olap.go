@@ -46,6 +46,7 @@ import (
 	"whatifolap/internal/perspective"
 	"whatifolap/internal/result"
 	"whatifolap/internal/simdisk"
+	"whatifolap/internal/trace"
 	"whatifolap/internal/workload"
 )
 
@@ -112,6 +113,11 @@ type (
 	DiskModel = simdisk.Model
 	// Disk accumulates modeled I/O cost.
 	Disk = simdisk.Disk
+	// Trace records an execution's span tree with near-zero overhead;
+	// thread one through a query with WithTrace or ExecOptions.Trace.
+	Trace = trace.Trace
+	// TraceSpan is one recorded span (name, duration, attributes).
+	TraceSpan = trace.Span
 	// SpillStats describes a spilled cube's buffer pool: resident and
 	// spilled chunk counts, fault-ins, evictions, and pinned chunks.
 	SpillStats = chunk.SpillStats
@@ -244,6 +250,11 @@ type ExecOptions struct {
 	// out over independent merge groups on up to Workers goroutines.
 	// 0 or 1 scans serially in the plan's global read order.
 	Workers int
+	// Trace, when non-nil, records the execution's span tree into the
+	// given recorder (parse, plan, per-merge-group scans, spill faults,
+	// merge, project). Recording is lock-free and allocation-free; a nil
+	// Trace costs nothing.
+	Trace *Trace
 }
 
 // QueryOptions is QueryContext with execution options: the context and
@@ -251,7 +262,38 @@ type ExecOptions struct {
 // engine for this run only, so one cube can serve differently
 // configured queries concurrently.
 func QueryOptions(ctx context.Context, c *Cube, src string, opts ExecOptions) (*Grid, error) {
+	if opts.Trace != nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx = trace.NewContext(ctx, opts.Trace)
+	}
 	return mdx.NewEvaluator(c).RunWith(mdx.RunContext{Ctx: ctx, Workers: opts.Workers}, src)
+}
+
+// NewTrace creates a span recorder holding up to maxSpans spans
+// (0 picks the default). One recorder serves one query at a time;
+// Reset reuses the buffer for the next.
+func NewTrace(maxSpans int) *Trace { return trace.New(maxSpans) }
+
+// WithTrace returns a context that carries the recorder into any query
+// run under it: the evaluator and engine record their pipeline spans
+// without further wiring. QueryContext(WithTrace(ctx, tr), c, src) is
+// the loose-coupling spelling of QueryOptions with ExecOptions.Trace.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return trace.NewContext(ctx, tr)
+}
+
+// ExplainAnalyze parses and runs the query under a fresh trace and
+// returns the rendered span tree with per-stage totals, alongside the
+// grid and engine stats. The MDX surface reaches the same machinery
+// with an "EXPLAIN ANALYZE" query prefix.
+func ExplainAnalyze(c *Cube, src string) (string, *Grid, EngineStats, error) {
+	q, err := mdx.Parse(src)
+	if err != nil {
+		return "", nil, EngineStats{}, err
+	}
+	return mdx.NewEvaluator(c).ExplainAnalyze(mdx.RunContext{}, q)
 }
 
 // NormalizeQuery canonicalizes extended-MDX source without parsing it:

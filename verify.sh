@@ -8,14 +8,28 @@ go vet ./...
 echo '>> go build ./...'
 go build ./...
 
+# Hot-path fmt gate: span recording (internal/trace/trace.go) and the
+# staged executor (internal/core/exec.go) must not import fmt — span
+# formatting happens only at exposition time (trace/render.go, the
+# server's prom/slowlog surfaces). An fmt import here would put
+# reflection-based formatting machinery on the per-chunk scan path.
+echo '>> hot-path fmt-import check'
+for f in internal/trace/trace.go internal/core/exec.go; do
+    if grep -q '"fmt"' "$f"; then
+        echo "verify: $f imports fmt (hot path must not format)" >&2
+        exit 1
+    fi
+done
+
 echo '>> go test ./...'
 go test ./...
 
 # Race-detector pass over the concurrent paths: the serving layer's
 # stress, cache and httptest endpoint tests, the engine's parallel
-# merge-group scan and overlay-kernel equivalence tests, and the
-# buffer pool's concurrent fault-in tests.
-echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel' ./..."
-go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel' ./...
+# merge-group scan and overlay-kernel equivalence tests, the buffer
+# pool's concurrent fault-in tests, and the observability layer (span
+# recorder, trace-derived histograms, slow-query log, EXPLAIN).
+echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain' ./..."
+go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain' ./...
 
 echo 'verify: ok'
