@@ -1,10 +1,26 @@
-.PHONY: verify test bench bench-smoke prof
+.PHONY: verify test lint lint-fix bench bench-smoke prof
 
 verify:
 	./verify.sh
 
 test:
 	go test ./...
+
+# Run the repo's go/analysis suite (internal/lint) over every package,
+# exactly as verify.sh does: build cmd/whatiflint and hand it to go vet
+# as a -vettool, so diagnostics come out per package with file:line
+# positions and vet's caching.
+lint:
+	go build -o bin/whatiflint ./cmd/whatiflint
+	go vet -vettool=bin/whatiflint ./...
+
+# Standalone driver mode with -fix: applies the safe suggested fixes
+# (monotonic's Round(0)/Truncate(0) strips). The unitchecker protocol
+# cannot apply fixes, so fixing goes through the offline driver.
+lint-fix:
+	go build -o bin/whatiflint ./cmd/whatiflint
+	./bin/whatiflint -fix || true
+	go vet -vettool=bin/whatiflint ./...
 
 bench:
 	go test -run XXX -bench . ./...

@@ -1,3 +1,8 @@
+// Reviewed for hotpathfmt: fmt in this package builds geometry/spill
+// errors and cold diagnostics; the overlay write path (overlay.go, a
+// declared hot-path file) is fmt-free and hotpathfmt-checked.
+//
+//lint:coldfmt geometry/spill error construction off the overlay write path
 package chunk
 
 import (

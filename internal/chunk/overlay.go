@@ -1,9 +1,9 @@
 package chunk
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"whatifolap/internal/cube"
 )
@@ -159,7 +159,7 @@ func NewPartitionedOverlay(g *Geometry, maskDim int) *PartitionedOverlay {
 // one masked ID is a bug in the caller (merge groups are disjoint).
 func (p *PartitionedOverlay) Attach(maskedID int, ov *Overlay) {
 	if _, dup := p.parts[maskedID]; dup {
-		panic(fmt.Sprintf("chunk: masked ID %d attached twice", maskedID))
+		panic("chunk: masked ID " + strconv.Itoa(maskedID) + " attached twice")
 	}
 	p.parts[maskedID] = ov
 	p.order = append(p.order, ov)
@@ -183,7 +183,7 @@ func (p *PartitionedOverlay) Get(addr []int) float64 {
 func (p *PartitionedOverlay) Set(addr []int, v float64) {
 	ov := p.parts[p.geom.MaskedID(addr, p.maskDim)]
 	if ov == nil {
-		panic(fmt.Sprintf("chunk: no overlay part owns address %v", addr))
+		panic("chunk: no overlay part owns address " + formatAddr(addr))
 	}
 	ov.Set(addr, v)
 }
@@ -223,4 +223,17 @@ func (p *PartitionedOverlay) Clone() cube.Store {
 		return true
 	})
 	return out
+}
+
+// formatAddr renders an address for panic messages without fmt (this
+// file is a declared hot path; the panic runs only on caller bugs).
+func formatAddr(addr []int) string {
+	s := "["
+	for i, a := range addr {
+		if i > 0 {
+			s += " "
+		}
+		s += strconv.Itoa(a)
+	}
+	return s + "]"
 }

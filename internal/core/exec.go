@@ -340,11 +340,7 @@ func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, og *chunk.Geometr
 	overlays := make([]*chunk.Overlay, len(p.Groups))
 	tallies := make([]scanTally, len(p.Groups))
 
-	base := ec.Ctx
-	if base == nil {
-		base = context.Background()
-	}
-	ctx, cancel := context.WithCancel(base)
+	ctx, cancel := context.WithCancel(ec.context())
 	defer cancel()
 
 	var (
@@ -389,8 +385,8 @@ feed:
 	}
 	close(work)
 	wg.Wait()
-	if firstErr == nil && base.Err() != nil {
-		firstErr = base.Err()
+	if firstErr == nil {
+		firstErr = ec.err()
 	}
 	if firstErr != nil {
 		return nil, nil, firstErr

@@ -32,6 +32,17 @@ func (ec ExecContext) err() error {
 	return ec.Ctx.Err()
 }
 
+// context returns the caller's context. The zero ExecContext is the
+// documented "no cancellation" opt-out, so the nil case is normalized
+// here, at the API boundary, and nowhere deeper in the pipeline.
+func (ec ExecContext) context() context.Context {
+	if ec.Ctx != nil {
+		return ec.Ctx
+	}
+	//lint:ctxok API-boundary shim: a zero ExecContext documents the caller's opt-out of cancellation
+	return context.Background()
+}
+
 // MergeGroup is one independent unit of scan work: the relevant chunks
 // sharing every chunk coordinate outside the varying dimension. A merge
 // edge connects chunks that exchange relocated cells, and relocation

@@ -1,3 +1,8 @@
+// Reviewed for hotpathfmt: fmt here builds errors and renders rule/
+// member names at query-construction and materialization time, never
+// inside the engine's per-cell scan loop.
+//
+//lint:coldfmt error construction and name rendering at plan/materialize time only
 package cube
 
 import (

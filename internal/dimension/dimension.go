@@ -9,6 +9,11 @@
 // root-to-leaf paths. Each such node is a member instance; all instances
 // of a member share its base name. At any leaf of the parameter dimension
 // at most one instance of a member is valid (paper §2, §3.1).
+//
+// Reviewed for hotpathfmt: fmt here builds errors while hierarchies and
+// edit scripts are constructed, never on the per-cell scan path.
+//
+//lint:coldfmt error construction at hierarchy/edit build time only
 package dimension
 
 import (

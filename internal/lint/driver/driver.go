@@ -1,0 +1,244 @@
+// Package driver is whatiflint's offline analysis driver: it loads Go
+// packages with the standard parser and type-checker (no go/packages,
+// no network, no export data) and runs go/analysis analyzers over them
+// with in-memory fact propagation.
+//
+// Two loading modes:
+//
+//   - Module mode (New): packages of this repository resolve against
+//     the module root, vendored dependencies against vendor/, and
+//     everything else against GOROOT source via the "source" importer.
+//   - Testdata mode (NewTestdata): import paths resolve against a
+//     testdata/src root, mirroring analysistest's layout, so analyzer
+//     tests can exercise multi-package fact flows.
+//
+// The go vet -vettool path (unitchecker) remains the production gate;
+// this driver backs cmd/whatiflint's standalone mode, -fix, and the
+// linttest harness.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and caches packages. It implements types.ImporterFrom.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string // import-path prefix mapped onto ModuleDir ("" in testdata mode)
+	ModuleDir  string
+	ExtraRoot  string // testdata src root ("" in module mode)
+	VendorDir  string // ModuleDir/vendor when present
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	order   []*Package // dependency-first load order
+	loading map[string]bool
+}
+
+// New returns a module-mode loader rooted at dir (which must contain
+// go.mod).
+func New(dir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("driver: %w", err)
+	}
+	m := regexp.MustCompile(`(?m)^module\s+(\S+)`).FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("driver: no module directive in %s/go.mod", dir)
+	}
+	l := newLoader()
+	l.ModulePath = string(m[1])
+	l.ModuleDir = dir
+	if fi, err := os.Stat(filepath.Join(dir, "vendor")); err == nil && fi.IsDir() {
+		l.VendorDir = filepath.Join(dir, "vendor")
+	}
+	return l, nil
+}
+
+// NewTestdata returns a loader resolving import paths under srcRoot
+// (testdata/src), analysistest-style.
+func NewTestdata(srcRoot string) *Loader {
+	l := newLoader()
+	l.ExtraRoot = srcRoot
+	return l
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// Order returns every package loaded so far, dependencies first.
+func (l *Loader) Order() []*Package { return l.order }
+
+// Load loads the package with the given import path (resolvable
+// against the module, vendor, or testdata root).
+func (l *Loader) Load(path string) (*Package, error) {
+	if _, err := l.Import(path); err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("driver: %s resolved outside the analysis roots", path)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	dir := l.resolveDir(path)
+	if dir == "" {
+		return l.std.ImportFrom(path, srcDir, mode)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("driver: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	p, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// resolveDir maps an import path to a source directory, or "" for the
+// standard library.
+func (l *Loader) resolveDir(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+		}
+	}
+	if l.ExtraRoot != "" {
+		dir := filepath.Join(l.ExtraRoot, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	if l.VendorDir != "" {
+		dir := filepath.Join(l.VendorDir, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	return ""
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the package in dir.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("driver: %w", err)
+	}
+	bctx := build.Default
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := bctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("driver: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", path, errors.Join(typeErrs...))
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	l.order = append(l.order, p)
+	return p, nil
+}
+
+// Diagnostic pairs an analyzer finding with its package of origin.
+type Diagnostic struct {
+	Pkg      *Package
+	Analyzer *analysis.Analyzer
+	analysis.Diagnostic
+}
+
+// Position renders the diagnostic's position.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}

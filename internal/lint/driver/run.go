@@ -1,0 +1,204 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"reflect"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// factStore holds in-memory analysis facts across packages. Facts are
+// keyed by (object|package, concrete fact type), matching the
+// framework's semantics: one fact of each type per entity.
+type factStore struct {
+	obj map[types.Object]map[reflect.Type]analysis.Fact
+	pkg map[*types.Package]map[reflect.Type]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: make(map[types.Object]map[reflect.Type]analysis.Fact),
+		pkg: make(map[*types.Package]map[reflect.Type]analysis.Fact),
+	}
+}
+
+func copyFact(dst, src analysis.Fact) bool {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Type() != sv.Type() || dv.Kind() != reflect.Pointer {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// Run executes the analyzers (and their Requires closures) over pkgs
+// in the given order, which must be dependency-first so that package
+// facts flow to importers. It returns the collected diagnostics in
+// deterministic (package, position) order.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	facts := newFactStore()
+	var diags []Diagnostic
+
+	type memoKey struct {
+		pkg *Package
+		a   *analysis.Analyzer
+	}
+	results := make(map[memoKey]interface{})
+	var runOne func(p *Package, a *analysis.Analyzer) (interface{}, error)
+	runOne = func(p *Package, a *analysis.Analyzer) (interface{}, error) {
+		key := memoKey{p, a}
+		if r, ok := results[key]; ok {
+			return r, nil
+		}
+		resultOf := make(map[*analysis.Analyzer]interface{})
+		for _, req := range a.Requires {
+			r, err := runOne(p, req)
+			if err != nil {
+				return nil, err
+			}
+			resultOf[req] = r
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      p.Files,
+			Pkg:        p.Types,
+			TypesInfo:  p.Info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{Pkg: p, Analyzer: a, Diagnostic: d})
+			},
+			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				if m := facts.obj[obj]; m != nil {
+					if f, ok := m[reflect.TypeOf(fact)]; ok {
+						return copyFact(fact, f)
+					}
+				}
+				return false
+			},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+				if m := facts.pkg[pkg]; m != nil {
+					if f, ok := m[reflect.TypeOf(fact)]; ok {
+						return copyFact(fact, f)
+					}
+				}
+				return false
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				m := facts.obj[obj]
+				if m == nil {
+					m = make(map[reflect.Type]analysis.Fact)
+					facts.obj[obj] = m
+				}
+				m[reflect.TypeOf(fact)] = fact
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				m := facts.pkg[p.Types]
+				if m == nil {
+					m = make(map[reflect.Type]analysis.Fact)
+					facts.pkg[p.Types] = m
+				}
+				m[reflect.TypeOf(fact)] = fact
+			},
+			AllPackageFacts: func() []analysis.PackageFact {
+				var out []analysis.PackageFact
+				for pkg, m := range facts.pkg {
+					for _, f := range m {
+						out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+					}
+				}
+				return out
+			},
+			AllObjectFacts: func() []analysis.ObjectFact {
+				var out []analysis.ObjectFact
+				for obj, m := range facts.obj {
+					for _, f := range m {
+						out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+					}
+				}
+				return out
+			},
+		}
+		r, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, p.Path, err)
+		}
+		results[key] = r
+		return r, nil
+	}
+
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			if _, err := runOne(p, a); err != nil {
+				return diags, err
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return diags, nil
+}
+
+// ApplyFixes applies every suggested fix among diags to the files on
+// disk, skipping fixes that overlap an already-applied edit. It
+// returns the number of fixes applied.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (int, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	byFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				endPos := te.End
+				if !endPos.IsValid() {
+					endPos = te.Pos
+				}
+				end := fset.Position(endPos)
+				if start.Filename == "" || end.Filename != start.Filename {
+					continue
+				}
+				byFile[start.Filename] = append(byFile[start.Filename],
+					edit{start: start.Offset, end: end.Offset, text: te.NewText})
+			}
+		}
+	}
+	applied := 0
+	for name, edits := range byFile {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var out []byte
+		prev := 0
+		for _, e := range edits {
+			if e.start < prev || e.end > len(data) {
+				continue // overlapping or out-of-range edit: skip
+			}
+			out = append(out, data[prev:e.start]...)
+			out = append(out, e.text...)
+			prev = e.end
+			applied++
+		}
+		out = append(out, data[prev:]...)
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

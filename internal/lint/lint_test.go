@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"whatifolap/internal/lint/driver"
+	"whatifolap/internal/lint/linttest"
+)
+
+// override points a flag-backed configuration variable at testdata for
+// the duration of one test.
+func override(t *testing.T, p *string, v string) {
+	t.Helper()
+	old := *p
+	*p = v
+	t.Cleanup(func() { *p = old })
+}
+
+func TestLintHotpathFmt(t *testing.T) {
+	linttest.Run(t, "testdata", HotpathFmt, "hotfmt/hot")
+}
+
+func TestLintSemExhaustive(t *testing.T) {
+	override(t, &semEnums, "persp.Semantics,persp.Mode")
+	linttest.Run(t, "testdata", SemExhaustive, "semx")
+}
+
+func TestLintCtxFlow(t *testing.T) {
+	override(t, &ctxflowPkgs, "ctxa,ctxmain")
+	override(t, &ctxflowReadCalls, "chunkx.Store.ReadChunk")
+	linttest.Run(t, "testdata", CtxFlow, "ctxa", "ctxmain")
+}
+
+func TestLintLockGuard(t *testing.T) {
+	override(t, &lockguardPkgs, "lockx")
+	override(t, &lockguardBlockPkgs, "diskx")
+	linttest.Run(t, "testdata", LockGuard, "lockx")
+}
+
+func TestLintMonotonic(t *testing.T) {
+	linttest.Run(t, "testdata", Monotonic, "mono")
+}
+
+// TestLintMonotonicFix applies the Round(0)/Truncate(0) suggested fix
+// on a scratch copy of the mono testdata and checks the result still
+// parses with the stripping call removed.
+func TestLintMonotonicFix(t *testing.T) {
+	srcRoot := filepath.Join(t.TempDir(), "src")
+	monoDir := filepath.Join(srcRoot, "mono")
+	if err := os.MkdirAll(monoDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mono.go", "off.go"} {
+		data, err := os.ReadFile(filepath.Join("testdata", "src", "mono", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(monoDir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l := driver.NewTestdata(srcRoot)
+	if _, err := l.Load("mono"); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(l.Fset, l.Order(), []*analysis.Analyzer{Monotonic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := driver.ApplyFixes(l.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("applied %d fixes, want 1 (only Round(0) carries a safe fix)", n)
+	}
+	fixed, err := os.ReadFile(filepath.Join(monoDir, "mono.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(fixed), "Round(0)") {
+		t.Fatalf("Round(0) survived the fix:\n%s", fixed)
+	}
+	if _, err := parser.ParseFile(token.NewFileSet(), "mono.go", fixed, 0); err != nil {
+		t.Fatalf("fixed file no longer parses: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package linttest is an offline analysistest equivalent: it runs one
+// analyzer over testdata packages loaded by the driver and checks its
+// diagnostics against `// want "regexp"` comments, using the same
+// testdata/src layout and expectation syntax as
+// golang.org/x/tools/go/analysis/analysistest (which needs go/packages
+// and a module proxy, neither of which exists in this build
+// environment).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"whatifolap/internal/lint/driver"
+)
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads each named package under testdata/src (dependencies load
+// transitively, so fact-exporting packages may be listed or simply
+// imported), runs the analyzer over everything loaded, and matches
+// diagnostics in the named packages against their // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := driver.NewTestdata(testdata + "/src")
+	target := make(map[string]*driver.Package)
+	for _, path := range pkgPaths {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		target[path] = p
+	}
+	diags, err := driver.Run(l.Fset, l.Order(), []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, p := range target {
+		for _, f := range p.Files {
+			ws, err := fileExpectations(l, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		if target[d.Pkg.Path] == nil {
+			continue
+		}
+		pos := d.Position(l.Fset)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fileExpectations parses the `// want "re" "re"...` comments of f.
+func fileExpectations(l *driver.Loader, f *ast.File) ([]*expectation, error) {
+	tf := l.Fset.File(f.FileStart)
+	if tf == nil {
+		return nil, nil
+	}
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			line := l.Fset.Position(c.Pos()).Line
+			for {
+				rest = strings.TrimSpace(rest)
+				if rest == "" {
+					break
+				}
+				lit, remainder, err := cutGoString(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad // want expectation: %v", tf.Name(), line, err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad // want regexp: %v", tf.Name(), line, err)
+				}
+				out = append(out, &expectation{file: tf.Name(), line: line, re: re})
+				rest = remainder
+			}
+		}
+	}
+	return out, nil
+}
+
+// cutGoString splits a leading Go string literal (quoted or backquoted)
+// off s.
+func cutGoString(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '"':
+		for i := 1; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				i++
+			case '"':
+				unq, err := strconv.Unquote(s[:i+1])
+				return unq, s[i+1:], err
+			}
+		}
+	case '`':
+		if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+			return s[1 : i+1], s[i+2:], nil
+		}
+	}
+	return "", "", fmt.Errorf("expected a Go string literal, got %q", s)
+}

@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestLintRepoClean builds cmd/whatiflint and runs it exactly the way
+// verify.sh does — through go vet -vettool — over the whole repository,
+// asserting the gate stays clean.
+func TestLintRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole repository")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "whatiflint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/whatiflint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building whatiflint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("whatiflint reported findings:\n%s", out)
+	}
+}

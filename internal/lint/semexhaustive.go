@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SemExhaustive enforces exhaustive handling of the paper's enums: the
+// five query semantics of §3 (static / forward / extended forward /
+// backward / extended backward) and the visual/non-visual evaluation
+// mode. Every switch whose tag has one of the configured enum types
+// must name every constant of that type (a default clause is allowed
+// in addition, as a belt-and-braces unknown-value guard) or carry
+// //lint:semdefault <reason>. Adding a sixth semantics then fails the
+// build at every dispatch site instead of silently falling into a
+// default — the class of hierarchy-semantics bug the XOLAP
+// summarizability literature warns about.
+var SemExhaustive = &analysis.Analyzer{
+	Name: "semexhaustive",
+	Doc:  "switches over the query-semantics and eval-mode enums must cover every constant or justify //lint:semdefault",
+	Run:  runSemExhaustive,
+}
+
+var semEnums = ModulePath + "/internal/perspective.Semantics," + ModulePath + "/internal/perspective.Mode"
+
+func init() {
+	SemExhaustive.Flags.StringVar(&semEnums, "enums",
+		semEnums, "comma-separated pkgpath.TypeName list of enum types requiring exhaustive switches")
+}
+
+func runSemExhaustive(pass *analysis.Pass) (interface{}, error) {
+	targets := make(map[string]bool)
+	for _, e := range strings.Split(semEnums, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			targets[e] = true
+		}
+	}
+	ix := newDirectiveIndex(pass)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := enumNamed(tv.Type)
+			if named == nil {
+				return true
+			}
+			key := enumKey(named)
+			if !targets[key] {
+				return true
+			}
+			checkEnumSwitch(pass, ix, sw, named, key)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// enumNamed unwraps aliases and returns the named type of an
+// integer-kinded enum tag, or nil.
+func enumNamed(t types.Type) *types.Named {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named
+}
+
+func enumKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// enumConstants returns the package-level constants of the enum type
+// declared in its defining package, keyed by exact constant value.
+// Only exported constants are visible across packages (export data
+// drops unexported ones), so enum constants must be exported — ours
+// are.
+func enumConstants(named *types.Named) map[string]string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	out := make(map[string]string)
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		// Prefer the first name per value (aliased constants collapse).
+		if _, dup := out[key]; !dup {
+			out[key] = name
+		}
+	}
+	return out
+}
+
+func checkEnumSwitch(pass *analysis.Pass, ix *directiveIndex, sw *ast.SwitchStmt, named *types.Named, key string) {
+	want := enumConstants(named)
+	if len(want) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				// A non-constant case arm makes coverage undecidable;
+				// leave the switch to the human.
+				return
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for val, name := range want {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+
+	if ok, present := ix.justified(sw.Pos(), "semdefault"); ok {
+		return
+	} else if present {
+		pass.Reportf(sw.Pos(), "//lint:semdefault on a switch over %s needs a reason", key)
+		return
+	}
+	pass.Reportf(sw.Pos(),
+		"switch over %s is not exhaustive: missing %s; handle every semantics/mode explicitly or justify with //lint:semdefault <reason>",
+		key, strings.Join(missing, ", "))
+}

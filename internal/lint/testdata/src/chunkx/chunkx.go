@@ -1,0 +1,12 @@
+// Package chunkx mirrors the chunk store's read surface for ctxflow
+// tests.
+package chunkx
+
+type Store struct{ cells []int }
+
+func (s *Store) ReadChunk(id int) int {
+	if id < len(s.cells) {
+		return s.cells[id]
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+// Package ctxa exercises ctxflow's two rules.
+package ctxa
+
+import (
+	"context"
+
+	"chunkx"
+)
+
+func mint() {
+	_ = context.Background() // want `context.Background\(\) in library code severs the caller's cancellation`
+	_ = context.TODO()       // want `context.TODO\(\) in library code severs the caller's cancellation`
+}
+
+//lint:ctxok API-boundary shim: callers may pass a zero RunContext
+func boundary() context.Context { return context.Background() }
+
+func reasonless() {
+	//lint:ctxok
+	_ = context.Background() // want `//lint:ctxok needs a reason`
+}
+
+func loopNoCtx(s *chunkx.Store, ids []int) int {
+	total := 0
+	for _, id := range ids {
+		total += s.ReadChunk(id) // want `Store.ReadChunk inside a loop in loopNoCtx`
+	}
+	return total
+}
+
+func loopCtx(ctx context.Context, s *chunkx.Store, ids []int) int {
+	total := 0
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += s.ReadChunk(id)
+	}
+	return total
+}
+
+type execCtx struct {
+	Ctx     context.Context
+	Workers int
+}
+
+// A parameter struct carrying a Context field counts as context access.
+func loopExecCtx(ec execCtx, s *chunkx.Store, ids []int) int {
+	total := 0
+	for _, id := range ids {
+		total += s.ReadChunk(id)
+	}
+	_ = ec
+	return total
+}
+
+// A single read outside any loop needs no context.
+func readOnce(s *chunkx.Store) int { return s.ReadChunk(0) }

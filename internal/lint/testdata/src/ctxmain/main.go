@@ -1,0 +1,8 @@
+// Command ctxmain shows that package main may mint contexts.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

@@ -1,0 +1,5 @@
+// Package diskx stands in for the simulated disk: every call is priced
+// blocking I/O for lockguard tests.
+package diskx
+
+func Read(off int) int { return off * 2 }

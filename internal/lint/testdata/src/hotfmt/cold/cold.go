@@ -1,0 +1,10 @@
+// Package cold uses fmt but has been reviewed: its formatting runs at
+// exposition time only, so the coldfmt declaration stops fact
+// propagation and hot files may import it.
+//
+//lint:coldfmt formats only in Describe, which hot callers never invoke per cell
+package cold
+
+import "fmt"
+
+func Describe(v int) string { return fmt.Sprintf("cell %d", v) }

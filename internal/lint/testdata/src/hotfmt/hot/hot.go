@@ -1,0 +1,34 @@
+// Package hot simulates a hot-path file via the //lint:hotpath marker.
+//
+//lint:hotpath
+package hot
+
+import (
+	"errors"
+	"fmt" // want `hot-path file imports "fmt": reflection-based formatting on the per-chunk path`
+
+	"hotfmt/cold"
+	"hotfmt/shim" // want `hot-path file imports "hotfmt/shim", which reaches formatting \(reaches hotfmt/shim → fmt\)`
+
+	//lint:hotpathok
+	shim2 "hotfmt/shim" // want `//lint:hotpathok needs a reason`
+
+	//lint:hotpathok wraps fmt for plan rendering only, never called per cell
+	shim3 "hotfmt/shim"
+)
+
+// Package-level sentinel errors stay legal.
+var errSentinel = errors.New("sentinel")
+
+func use() string {
+	err := errors.New("boom")   // want `errors.New allocates per call on a hot path`
+	s := fmt.Sprintf("%v", err) // want `fmt.Sprintf on a hot path formats/reflects per call`
+	s += shim.Wrap(1)
+	s += shim2.Wrap(2)
+	s += shim3.Wrap(3)
+	s += cold.Describe(4)
+	if errSentinel != nil {
+		return s
+	}
+	return ""
+}

@@ -1,0 +1,7 @@
+// Package shim wraps fmt without declaring //lint:coldfmt, so it
+// carries a ReachesFormatting fact to its importers.
+package shim
+
+import "fmt"
+
+func Wrap(v int) string { return fmt.Sprintf("%d", v) }

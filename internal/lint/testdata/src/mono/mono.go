@@ -1,0 +1,37 @@
+// Package mono exercises monotonic on a marked span-recording file.
+//
+//lint:monotonic
+package mono
+
+import "time"
+
+type rec struct {
+	epoch time.Time
+}
+
+// Monotonic-safe API: time.Since / Time.Sub offsets.
+func (r *rec) stamp() int64 {
+	return int64(time.Since(r.epoch))
+}
+
+func (r *rec) bad() int64 {
+	return r.epoch.UnixNano() // want `time.Time.UnixNano reads the wall clock on a span-recording path`
+}
+
+func (r *rec) strip() time.Time {
+	return r.epoch.Round(0) // want `time.Time.Round strips the monotonic reading on a span-recording path`
+}
+
+func (r *rec) format() string {
+	return r.epoch.Format(time.RFC3339) // want `time.Time.Format formats the wall clock on a span-recording path`
+}
+
+func (r *rec) annotated() int64 {
+	//lint:wallclock slow-log rows carry wall time by design
+	return r.epoch.Unix()
+}
+
+func (r *rec) reasonless() int64 {
+	//lint:wallclock
+	return r.epoch.Unix() // want `//lint:wallclock needs a reason`
+}

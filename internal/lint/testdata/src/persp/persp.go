@@ -1,0 +1,20 @@
+// Package persp mirrors the shape of internal/perspective for
+// semexhaustive tests: the five query semantics plus the eval mode.
+package persp
+
+type Semantics int
+
+const (
+	Static Semantics = iota
+	Forward
+	ExtendedForward
+	Backward
+	ExtendedBackward
+)
+
+type Mode int
+
+const (
+	NonVisual Mode = iota
+	Visual
+)

@@ -1,0 +1,61 @@
+package semx
+
+import "persp"
+
+func dispatch(s persp.Semantics, m persp.Mode, x int) int {
+	// Exhaustive: all five semantics named.
+	switch s {
+	case persp.Static, persp.Forward, persp.ExtendedForward, persp.Backward, persp.ExtendedBackward:
+		x++
+	}
+
+	switch s { // want `switch over persp.Semantics is not exhaustive: missing ExtendedBackward`
+	case persp.Static, persp.Forward, persp.ExtendedForward, persp.Backward:
+		x++
+	}
+
+	// A default clause is a guard, not an exemption.
+	switch s { // want `switch over persp.Semantics is not exhaustive: missing Backward, ExtendedBackward, ExtendedForward, Forward`
+	case persp.Static:
+		x++
+	default:
+		x--
+	}
+
+	//lint:semdefault only the static perspective reaches this planner stage
+	switch s {
+	case persp.Static:
+		x++
+	}
+
+	//lint:semdefault
+	switch s { // want `//lint:semdefault on a switch over persp.Semantics needs a reason`
+	case persp.Static:
+		x++
+	}
+
+	switch m { // want `switch over persp.Mode is not exhaustive: missing Visual`
+	case persp.NonVisual:
+		x++
+	}
+
+	// Exhaustive mode switch.
+	switch m {
+	case persp.NonVisual, persp.Visual:
+		x++
+	}
+
+	// A switch with a non-constant arm is left to the human.
+	other := persp.Backward
+	switch s {
+	case other:
+		x++
+	}
+
+	// Switches over unconfigured types are ignored.
+	switch x {
+	case 1:
+		x++
+	}
+	return x
+}

@@ -51,6 +51,17 @@ func (rc RunContext) err() error {
 	return rc.Ctx.Err()
 }
 
+// context returns the caller's context. The zero RunContext is the
+// documented "no cancellation" opt-out, normalized here at the API
+// boundary and nowhere deeper.
+func (rc RunContext) context() context.Context {
+	if rc.Ctx != nil {
+		return rc.Ctx
+	}
+	//lint:ctxok API-boundary shim: a zero RunContext documents the caller's opt-out of cancellation
+	return context.Background()
+}
+
 // Evaluator runs extended-MDX queries against a cube. Cubes backed by
 // chunked storage get the perspective-cube engine for what-if clauses;
 // other cubes fall back to the algebra operators.
@@ -151,12 +162,8 @@ func (ev *Evaluator) RunQueryStatsWith(rc RunContext, q *Query) (*result.Grid, c
 // analysis. This backs the EXPLAIN ANALYZE query prefix.
 func (ev *Evaluator) ExplainAnalyze(rc RunContext, q *Query) (string, *result.Grid, core.Stats, error) {
 	tr := trace.New(0)
-	base := rc.Ctx
-	if base == nil {
-		base = context.Background()
-	}
 	root := tr.Start(trace.SpanRef{}, "eval")
-	rc.Ctx = trace.WithSpan(trace.NewContext(base, tr), root)
+	rc.Ctx = trace.WithSpan(trace.NewContext(rc.context(), tr), root)
 	g, stats, err := ev.RunQueryStatsWith(rc, q)
 	root.End()
 	if err != nil {

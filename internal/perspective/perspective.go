@@ -6,6 +6,11 @@
 // Φ is the semantic core of negative scenarios. Composed with selection,
 // relocate and eval (package algebra), it captures every negative-
 // scenario what-if query of the paper's extended MDX (Theorem 4.1).
+//
+// Reviewed for hotpathfmt: fmt here builds validation errors while
+// perspectives are composed, before any chunk is scanned.
+//
+//lint:coldfmt validation-error construction at perspective build time only
 package perspective
 
 import (

@@ -4,6 +4,8 @@ package trace
 // This file is the only place in the package allowed to import fmt —
 // recording (trace.go) stays formatting-free; formatting happens once,
 // when a human or an exporter asks for the trace.
+//
+//lint:coldfmt exposition-time rendering only; trace.go (the recording hot path) is fmt-free and hotpathfmt-checked
 
 import (
 	"fmt"
