@@ -1,4 +1,4 @@
-.PHONY: verify test lint lint-fix bench bench-smoke prof
+.PHONY: verify test lint lint-fix bench bench-smoke prof scenario-demo
 
 verify:
 	./verify.sh
@@ -21,6 +21,13 @@ lint-fix:
 	go build -o bin/whatiflint ./cmd/whatiflint
 	./bin/whatiflint -fix || true
 	go vet -vettool=bin/whatiflint ./...
+
+# Live curl session against an ephemeral whatifd on 127.0.0.1:18080
+# (override with SCENARIO_DEMO_PORT): create a scenario on the
+# workforce cube, add a hypothetical account, write cells, fork, diff
+# the fork against its parent, and commit as a new catalog version.
+scenario-demo:
+	sh scripts/scenario-demo.sh
 
 bench:
 	go test -run XXX -bench . ./...

@@ -21,6 +21,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,7 @@ func main() {
 		showTrace = flag.Bool("trace", false, "print the span tree of each query's execution")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (e.g. 5s); 0 disables")
 		workers   = flag.Int("workers", 1, "scan workers per query (parallel merge-group scan; 1 = serial)")
+		scenFile  = flag.String("scenario", "", "apply a JSON scenario edit script before querying (array of edits or {\"edits\": [...]})")
 	)
 	flag.Parse()
 
@@ -52,6 +54,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "whatif:", err)
 		os.Exit(1)
+	}
+	if *scenFile != "" {
+		// Queries run against the scenario's layered view: base chunks
+		// resolved through the edit layers, nothing copied.
+		c, err = applyScenarioScript(c, *scenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whatif:", err)
+			os.Exit(1)
+		}
 	}
 	ev := olap.NewEvaluator(c)
 
@@ -152,6 +163,41 @@ func main() {
 	default:
 		repl(os.Stdin, run)
 	}
+}
+
+// applyScenarioScript loads a JSON edit script — a bare array of edits
+// or {"edits": [...]} — applies it as one scenario batch over the cube,
+// and returns the scenario's layered view for querying.
+func applyScenarioScript(c *olap.Cube, path string) (*olap.Cube, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var edits []olap.ScenarioEdit
+	if err := json.Unmarshal(data, &edits); err != nil {
+		var wrapped struct {
+			Edits []olap.ScenarioEdit `json:"edits"`
+		}
+		if err2 := json.Unmarshal(data, &wrapped); err2 != nil {
+			return nil, fmt.Errorf("scenario script %s: %w", path, err)
+		}
+		edits = wrapped.Edits
+	}
+	s, err := olap.NewScenario("cli", c)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Apply(edits); err != nil {
+		return nil, err
+	}
+	view, _, err := s.View()
+	if err != nil {
+		return nil, err
+	}
+	info := s.Info()
+	fmt.Fprintf(os.Stderr, "whatif: scenario script applied: %d cells overridden, %d new members\n",
+		info.CellsOverridden, info.NewMembers)
+	return view, nil
 }
 
 func openCube(paper, wf bool, load string, chunked bool) (*olap.Cube, error) {

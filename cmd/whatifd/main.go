@@ -12,6 +12,17 @@
 //	GET  /debug/slowlog  recent slow queries with their span traces
 //	GET  /healthz        liveness
 //
+// Scenario workspaces (layered what-if sessions over a catalog cube):
+//
+//	POST   /scenarios                create: {"name": "...", "cube": "..."}
+//	GET    /scenarios                list workspaces
+//	POST   /scenarios/{id}/edit      apply an atomic edit batch: {"edits": [...]}
+//	POST   /scenarios/{id}/fork      fork (shares the parent's layers)
+//	POST   /scenarios/{id}/query     query the layered view (same body as /query)
+//	GET    /scenarios/{id}/diff      cell diff against another: ?against={id2}
+//	POST   /scenarios/{id}/commit    publish as the cube's next catalog version
+//	DELETE /scenarios/{id}           discard the workspace
+//
 // With -debug-addr a second listener serves net/http/pprof at
 // /debug/pprof/ — kept off the query port so profiling endpoints are
 // never exposed where queries are.

@@ -1,0 +1,347 @@
+package chunk
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"whatifolap/internal/cube"
+)
+
+// This file is the scenario-workspace read hot path: a query against a
+// scenario resolves every cell through Chain.Get (or the engine's
+// merged chunk iteration), so nothing here may allocate per resolved
+// cell or format. verify.sh's whatiflint gate enforces the no-fmt rule
+// for this file.
+
+// Layer is one immutable delta in a scenario's layer chain: cell writes
+// in a values overlay plus explicit deletes in a tombstone overlay.
+// The two overlays are disjoint by construction (a write clears the
+// cell's tombstone and vice versa), so resolution needs no precedence
+// rule within a layer.
+//
+// A layer is built single-threaded by one edit batch and then sealed:
+// scenarios never mutate a layer that a chain snapshot can see, which
+// is what makes sharing a parent's layers across forks safe.
+type Layer struct {
+	values  *Overlay
+	deletes *Overlay
+}
+
+// NewLayer creates an empty layer under the geometry.
+func NewLayer(g *Geometry) *Layer {
+	return &Layer{values: NewOverlay(g), deletes: NewOverlay(g)}
+}
+
+// Geometry returns the layer's chunking geometry.
+func (l *Layer) Geometry() *Geometry { return l.values.geom }
+
+// Set writes v at addr. Setting NaN is a delete.
+func (l *Layer) Set(addr []int, v float64) {
+	if math.IsNaN(v) {
+		l.Delete(addr)
+		return
+	}
+	l.deletes.Set(addr, math.NaN()) // clear any tombstone
+	l.values.Set(addr, v)
+}
+
+// Delete writes a tombstone at addr: the cell reads as absent through
+// the chain even when an older layer or the base holds a value.
+func (l *Layer) Delete(addr []int) {
+	l.values.Set(addr, math.NaN())
+	l.deletes.Set(addr, 1)
+}
+
+// Cells returns the number of cells the layer overrides (writes plus
+// tombstones).
+func (l *Layer) Cells() int { return l.values.Len() + l.deletes.Len() }
+
+// Values returns the layer's write overlay (read-only use).
+func (l *Layer) Values() *Overlay { return l.values }
+
+// Deletes returns the layer's tombstone overlay (read-only use).
+func (l *Layer) Deletes() *Overlay { return l.deletes }
+
+// MemBytes estimates the layer's resident size.
+func (l *Layer) MemBytes() int { return l.values.MemBytes() + l.deletes.MemBytes() }
+
+// deleted reports whether the layer tombstones addr.
+func (l *Layer) deleted(addr []int) bool { return !math.IsNaN(l.deletes.Get(addr)) }
+
+// Chain is the scenario workspace's read path: a base store under an
+// ordered list of delta layers, newest layer wins, tombstones read as
+// absent. It implements cube.Store read-only; a Get is a bounds check
+// plus two overlay probes per layer (pure integer arithmetic and map
+// lookups — zero allocations per resolved cell), falling through to
+// the base for untouched cells.
+//
+// Layers may carry a wider geometry than the base (hypothetical new
+// dimension members live at leaf ordinals above the base extent); the
+// per-layer bounds check routes such addresses past narrower layers
+// and past the base. A chain whose base is a *Store and whose layers
+// all share the base geometry is "engine capable": the perspective
+// engine can scan it chunk by chunk through ForEachMerged.
+//
+// A chain is an immutable snapshot: scenarios build a fresh Chain per
+// query from their sealed layers, so concurrent readers never race
+// with edits.
+type Chain struct {
+	base       cube.Store
+	baseChunks *Store // non-nil when base is chunk-backed
+	baseExt    []int  // base extents guarding out-of-range base reads
+	layers     []*Layer
+	uniform    bool // all layers share the base chunk geometry
+}
+
+// NewChain snapshots base under the given layers (oldest first). The
+// caller must not mutate the layers afterwards.
+func NewChain(base cube.Store, layers []*Layer) *Chain {
+	c := &Chain{base: base, layers: layers}
+	if st, ok := base.(*Store); ok {
+		c.baseChunks = st
+		c.baseExt = st.Geometry().Extents
+		c.uniform = true
+		for _, l := range layers {
+			if !sameGeometry(l.Geometry(), st.Geometry()) {
+				c.uniform = false
+				break
+			}
+		}
+	}
+	return c
+}
+
+// sameGeometry reports whether two geometries chunk the same space the
+// same way.
+func sameGeometry(a, b *Geometry) bool {
+	if a == b {
+		return true
+	}
+	if len(a.Extents) != len(b.Extents) {
+		return false
+	}
+	for i := range a.Extents {
+		if a.Extents[i] != b.Extents[i] || a.ChunkDims[i] != b.ChunkDims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Base returns the chain's base store.
+func (c *Chain) Base() cube.Store { return c.base }
+
+// ChunkBase returns the base as a chunk store, or nil.
+func (c *Chain) ChunkBase() *Store { return c.baseChunks }
+
+// NumLayers returns the chain depth.
+func (c *Chain) NumLayers() int { return len(c.layers) }
+
+// CellsOverridden returns the total cells the layers override (writes
+// plus tombstones, counted per layer — shadowed duplicates included).
+func (c *Chain) CellsOverridden() int {
+	n := 0
+	for _, l := range c.layers {
+		n += l.Cells()
+	}
+	return n
+}
+
+// EngineCapable reports whether the perspective engine can scan this
+// chain chunk-natively: a chunk-backed base with every layer on the
+// base geometry (scenarios that introduced hypothetical members carry
+// wider layers and evaluate through the general path instead).
+func (c *Chain) EngineCapable() bool { return c.baseChunks != nil && c.uniform }
+
+// Get implements cube.Store: newest layer first (tombstone = absent,
+// write = value), then the base. Zero allocations per call.
+func (c *Chain) Get(addr []int) float64 {
+	for i := len(c.layers) - 1; i >= 0; i-- {
+		l := c.layers[i]
+		if !l.values.geom.Contains(addr) {
+			continue
+		}
+		if l.deleted(addr) {
+			return math.NaN()
+		}
+		if v := l.values.Get(addr); !math.IsNaN(v) {
+			return v
+		}
+	}
+	if c.baseExt != nil && !containsAddr(c.baseExt, addr) {
+		return math.NaN()
+	}
+	return c.base.Get(addr)
+}
+
+// containsAddr reports whether addr lies within the extents.
+func containsAddr(ext []int, addr []int) bool {
+	if len(addr) != len(ext) {
+		return false
+	}
+	for i, a := range addr {
+		if a < 0 || a >= ext[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Set implements cube.Store. Chains are read-only snapshots; edits go
+// through the scenario's layer API.
+func (c *Chain) Set(addr []int, v float64) {
+	panic("chunk: scenario chains are read-only; write through a layer, not the chain (addr " + formatAddr(addr) + ")")
+}
+
+// touchedAbove reports whether any layer above i (newer) overrides addr
+// with a write or a tombstone.
+func (c *Chain) touchedAbove(i int, addr []int) bool {
+	for j := len(c.layers) - 1; j > i; j-- {
+		l := c.layers[j]
+		if !l.values.geom.Contains(addr) {
+			continue
+		}
+		if l.deleted(addr) || !math.IsNaN(l.values.Get(addr)) {
+			return true
+		}
+	}
+	return false
+}
+
+// NonNull implements cube.Store: layer writes newest-first (each cell
+// emitted once, at the newest layer that owns it), then base cells no
+// layer overrides. Deterministic given deterministic layer iteration.
+func (c *Chain) NonNull(fn func(addr []int, v float64) bool) {
+	stopped := false
+	for i := len(c.layers) - 1; i >= 0 && !stopped; i-- {
+		li := i
+		c.layers[i].values.NonNull(func(addr []int, v float64) bool {
+			if c.touchedAbove(li, addr) {
+				return true
+			}
+			if !fn(addr, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+	if stopped {
+		return
+	}
+	c.base.NonNull(func(addr []int, v float64) bool {
+		if c.touchedAbove(-1, addr) {
+			return true
+		}
+		return fn(addr, v)
+	})
+}
+
+// Len implements cube.Store.
+func (c *Chain) Len() int {
+	n := 0
+	c.NonNull(func(addr []int, v float64) bool { n++; return true })
+	return n
+}
+
+// Clone implements cube.Store by flattening the resolved view into a
+// MemStore (commit paths materialize through the scenario instead, so
+// this is only for generic Store callers).
+func (c *Chain) Clone() cube.Store {
+	arity := 0
+	if c.baseExt != nil {
+		arity = len(c.baseExt)
+	} else if len(c.layers) > 0 {
+		arity = c.layers[0].Geometry().NumDims()
+	}
+	out := cube.NewMemStore(arity)
+	c.NonNull(func(addr []int, v float64) bool {
+		out.Set(addr, v)
+		return true
+	})
+	return out
+}
+
+// LayerChunkIDs returns the sorted union of chunk IDs the layers
+// touch. Only meaningful on an engine-capable chain, where layer and
+// base chunk IDs share one geometry; the engine unions these with the
+// base's materialized chunks so scenario cells in chunks the base
+// never materialized still get scanned.
+func (c *Chain) LayerChunkIDs() []int {
+	seen := map[int]bool{}
+	for _, l := range c.layers {
+		for _, o := range [2]*Overlay{l.values, l.deletes} {
+			for id := range o.chunks {
+				seen[id] = true
+			}
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ForEachMerged iterates the resolved cells of one chunk: base cells
+// (shadowed ones replaced or skipped per the layer chain), then layer
+// cells at offsets the base does not hold. base may be nil when the
+// base store never materialized the chunk. Returns false if fn stopped
+// the iteration. Requires an engine-capable chain (one shared
+// geometry); per-cell work is map probes and integer arithmetic only.
+func (c *Chain) ForEachMerged(id int, base *Chunk, fn func(off int, v float64) bool) bool {
+	if !c.uniform {
+		panic("chunk: ForEachMerged on a non-uniform chain (id " + strconv.Itoa(id) + ")")
+	}
+	cont := true
+	if base != nil {
+		base.ForEach(func(off int, v float64) bool {
+			for i := len(c.layers) - 1; i >= 0; i-- {
+				l := c.layers[i]
+				if dch := l.deletes.chunks[id]; dch != nil && !math.IsNaN(dch.Get(off)) {
+					return true // deleted: skip, stay in base loop
+				}
+				if vch := l.values.chunks[id]; vch != nil {
+					if lv := vch.Get(off); !math.IsNaN(lv) {
+						cont = fn(off, lv)
+						return cont
+					}
+				}
+			}
+			cont = fn(off, v)
+			return cont
+		})
+		if !cont {
+			return false
+		}
+	}
+	for i := len(c.layers) - 1; i >= 0; i-- {
+		vch := c.layers[i].values.chunks[id]
+		if vch == nil {
+			continue
+		}
+		li := i
+		vch.ForEach(func(off int, v float64) bool {
+			if base != nil && !math.IsNaN(base.Get(off)) {
+				return true // resolved in the base pass above
+			}
+			for j := len(c.layers) - 1; j > li; j-- {
+				l := c.layers[j]
+				if dch := l.deletes.chunks[id]; dch != nil && !math.IsNaN(dch.Get(off)) {
+					return true // newer tombstone owns the offset
+				}
+				if lch := l.values.chunks[id]; lch != nil && !math.IsNaN(lch.Get(off)) {
+					return true // newer write owns the offset
+				}
+			}
+			cont = fn(off, v)
+			return cont
+		})
+		if !cont {
+			return false
+		}
+	}
+	return true
+}

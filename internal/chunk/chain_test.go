@@ -1,0 +1,225 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+
+	"whatifolap/internal/cube"
+)
+
+// chainFixture builds a 2-layer chain over a small chunked base:
+//
+//	base:    (0,0)=1 (0,1)=2 (1,0)=3
+//	layer 1: (0,1)=20 (2,2)=99        — override + layer-only chunk cell
+//	layer 2: (1,0) deleted, (0,0)=10  — tombstone + newer override
+func chainFixture(t *testing.T) *Chain {
+	t.Helper()
+	g := MustGeometry([]int{4, 4}, []int{2, 2})
+	st := NewStore(g)
+	st.Set([]int{0, 0}, 1)
+	st.Set([]int{0, 1}, 2)
+	st.Set([]int{1, 0}, 3)
+	l1 := NewLayer(g)
+	l1.Set([]int{0, 1}, 20)
+	l1.Set([]int{2, 2}, 99)
+	l2 := NewLayer(g)
+	l2.Delete([]int{1, 0})
+	l2.Set([]int{0, 0}, 10)
+	return NewChain(st, []*Layer{l1, l2})
+}
+
+func TestScenarioChainResolution(t *testing.T) {
+	c := chainFixture(t)
+	cases := []struct {
+		addr []int
+		want float64 // NaN = absent
+	}{
+		{[]int{0, 0}, 10}, // newest layer wins over base
+		{[]int{0, 1}, 20}, // older layer wins over base
+		{[]int{1, 0}, math.NaN()}, // tombstoned
+		{[]int{2, 2}, 99}, // layer-only cell in a chunk the base never held
+		{[]int{3, 3}, math.NaN()}, // untouched empty cell
+	}
+	for _, tc := range cases {
+		got := c.Get(tc.addr)
+		if math.IsNaN(tc.want) != math.IsNaN(got) || (!math.IsNaN(tc.want) && got != tc.want) {
+			t.Errorf("Get(%v) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+	if !c.EngineCapable() {
+		t.Fatal("uniform chunk-backed chain should be engine capable")
+	}
+	if c.NumLayers() != 2 {
+		t.Fatalf("NumLayers = %d, want 2", c.NumLayers())
+	}
+	if c.CellsOverridden() != 4 {
+		t.Fatalf("CellsOverridden = %d, want 4", c.CellsOverridden())
+	}
+}
+
+func TestScenarioChainNonNullNewestWins(t *testing.T) {
+	c := chainFixture(t)
+	got := map[[2]int]float64{}
+	c.NonNull(func(addr []int, v float64) bool {
+		k := [2]int{addr[0], addr[1]}
+		if _, dup := got[k]; dup {
+			t.Fatalf("address %v emitted twice", addr)
+		}
+		got[k] = v
+		return true
+	})
+	want := map[[2]int]float64{
+		{0, 0}: 10, {0, 1}: 20, {2, 2}: 99,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NonNull emitted %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("cell %v = %v, want %v", k, got[k], v)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+// TestScenarioChainWiderLayer covers the hypothetical-member shape: a
+// layer on a wider geometry than the base. Cells above the base extent
+// resolve from the layer; the chain is not engine capable.
+func TestScenarioChainWiderLayer(t *testing.T) {
+	g := MustGeometry([]int{2, 2}, []int{2, 2})
+	st := NewStore(g)
+	st.Set([]int{1, 1}, 7)
+	wide := MustGeometry([]int{3, 2}, []int{2, 2})
+	l := NewLayer(wide)
+	l.Set([]int{2, 0}, 42) // ordinal above the base extent
+	c := NewChain(st, []*Layer{l})
+	if c.EngineCapable() {
+		t.Fatal("wider layer must disable the engine fast path")
+	}
+	if got := c.Get([]int{2, 0}); got != 42 {
+		t.Fatalf("Get above base extent = %v, want 42", got)
+	}
+	if got := c.Get([]int{1, 1}); got != 7 {
+		t.Fatalf("base cell through wider chain = %v, want 7", got)
+	}
+	if got := c.Get([]int{2, 1}); !math.IsNaN(got) {
+		t.Fatalf("untouched wide cell = %v, want NaN", got)
+	}
+}
+
+func TestScenarioChainForEachMerged(t *testing.T) {
+	c := chainFixture(t)
+	g := c.ChunkBase().Geometry()
+	resolved := map[[2]int]float64{}
+	ccoord := make([]int, 2)
+	addr := make([]int, 2)
+	// Union of base and layer chunks, resolved chunk by chunk, must
+	// reproduce exactly what NonNull reports.
+	ids := map[int]bool{}
+	for _, id := range c.ChunkBase().ChunkIDs() {
+		ids[id] = true
+	}
+	for _, id := range c.LayerChunkIDs() {
+		ids[id] = true
+	}
+	for id := range ids {
+		base, _ := c.ChunkBase().ReadChunkInfo(id)
+		g.CoordOf(id, ccoord)
+		c.ForEachMerged(id, base, func(off int, v float64) bool {
+			g.Join(ccoord, off, addr)
+			resolved[[2]int{addr[0], addr[1]}] = v
+			return true
+		})
+	}
+	want := map[[2]int]float64{}
+	c.NonNull(func(a []int, v float64) bool {
+		want[[2]int{a[0], a[1]}] = v
+		return true
+	})
+	if len(resolved) != len(want) {
+		t.Fatalf("merged iteration yielded %v, want %v", resolved, want)
+	}
+	for k, v := range want {
+		if resolved[k] != v {
+			t.Errorf("cell %v = %v, want %v", k, resolved[k], v)
+		}
+	}
+}
+
+func TestScenarioChainReadOnly(t *testing.T) {
+	c := chainFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set on a chain should panic")
+		}
+	}()
+	c.Set([]int{0, 0}, 1)
+}
+
+func TestScenarioChainClone(t *testing.T) {
+	c := chainFixture(t)
+	cl := c.Clone()
+	if cl.Len() != c.Len() {
+		t.Fatalf("clone Len = %d, want %d", cl.Len(), c.Len())
+	}
+	c.NonNull(func(addr []int, v float64) bool {
+		if got := cl.Get(addr); got != v {
+			t.Errorf("clone cell %v = %v, want %v", addr, got, v)
+		}
+		return true
+	})
+}
+
+// TestScenarioChainGetAllocs pins the acceptance criterion: layer-chain
+// read resolution adds zero steady-state allocations per resolved cell,
+// matching the overlay kernel standard.
+func TestScenarioChainGetAllocs(t *testing.T) {
+	c := chainFixture(t)
+	addrs := [][]int{{0, 0}, {0, 1}, {1, 0}, {2, 2}, {3, 3}}
+	var sink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, a := range addrs {
+			sink += c.Get(a)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Chain.Get allocates %.1f per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestScenarioChainMergedAllocs pins the engine-facing merged chunk
+// iteration at zero allocations per chunk once the callback is set up.
+func TestScenarioChainMergedAllocs(t *testing.T) {
+	c := chainFixture(t)
+	base, _ := c.ChunkBase().ReadChunkInfo(0)
+	var sink float64
+	fn := func(off int, v float64) bool { sink += v; return true }
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.ForEachMerged(0, base, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForEachMerged allocates %.1f per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestScenarioChainMemStoreBase(t *testing.T) {
+	ms := cube.NewMemStore(2)
+	ms.Set([]int{0, 0}, 5)
+	g := MustGeometry([]int{2, 2}, []int{2, 2})
+	l := NewLayer(g)
+	l.Set([]int{1, 1}, 6)
+	c := NewChain(ms, []*Layer{l})
+	if c.EngineCapable() {
+		t.Fatal("MemStore base must not be engine capable")
+	}
+	if got := c.Get([]int{0, 0}); got != 5 {
+		t.Fatalf("base cell = %v, want 5", got)
+	}
+	if got := c.Get([]int{1, 1}); got != 6 {
+		t.Fatalf("layer cell = %v, want 6", got)
+	}
+}

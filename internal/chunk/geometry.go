@@ -78,6 +78,23 @@ func (g *Geometry) NumChunks() int {
 // ChunkCap returns the number of cell slots per (full) chunk.
 func (g *Geometry) ChunkCap() int { return g.chunkCap }
 
+// Contains reports whether addr is a valid cell address under the
+// geometry: matching arity, every ordinal within its extent. Scenario
+// layer chains use it to route an address past layers (or a base) too
+// narrow to hold it, since Split/SplitID panic on out-of-range
+// ordinals. Allocation-free.
+func (g *Geometry) Contains(addr []int) bool {
+	if len(addr) != len(g.Extents) {
+		return false
+	}
+	for i, a := range addr {
+		if a < 0 || a >= g.Extents[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Split decomposes a cell address into chunk coordinates and the
 // in-chunk offset. The chunk coordinate and offset slices are written
 // into ccoord (which must have NumDims length); the offset is returned.

@@ -98,11 +98,12 @@ func (s *Store) Reads() int { return int(s.reads.Load()) }
 // ResetReads clears the read counter.
 func (s *Store) ResetReads() { s.reads.Store(0) }
 
-// Get implements cube.Store.
+// Get implements cube.Store. Uses the fused SplitID so a point read
+// allocates nothing — scenario layer chains fall through here once per
+// unoverridden cell.
 func (s *Store) Get(addr []int) float64 {
-	ccoord := make([]int, s.geom.NumDims())
-	off := s.geom.Split(addr, ccoord)
-	c := s.chunkAt(s.geom.CanonicalID(ccoord))
+	id, off := s.geom.SplitID(addr)
+	c := s.chunkAt(id)
 	if c == nil {
 		return math.NaN()
 	}

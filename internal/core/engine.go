@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"whatifolap/internal/algebra"
 	"whatifolap/internal/chunk"
@@ -64,6 +65,12 @@ func (o ReadOrder) String() string {
 type Engine struct {
 	base    *cube.Cube
 	store   *chunk.Store
+	// chain is non-nil when the cube reads through a scenario layer
+	// chain (chunk.Chain): the scan resolves each chunk's cells through
+	// the chain instead of the raw store, and the assembled view falls
+	// back to the chain for out-of-scope rows, so scenario edits are
+	// visible to engine-path queries without copying anything.
+	chain   *chunk.Chain
 	binding *dimension.Binding
 	vi, pi  int
 	order   ReadOrder
@@ -73,11 +80,22 @@ type Engine struct {
 	ctx context.Context
 }
 
-// New creates an engine over a cube whose store is a *chunk.Store and
+// New creates an engine over a cube whose store is a *chunk.Store —
+// directly, or through an engine-capable scenario layer chain — and
 // whose named varying dimension has a binding.
 func New(base *cube.Cube, varyingName string) (*Engine, error) {
-	st, ok := base.Store().(*chunk.Store)
-	if !ok {
+	var st *chunk.Store
+	var chain *chunk.Chain
+	switch s := base.Store().(type) {
+	case *chunk.Store:
+		st = s
+	case *chunk.Chain:
+		if !s.EngineCapable() {
+			return nil, fmt.Errorf("core: engine requires a uniform chunk-backed layer chain (wider scenario layers evaluate through the general path)")
+		}
+		chain = s
+		st = s.ChunkBase()
+	default:
 		return nil, fmt.Errorf("core: engine requires a chunk-backed cube, got %T", base.Store())
 	}
 	b := base.BindingFor(varyingName)
@@ -89,7 +107,40 @@ func New(base *cube.Cube, varyingName string) (*Engine, error) {
 	if vi < 0 || pi < 0 {
 		return nil, fmt.Errorf("core: binding dimensions not in cube schema")
 	}
-	return &Engine{base: base, store: st, binding: b, vi: vi, pi: pi}, nil
+	return &Engine{base: base, store: st, chain: chain, binding: b, vi: vi, pi: pi}, nil
+}
+
+// readStore returns the store out-of-scope view reads resolve against:
+// the layer chain when the engine runs over a scenario, else the raw
+// chunk store.
+func (e *Engine) readStore() cube.Store {
+	if e.chain != nil {
+		return e.chain
+	}
+	return e.store
+}
+
+// sourceChunkIDs returns the chunk IDs the planner must consider: the
+// base store's materialized chunks, unioned with chunks only the
+// scenario layer chain holds (edited cells may land in chunks the base
+// never materialized).
+func (e *Engine) sourceChunkIDs() []int {
+	ids := e.store.ChunkIDs()
+	if e.chain == nil {
+		return ids
+	}
+	seen := make(map[int]bool, len(ids))
+	out := append([]int(nil), ids...)
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for _, id := range e.chain.LayerChunkIDs() {
+		if !seen[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // SetReadOrder selects the chunk read-order policy (default pebbling).
@@ -497,7 +548,7 @@ func (e *Engine) SimulateMultiMDXWith(ec ExecContext, members []string, perspect
 	// Reuse the last view's scope (identical across the runs) with the
 	// merged overlay.
 	last := combined.result.Store().(*viewStore)
-	vs := &viewStore{base: e.store, overlay: merged, vi: e.vi, scoped: last.scoped}
+	vs := &viewStore{base: e.readStore(), overlay: merged, vi: e.vi, scoped: last.scoped}
 	result := cube.NewWithStore(vs, e.base.Dims()...)
 	for _, b := range e.base.Bindings() {
 		if err := result.AddBinding(b); err != nil {

@@ -153,10 +153,12 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 	stats.DiskCostMs += scanT.diskCostMs
 	stats.SpillFaults += scanT.spillFaults
 
-	// Assemble the view cube.
+	// Assemble the view cube. Out-of-scope rows read from the layer
+	// chain when the engine runs over a scenario, so unrelocated cells
+	// reflect scenario edits too.
 	assembleSp := tr.Start(parent, "assemble")
 	defer assembleSp.End()
-	vs := &viewStore{base: e.store, overlay: overlay, vi: e.vi, scoped: p.Scoped}
+	vs := &viewStore{base: e.readStore(), overlay: overlay, vi: e.vi, scoped: p.Scoped}
 	var result *cube.Cube
 	if newDims == nil {
 		result = cube.NewWithStore(vs, e.base.Dims()...)
@@ -299,11 +301,11 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 		if pins != nil {
 			pins.scanned(id)
 		}
-		if ch == nil {
+		if ch == nil && e.chain == nil {
 			continue
 		}
 		g.CoordOf(id, ccoord)
-		ch.ForEach(func(off int, v float64) bool {
+		relocate := func(off int, v float64) bool {
 			g.Join(ccoord, off, addr)
 			row := p.Target[addr[e.vi]]
 			if row == nil {
@@ -318,7 +320,17 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 			overlay.Set(out, v)
 			tally.cellsRelocated++
 			return true
-		})
+		}
+		if e.chain != nil {
+			// Scenario scan: resolve the chunk's cells through the layer
+			// chain (newest layer wins, tombstones skip) — including
+			// layer-only cells in chunks the base never materialized
+			// (ch == nil), which the planner scheduled via the chain's
+			// chunk-ID union.
+			e.chain.ForEachMerged(id, ch, relocate)
+			continue
+		}
+		ch.ForEach(relocate)
 	}
 	tally.promotions = overlay.Promotions() - promBefore
 	return tally, nil

@@ -162,7 +162,7 @@ func (e *Engine) buildPlan(target map[int][]int, scoped []bool) (*PhysicalPlan, 
 	graph := pebble.NewGraph()
 	var relevant []int
 	ccoord := make([]int, g.NumDims())
-	for _, id := range e.store.ChunkIDs() {
+	for _, id := range e.sourceChunkIDs() {
 		g.CoordOf(id, ccoord)
 		if !srcVCs[ccoord[e.vi]] {
 			continue

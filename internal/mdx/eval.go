@@ -80,6 +80,31 @@ type Evaluator struct {
 // NewEvaluator creates an evaluator bound to a cube.
 func NewEvaluator(c *cube.Cube) *Evaluator { return &Evaluator{cube: c} }
 
+// engineStore reports whether the store can back the perspective-cube
+// engine: chunked storage, directly or through an engine-capable
+// scenario layer chain (a chain carrying wider layers — hypothetical
+// new members — evaluates through the algebra path instead).
+func engineStore(s cube.Store) bool {
+	switch st := s.(type) {
+	case *chunk.Store:
+		return true
+	case *chunk.Chain:
+		return st.EngineCapable()
+	}
+	return false
+}
+
+// EvaluateScenario is the scenario-scoped evaluation entry point used
+// by the server's /scenarios/{id}/query path: it evaluates a parsed
+// query against a scenario's layered view cube (base chunks resolved
+// through the scenario's overlay layers). The view cube decides the
+// execution path exactly like a base cube — engine when its chain is
+// uniform and chunk-backed, algebra otherwise — so scenario queries
+// inherit parallel scan, tracing and statistics unchanged.
+func EvaluateScenario(rc RunContext, view *cube.Cube, q *Query) (*result.Grid, core.Stats, error) {
+	return NewEvaluator(view).RunQueryStatsWith(rc, q)
+}
+
 // WithContext returns a copy of the evaluator whose queries observe the
 // context.
 //
@@ -193,7 +218,7 @@ func (ev *Evaluator) ExplainAnalyze(rc RunContext, q *Query) (string, *result.Gr
 // pure), but no chunks are read and nothing is executed.
 func (ev *Evaluator) Explain(q *Query) (string, error) {
 	var b strings.Builder
-	_, chunked := ev.cube.Store().(*chunk.Store)
+	chunked := engineStore(ev.cube.Store())
 	engineChanges := chunked && q.Changes != nil && len(q.Perspectives) == 0 && len(q.Transfers) == 0
 	enginePersp := chunked && len(q.Perspectives) == 1 && q.Changes == nil && len(q.Transfers) == 0
 	switch {
@@ -269,7 +294,7 @@ func (ev *Evaluator) Explain(q *Query) (string, error) {
 func (ev *Evaluator) applyScenarios(rc RunContext, q *Query) (*cube.Cube, perspective.Mode, core.Stats, error) {
 	mode := perspective.NonVisual
 	var stats core.Stats
-	_, chunked := ev.cube.Store().(*chunk.Store)
+	chunked := engineStore(ev.cube.Store())
 
 	// Engine fast paths.
 	if chunked && q.Changes != nil && len(q.Perspectives) == 0 && len(q.Transfers) == 0 {

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"whatifolap/internal/cube"
+)
+
+// Manager owns the server's scenario workspaces: id allocation,
+// lookup, forking and discard. Scenarios are in-memory objects pinned
+// to immutable base cube snapshots; restarting the server discards
+// them (committing publishes a scenario's state as a durable catalog
+// version first).
+type Manager struct {
+	mu   sync.Mutex
+	seq  int
+	byID map[string]*Scenario
+}
+
+// NewManager creates an empty scenario manager.
+func NewManager() *Manager {
+	return &Manager{byID: make(map[string]*Scenario)}
+}
+
+// Create registers a new scenario over the given base cube snapshot
+// (cubeName/baseVersion identify it in the catalog) and returns it.
+func (m *Manager) Create(name, cubeName string, baseVersion int64, base *cube.Cube) (*Scenario, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	id := "s" + strconv.Itoa(m.seq)
+	if name == "" {
+		name = id
+	}
+	s, err := newScenario(id, name, cubeName, baseVersion, base)
+	if err != nil {
+		m.seq--
+		return nil, err
+	}
+	m.byID[id] = s
+	return s, nil
+}
+
+// Get returns the scenario with the given id.
+func (m *Manager) Get(id string) (*Scenario, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.byID[id]
+	return s, ok
+}
+
+// List returns summaries of all scenarios, ordered by id.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	scenarios := make([]*Scenario, 0, len(m.byID))
+	for _, s := range m.byID {
+		scenarios = append(scenarios, s)
+	}
+	m.mu.Unlock()
+	out := make([]Info, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, s.Info())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric id order: s2 before s10.
+		ni, _ := strconv.Atoi(out[i].ID[1:])
+		nj, _ := strconv.Atoi(out[j].ID[1:])
+		return ni < nj
+	})
+	return out
+}
+
+// Delete discards the scenario. Its sealed layers stay alive for forks
+// that share them.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.byID[id]
+	delete(m.byID, id)
+	return ok
+}
+
+// Fork creates a child scenario sharing the parent's sealed layer
+// chain and dimension set — O(layers), independent of how many cells
+// the layers hold. The child starts at revision 0; its first edit
+// appends a private layer (and, for structural edits, clones the
+// dimensions), so parent and child diverge without ever copying shared
+// state.
+func (m *Manager) Fork(parentID, name string) (*Scenario, error) {
+	m.mu.Lock()
+	parent, ok := m.byID[parentID]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("scenario: no scenario %q", parentID)
+	}
+	m.seq++
+	id := "s" + strconv.Itoa(m.seq)
+	if name == "" {
+		name = parent.name + "-fork"
+	}
+	m.mu.Unlock()
+
+	parent.mu.Lock()
+	child := &Scenario{
+		id:          id,
+		name:        name,
+		cubeName:    parent.cubeName,
+		baseVersion: parent.baseVersion,
+		base:        parent.base,
+		parentID:    parent.id,
+		layers:      parent.layers, // sealed + copy-on-append: safe to share
+		dims:        parent.dims,
+		bindings:    parent.bindings,
+		geom:        parent.geom,
+		newMembers:  parent.newMembers,
+	}
+	parent.mu.Unlock()
+
+	m.mu.Lock()
+	m.byID[id] = child
+	m.mu.Unlock()
+	return child, nil
+}

@@ -1,0 +1,608 @@
+package scenario_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/mdx"
+	"whatifolap/internal/scenario"
+	"whatifolap/internal/workload"
+)
+
+// allSemantics spans the paper's five perspective semantics as MDX
+// clauses; allModes the two measure modes.
+var allSemantics = []string{
+	"STATIC",
+	"DYNAMIC FORWARD",
+	"DYNAMIC BACKWARD",
+	"EXTENDED FORWARD",
+	"EXTENDED BACKWARD",
+}
+
+var allModes = []string{"VISUAL", "NONVISUAL"}
+
+func newWorkforce(t testing.TB) *workload.Workforce {
+	t.Helper()
+	w, err := workload.NewWorkforce(workload.ConfigTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// perspectiveQuery builds one perspective query over the workforce's
+// first changing employee (qualified by its January department path,
+// since the bare name is ambiguous across instances).
+func perspectiveQuery(t testing.TB, w *workload.Workforce, sem, mode string) string {
+	t.Helper()
+	dept := w.Cube.DimByName(workload.DimDepartment)
+	b := w.Cube.BindingFor(workload.DimDepartment)
+	inst := dept.Path(b.InstanceAt(w.Changing[0], 0))
+	return fmt.Sprintf(`
+WITH PERSPECTIVE {(Jan), (Apr), (Jul), (Oct)} FOR Department %s %s
+SELECT {[Account].Levels(0).Members} ON COLUMNS,
+       {CrossJoin({[%s]}, {Descendants([Period], 1, SELF_AND_AFTER)})} ON ROWS
+FROM [App].[Db]
+WHERE ([Scenario].[Current], [Currency].[Local], [Version].[BU Version_1], [ValueType].[HSP_InputValue])`,
+		sem, mode, inst)
+}
+
+// queryScenario evaluates a query against the scenario's layered view.
+func queryScenario(t testing.TB, s *scenario.Scenario, query string, workers int) string {
+	t.Helper()
+	g, _, err := evalScenario(s, query, workers)
+	if err != nil {
+		t.Fatalf("scenario %s: %v", s.ID(), err)
+	}
+	return g
+}
+
+func evalScenario(s *scenario.Scenario, query string, workers int) (string, int, error) {
+	view, _, err := s.View()
+	if err != nil {
+		return "", 0, err
+	}
+	q, err := mdx.Parse(query)
+	if err != nil {
+		return "", 0, err
+	}
+	rc := mdx.RunContext{Ctx: context.Background(), Workers: workers}
+	g, stats, err := mdx.EvaluateScenario(rc, view, q)
+	if err != nil {
+		return "", 0, err
+	}
+	return g.CSV(), stats.ScanWorkers, nil
+}
+
+// leafAddr resolves member refs (dimension name → ref) to a leaf
+// address under the cube's dimensions, defaulting omitted dimensions
+// to ordinal 0 — the same convention scenario cell edits use.
+func leafAddr(t testing.TB, c *cube.Cube, cell map[string]string) []int {
+	t.Helper()
+	dims := c.Dims()
+	addr := make([]int, len(dims))
+	for name, ref := range cell {
+		found := false
+		for i, d := range dims {
+			if d.Name() != name {
+				continue
+			}
+			id, err := d.Lookup(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr[i] = d.Member(id).LeafOrdinal
+			found = true
+		}
+		if !found {
+			t.Fatalf("no dimension %q", name)
+		}
+	}
+	return addr
+}
+
+// TestScenarioForkBitIdenticalUntilDivergence is the fork property
+// test: a forked scenario's query results are bit-identical to its
+// parent's across all 5 semantics × 2 modes until the fork's first
+// divergent edit, diff(A, A) is always empty, and the parent's results
+// never move when the fork edits.
+func TestScenarioForkBitIdenticalUntilDivergence(t *testing.T) {
+	w := newWorkforce(t)
+	m := scenario.NewManager()
+	parent, err := m.Create("plan-a", "wf", 1, w.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the parent with a few random cell edits so forks inherit a
+	// non-trivial layer chain.
+	r := rand.New(rand.NewSource(7))
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	randomCell := func() map[string]string {
+		// Employees 10.. are non-changing, so bare names are unique.
+		return map[string]string{
+			workload.DimDepartment: fmt.Sprintf("Emp%05d", 10+r.Intn(50)),
+			workload.DimPeriod:     months[r.Intn(len(months))],
+			workload.DimAccount:    fmt.Sprintf("Acct%03d", r.Intn(4)),
+		}
+	}
+	var seed []scenario.Edit
+	for i := 0; i < 8; i++ {
+		seed = append(seed, scenario.Edit{Op: scenario.OpSet, Cell: randomCell(), Value: float64(1000 + r.Intn(9000))})
+	}
+	seed = append(seed, scenario.Edit{Op: scenario.OpDelete, Cell: randomCell()})
+	if _, err := parent.Apply(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	fork, err := m.Fork(parent.ID(), "plan-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type combo struct{ sem, mode string }
+	parentGrids := map[combo]string{}
+	for _, sem := range allSemantics {
+		for _, mode := range allModes {
+			q := perspectiveQuery(t, w, sem, mode)
+			pg := queryScenario(t, parent, q, 2)
+			fg := queryScenario(t, fork, q, 2)
+			if pg != fg {
+				t.Fatalf("%s %s: fork diverged from parent before any fork edit\nparent:\n%s\nfork:\n%s", sem, mode, pg, fg)
+			}
+			parentGrids[combo{sem, mode}] = pg
+		}
+	}
+
+	for _, pair := range [][2]*scenario.Scenario{{parent, parent}, {fork, fork}, {parent, fork}} {
+		d, err := scenario.Diff(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d) != 0 {
+			t.Fatalf("diff(%s, %s) = %d cells, want empty", pair[0].ID(), pair[1].ID(), len(d))
+		}
+	}
+
+	// First divergent edit: bump a cell the queries cover (the changing
+	// employee's January salary under its January instance).
+	dept := w.Cube.DimByName(workload.DimDepartment)
+	b := w.Cube.BindingFor(workload.DimDepartment)
+	inst := dept.Path(b.InstanceAt(w.Changing[0], 0))
+	divergent := map[string]string{
+		workload.DimDepartment: inst,
+		workload.DimPeriod:     "Jan",
+		workload.DimAccount:    "Acct000",
+	}
+	if _, err := fork.Apply([]scenario.Edit{{Op: scenario.OpSet, Cell: divergent, Value: 123456}}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := scenario.Diff(parent, fork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 {
+		t.Fatalf("diff after one divergent edit = %v, want exactly 1 cell", d)
+	}
+	if d[0].B == nil || *d[0].B != 123456 {
+		t.Fatalf("diff B side = %v, want 123456", d[0].B)
+	}
+	wantAddr := leafAddr(t, w.Cube, divergent)
+	base := w.Cube.Store().Get(wantAddr)
+	if d[0].A == nil || *d[0].A != base {
+		t.Fatalf("diff A side = %v, want base value %v", d[0].A, base)
+	}
+
+	diverged := false
+	for _, sem := range allSemantics {
+		for _, mode := range allModes {
+			q := perspectiveQuery(t, w, sem, mode)
+			if got := queryScenario(t, parent, q, 2); got != parentGrids[combo{sem, mode}] {
+				t.Fatalf("%s %s: parent results moved after fork edit", sem, mode)
+			}
+			if queryScenario(t, fork, q, 2) != parentGrids[combo{sem, mode}] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("no query combo observed the divergent edit")
+	}
+}
+
+// TestScenarioDiffExactCells pins diff output to exactly the edited
+// cells, with base values on the unedited side and nil for deletes.
+func TestScenarioDiffExactCells(t *testing.T) {
+	w := newWorkforce(t)
+	m := scenario.NewManager()
+	parent, err := m.Create("base", "wf", 1, w.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := m.Fork(parent.ID(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set1 := map[string]string{workload.DimDepartment: "Emp00020", workload.DimPeriod: "Mar", workload.DimAccount: "Acct001"}
+	set2 := map[string]string{workload.DimDepartment: "Emp00021", workload.DimPeriod: "Jul", workload.DimAccount: "Acct002"}
+	del := map[string]string{workload.DimDepartment: "Emp00022", workload.DimPeriod: "Nov", workload.DimAccount: "Acct003"}
+	if _, err := fork.Apply([]scenario.Edit{
+		{Op: scenario.OpSet, Cell: set1, Value: 111},
+		{Op: scenario.OpSet, Cell: set2, Value: 222},
+		{Op: scenario.OpDelete, Cell: del},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := scenario.Diff(parent, fork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 3 {
+		t.Fatalf("diff = %d cells, want 3: %v", len(d), d)
+	}
+	byCell := map[string]scenario.CellDiff{}
+	for _, cd := range d {
+		byCell[strings.Join(cd.Cell, "|")] = cd
+	}
+	check := func(cell map[string]string, wantB *float64) {
+		t.Helper()
+		addr := leafAddr(t, w.Cube, cell)
+		dims := w.Cube.Dims()
+		paths := make([]string, len(addr))
+		for i, o := range addr {
+			paths[i] = dims[i].Path(dims[i].Leaves()[o])
+		}
+		cd, ok := byCell[strings.Join(paths, "|")]
+		if !ok {
+			t.Fatalf("cell %v missing from diff %v", paths, d)
+		}
+		base := w.Cube.Store().Get(addr)
+		if cd.A == nil || *cd.A != base {
+			t.Fatalf("cell %v: A = %v, want base %v", paths, cd.A, base)
+		}
+		if wantB == nil {
+			if cd.B != nil {
+				t.Fatalf("cell %v: B = %v, want deleted (nil)", paths, *cd.B)
+			}
+		} else if cd.B == nil || *cd.B != *wantB {
+			t.Fatalf("cell %v: B = %v, want %v", paths, cd.B, *wantB)
+		}
+	}
+	v1, v2 := 111.0, 222.0
+	check(set1, &v1)
+	check(set2, &v2)
+	check(del, nil)
+
+	// Reverse orientation swaps sides.
+	rd, err := scenario.Diff(fork, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd) != 3 {
+		t.Fatalf("reverse diff = %d cells, want 3", len(rd))
+	}
+	for _, cd := range rd {
+		if cd.B == nil {
+			t.Fatalf("reverse diff: parent side absent for %v", cd.Cell)
+		}
+	}
+}
+
+// TestScenarioHypotheticalMemberRollup introduces a hypothetical new
+// account under AllAccounts, writes a cell under it, and checks the
+// parent rollup includes it — while the base cube's dimension is
+// untouched.
+func TestScenarioHypotheticalMemberRollup(t *testing.T) {
+	w := newWorkforce(t)
+	baseLeaves := w.Cube.DimByName(workload.DimAccount).NumLeaves()
+	m := scenario.NewManager()
+	s, err := m.Create("bonus-plan", "wf", 1, w.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query := `
+SELECT {[Account].[AllAccounts]} ON COLUMNS,
+       {[Emp00010]} ON ROWS
+FROM [App].[Db]
+WHERE ([Period].[Jan], [Scenario].[Current], [Currency].[Local], [Version].[BU Version_1], [ValueType].[HSP_InputValue])`
+	before := queryScenario(t, s, query, 1)
+
+	if _, err := s.Apply([]scenario.Edit{
+		{Op: scenario.OpNewMember, Dim: workload.DimAccount, Parent: "AllAccounts", Name: "Bonus"},
+		{Op: scenario.OpSet, Cell: map[string]string{
+			workload.DimDepartment: "Emp00010",
+			workload.DimPeriod:     "Jan",
+			workload.DimAccount:    "Bonus",
+		}, Value: 500},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	after := queryScenario(t, s, query, 1)
+	wantDelta := 500.0
+	db, da := singleCell(t, before), singleCell(t, after)
+	if math.Abs(da-db-wantDelta) > 1e-6 {
+		t.Fatalf("AllAccounts rollup: before %v, after %v, want delta %v", db, da, wantDelta)
+	}
+
+	// The base cube never sees the hypothetical member.
+	if got := w.Cube.DimByName(workload.DimAccount).NumLeaves(); got != baseLeaves {
+		t.Fatalf("base Account leaves = %d, want %d (scenario edit leaked)", got, baseLeaves)
+	}
+	info := s.Info()
+	if info.NewMembers != 1 {
+		t.Fatalf("NewMembers = %d, want 1", info.NewMembers)
+	}
+
+	// A materialized (commit-shape) cube answers identically.
+	mat, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := mdx.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := mdx.NewEvaluator(mat).RunQueryStatsWith(mdx.RunContext{Ctx: context.Background()}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CSV() != after {
+		t.Fatalf("materialized cube answers differently:\nview:\n%s\nmaterialized:\n%s", after, g.CSV())
+	}
+}
+
+// singleCell extracts the sole data value from a 1×1 CSV grid.
+func singleCell(t testing.TB, csv string) float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	last := lines[len(lines)-1]
+	cols := strings.Split(last, ",")
+	var v float64
+	if _, err := fmt.Sscanf(cols[len(cols)-1], "%g", &v); err != nil {
+		t.Fatalf("cannot parse cell from %q: %v", csv, err)
+	}
+	return v
+}
+
+// TestScenarioValidityEdit re-windows a hypothetical employee: the
+// member is introduced under a department, claims Jul–Dec, and its
+// cells only roll up into months inside the window's instance — the
+// base binding is untouched.
+func TestScenarioValidityEdit(t *testing.T) {
+	w := newWorkforce(t)
+	m := scenario.NewManager()
+	s, err := m.Create("new-hire", "wf", 1, w.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply([]scenario.Edit{
+		{Op: scenario.OpNewMember, Dim: workload.DimDepartment, Parent: "Dept00", Name: "EmpHypo"},
+		{Op: scenario.OpValidity, Dim: workload.DimDepartment, Member: "EmpHypo", From: "Jul", To: "Dec"},
+		{Op: scenario.OpSet, Cell: map[string]string{
+			workload.DimDepartment: "EmpHypo",
+			workload.DimPeriod:     "Aug",
+			workload.DimAccount:    "Acct000",
+		}, Value: 7000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	view, _, err := s.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := view.DimByName(workload.DimDepartment)
+	id, err := vd.Lookup("Dept00/EmpHypo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := view.BindingFor(workload.DimDepartment)
+	vs := vb.ValiditySet(id)
+	for month, want := range map[int]bool{0: false, 5: false, 6: true, 11: true} {
+		if vs.Contains(month) != want {
+			t.Fatalf("validity(EmpHypo, month %d) = %v, want %v", month, vs.Contains(month), want)
+		}
+	}
+
+	// Base binding has no such instance.
+	if _, err := w.Cube.DimByName(workload.DimDepartment).Lookup("Dept00/EmpHypo"); err == nil {
+		t.Fatal("hypothetical member leaked into the base dimension")
+	}
+
+	// All 5 × 2 perspective combos still evaluate over the widened view.
+	for _, sem := range allSemantics {
+		for _, mode := range allModes {
+			q := perspectiveQuery(t, w, sem, mode)
+			if _, _, err := evalScenario(s, q, 2); err != nil {
+				t.Fatalf("%s %s: %v", sem, mode, err)
+			}
+		}
+	}
+}
+
+// TestScenarioSerialParallelEquivalence checks that scenario-scoped
+// engine queries produce byte-identical grids serial vs parallel, and
+// that the parallel run actually fanned out.
+func TestScenarioSerialParallelEquivalence(t *testing.T) {
+	w := newWorkforce(t)
+	m := scenario.NewManager()
+	s, err := m.Create("par", "wf", 1, w.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply([]scenario.Edit{
+		{Op: scenario.OpSet, Cell: map[string]string{workload.DimDepartment: "Emp00030", workload.DimPeriod: "May", workload.DimAccount: "Acct000"}, Value: 42},
+		{Op: scenario.OpDelete, Cell: map[string]string{workload.DimDepartment: "Emp00031", workload.DimPeriod: "Sep", workload.DimAccount: "Acct001"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range allSemantics {
+		q := perspectiveQuery(t, w, sem, "VISUAL")
+		serial, sw, err := evalScenario(s, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sw != 1 {
+			t.Fatalf("%s: serial ScanWorkers = %d, want 1", sem, sw)
+		}
+		par, pw, err := evalScenario(s, q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != serial {
+			t.Fatalf("%s: parallel grid differs from serial\nserial:\n%s\nparallel:\n%s", sem, serial, par)
+		}
+		if pw < 2 {
+			t.Fatalf("%s: parallel ScanWorkers = %d, want ≥ 2 (engine path not taken?)", sem, pw)
+		}
+	}
+}
+
+// TestScenarioApplyAtomic checks that a batch failing halfway leaves
+// the scenario untouched: no revision bump, no layers, no dims.
+func TestScenarioApplyAtomic(t *testing.T) {
+	w := newWorkforce(t)
+	s, err := scenario.NewLocal("atomic", w.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `
+SELECT {[Account].[AllAccounts]} ON COLUMNS, {[Emp00010]} ON ROWS
+FROM [App].[Db]
+WHERE ([Period].[Jan], [Scenario].[Current], [Currency].[Local], [Version].[BU Version_1], [ValueType].[HSP_InputValue])`
+	before := queryScenario(t, s, q, 1)
+
+	bad := [][]scenario.Edit{
+		nil,              // empty batch
+		{{Op: "rename"}}, // unknown op
+		{
+			{Op: scenario.OpNewMember, Dim: workload.DimAccount, Parent: "AllAccounts", Name: "Bonus"},
+			{Op: scenario.OpSet, Cell: map[string]string{workload.DimAccount: "NoSuchAccount"}, Value: 1},
+		}, // structural edit then failing cell edit
+		{{Op: scenario.OpNewMember, Dim: workload.DimDepartment, Parent: "Dept00/Emp00000", Name: "X"}},  // leaf parent
+		{{Op: scenario.OpValidity, Dim: workload.DimAccount, Member: "Acct000", From: "Jan", To: "Feb"}}, // no varying binding
+	}
+	for i, batch := range bad {
+		if _, err := s.Apply(batch); err == nil {
+			t.Fatalf("bad batch %d applied without error", i)
+		}
+	}
+	if rev := s.Revision(); rev != 0 {
+		t.Fatalf("revision after failed batches = %d, want 0", rev)
+	}
+	if info := s.Info(); info.Layers != 0 || info.NewMembers != 0 {
+		t.Fatalf("failed batches left state behind: %+v", info)
+	}
+	if after := queryScenario(t, s, q, 1); after != before {
+		t.Fatal("failed batches changed query results")
+	}
+	// The aborted new_member try must not block a clean retry.
+	if _, err := s.Apply([]scenario.Edit{
+		{Op: scenario.OpNewMember, Dim: workload.DimAccount, Parent: "AllAccounts", Name: "Bonus"},
+	}); err != nil {
+		t.Fatalf("retry after aborted batch: %v", err)
+	}
+}
+
+// TestScenarioConcurrentForkEditQuery races editors, forkers, queriers
+// and differs over one scenario tree. Run under -race this is the
+// subsystem's thread-safety proof: snapshots handed to queries must
+// never observe a torn layer slice or dimension set.
+func TestScenarioConcurrentForkEditQuery(t *testing.T) {
+	w := newWorkforce(t)
+	m := scenario.NewManager()
+	parent, err := m.Create("root", "wf", 1, w.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := perspectiveQuery(t, w, "DYNAMIC FORWARD", "VISUAL")
+
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(4)
+		// Editor: keeps appending cell and structural edits to the parent.
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, err := parent.Apply([]scenario.Edit{
+					{Op: scenario.OpNewMember, Dim: workload.DimAccount, Parent: "AllAccounts", Name: fmt.Sprintf("Acct-g%d-i%d", g, i)},
+					{Op: scenario.OpSet, Cell: map[string]string{
+						workload.DimDepartment: fmt.Sprintf("Emp%05d", 10+g),
+						workload.DimPeriod:     "Jun",
+						workload.DimAccount:    "Acct000",
+					}, Value: float64(g*100 + i)},
+				})
+				if err != nil {
+					errs <- fmt.Errorf("editor %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+		// Forker: forks the parent and edits the fork.
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f, err := m.Fork(parent.ID(), "")
+				if err != nil {
+					errs <- fmt.Errorf("forker %d: %w", g, err)
+					return
+				}
+				if _, err := f.Apply([]scenario.Edit{{Op: scenario.OpSet, Cell: map[string]string{
+					workload.DimDepartment: fmt.Sprintf("Emp%05d", 20+g),
+					workload.DimPeriod:     "Oct",
+					workload.DimAccount:    "Acct001",
+				}, Value: float64(i)}}); err != nil {
+					errs <- fmt.Errorf("forker %d edit: %w", g, err)
+					return
+				}
+				if _, err := scenario.Diff(parent, f); err != nil {
+					errs <- fmt.Errorf("forker %d diff: %w", g, err)
+					return
+				}
+			}
+		}(g)
+		// Querier: evaluates the parent's live view.
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, _, err := evalScenario(parent, query, 2); err != nil {
+					errs <- fmt.Errorf("querier %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+		// Lister: walks manager state.
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, info := range m.List() {
+					if info.ID == "" {
+						errs <- fmt.Errorf("lister %d: empty id", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if rev := parent.Revision(); rev != 4*iters {
+		t.Fatalf("parent revision = %d, want %d", rev, 4*iters)
+	}
+}

@@ -15,6 +15,12 @@ type cacheKey struct {
 	// Query is the normalized source (mdx.Normalize), so formatting and
 	// keyword-case variants of one query share an entry.
 	Query string
+	// Scenario and ScenarioRev scope scenario-path queries: the revision
+	// bumps on every edit batch, so an edited scenario can never serve a
+	// stale body even before InvalidateScenario reclaims the old entries.
+	// Both are zero for plain cube queries.
+	Scenario    string
+	ScenarioRev int64
 }
 
 // entryOverhead approximates the bookkeeping bytes per cache entry
@@ -116,6 +122,28 @@ func (c *resultCache) InvalidateCube(cube string) int {
 		next := el.Next()
 		e := el.Value.(*cacheEntry)
 		if e.key.Cube == cube {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.cost()
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// InvalidateScenario drops every entry for the scenario id, returning
+// the number removed. Called on scenario edit, commit and discard:
+// revision-keyed entries are already unreachable after an edit, so this
+// is byte reclamation, not correctness.
+func (c *resultCache) InvalidateScenario(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.Scenario == id {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
 			c.bytes -= e.cost()

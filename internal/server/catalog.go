@@ -145,6 +145,44 @@ func (c *Catalog) Update(name string, mutate func(*cube.Cube) (*cube.Cube, error
 	return nv.version, nil
 }
 
+// ErrVersionConflict reports a Publish whose expected base version no
+// longer matches the published one — the cube moved underneath the
+// scenario since it was created.
+var ErrVersionConflict = fmt.Errorf("server: cube version conflict")
+
+// Publish installs a pre-built cube as the next version of the named
+// entry — the scenario commit path, where the cube to publish is a
+// materialized scenario rather than a mutation of the current version.
+// When want is non-zero the publish is optimistic: it fails with
+// ErrVersionConflict unless the current version still equals want, so
+// a scenario pinned to a stale base cannot silently overwrite catalog
+// updates that landed after it forked off.
+func (c *Catalog) Publish(name string, want int64, next *cube.Cube) (int64, error) {
+	if next == nil {
+		return 0, fmt.Errorf("server: publish of %q with no cube", name)
+	}
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("server: unknown cube %q", name)
+	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+
+	c.mu.RLock()
+	base := e.cur
+	c.mu.RUnlock()
+	if want != 0 && base.version != want {
+		return 0, fmt.Errorf("%w: %q is at version %d, scenario base is %d", ErrVersionConflict, name, base.version, want)
+	}
+	nv := &cubeVersion{version: base.version + 1, cube: next}
+	c.mu.Lock()
+	e.cur = nv
+	c.mu.Unlock()
+	return nv.version, nil
+}
+
 // CubeInfo describes one catalog entry for /cubes.
 type CubeInfo struct {
 	Name       string   `json:"name"`

@@ -139,10 +139,29 @@ type Metrics struct {
 
 	mu    sync.Mutex
 	bySem map[string]int64
+	// byScenario attributes scenario-path queries: count and cumulative
+	// latency per scenario id. A counter pair, not a labeled histogram —
+	// scenario ids are unbounded, so per-id buckets would blow up the
+	// exposition cardinality.
+	byScenario map[string]*scenarioStat
 
 	// queueDepth and cacheBytes are sampled at snapshot time.
 	queueDepth func() int
 	cacheBytes func() int
+}
+
+// scenarioStat accumulates one scenario's query attribution.
+type scenarioStat struct {
+	count     int64
+	latencyUs int64
+}
+
+// ScenarioSnapshot reports one scenario's served queries and mean
+// latency at snapshot time.
+type ScenarioSnapshot struct {
+	Queries       int64   `json:"queries"`
+	LatencySumMs  float64 `json:"latency_sum_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
 }
 
 // NewMetrics creates an empty metrics set.
@@ -150,6 +169,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		start:        time.Now(),
 		bySem:        make(map[string]int64),
+		byScenario:   make(map[string]*scenarioStat),
 		latency:      newHistogram(latencyBucketsMs),
 		chunksRead:   newHistogram(chunksReadBuckets),
 		groupSpanMs:  newHistogram(spanBucketsMs),
@@ -203,6 +223,20 @@ func (m *Metrics) CountSemantics(sem string) {
 	m.mu.Unlock()
 }
 
+// ObserveScenario attributes one served scenario-path query to its
+// scenario id.
+func (m *Metrics) ObserveScenario(id string, d time.Duration) {
+	m.mu.Lock()
+	st := m.byScenario[id]
+	if st == nil {
+		st = &scenarioStat{}
+		m.byScenario[id] = st
+	}
+	st.count++
+	st.latencyUs += int64(d / time.Microsecond)
+	m.mu.Unlock()
+}
+
 // StageSnapshot reports the mean per-stage pipeline time, in
 // milliseconds, over the queries observed so far.
 type StageSnapshot struct {
@@ -230,6 +264,9 @@ type MetricsSnapshot struct {
 	Latency       LatencySnapshot  `json:"latency"`
 	Stages        StageSnapshot    `json:"stage_ms"`
 	BySemantics   map[string]int64 `json:"by_semantics"`
+	// ByScenario attributes scenario-path queries per scenario id;
+	// absent when no scenario query has been served.
+	ByScenario map[string]ScenarioSnapshot `json:"by_scenario,omitempty"`
 }
 
 // Snapshot captures the current metric values.
@@ -270,6 +307,19 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	for k, v := range m.bySem {
 		s.BySemantics[k] = v
+	}
+	if len(m.byScenario) > 0 {
+		s.ByScenario = make(map[string]ScenarioSnapshot, len(m.byScenario))
+		for id, st := range m.byScenario {
+			snap := ScenarioSnapshot{
+				Queries:      st.count,
+				LatencySumMs: float64(st.latencyUs) / 1000,
+			}
+			if st.count > 0 {
+				snap.LatencyMeanMs = snap.LatencySumMs / float64(st.count)
+			}
+			s.ByScenario[id] = snap
+		}
 	}
 	m.mu.Unlock()
 	if m.queueDepth != nil {

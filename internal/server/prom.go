@@ -73,6 +73,24 @@ func (m *Metrics) WriteProm(w io.Writer) {
 		}
 	}
 
+	if len(s.ByScenario) > 0 {
+		ids := make([]string, 0, len(s.ByScenario))
+		for id := range s.ByScenario {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(w, "# HELP whatif_scenario_queries_total Queries served per scenario workspace.\n")
+		fmt.Fprintf(w, "# TYPE whatif_scenario_queries_total counter\n")
+		for _, id := range ids {
+			fmt.Fprintf(w, "whatif_scenario_queries_total{scenario=%q} %d\n", id, s.ByScenario[id].Queries)
+		}
+		fmt.Fprintf(w, "# HELP whatif_scenario_latency_ms_total Cumulative query latency per scenario workspace in milliseconds.\n")
+		fmt.Fprintf(w, "# TYPE whatif_scenario_latency_ms_total counter\n")
+		for _, id := range ids {
+			fmt.Fprintf(w, "whatif_scenario_latency_ms_total{scenario=%q} %s\n", id, promFloat(s.ByScenario[id].LatencySumMs))
+		}
+	}
+
 	if s.Stages.Count > 0 {
 		fmt.Fprintf(w, "# HELP whatif_stage_ms_total Cumulative pipeline stage time in milliseconds.\n")
 		fmt.Fprintf(w, "# TYPE whatif_stage_ms_total counter\n")

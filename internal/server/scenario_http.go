@@ -1,0 +1,365 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"whatifolap/internal/core"
+	"whatifolap/internal/mdx"
+	"whatifolap/internal/result"
+	"whatifolap/internal/scenario"
+	"whatifolap/internal/trace"
+)
+
+// Scenarios returns the server's scenario manager (tests and embedders).
+func (s *Server) Scenarios() *scenario.Manager { return s.scenarios }
+
+// scenarioCreateRequest is the POST /scenarios body.
+type scenarioCreateRequest struct {
+	// Name labels the workspace (default: its id).
+	Name string `json:"name"`
+	// Cube names the catalog cube to pin; may be omitted when the
+	// catalog holds exactly one cube.
+	Cube string `json:"cube"`
+}
+
+func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
+	var req scenarioCreateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Cube == "" {
+		if names := s.catalog.Names(); len(names) == 1 {
+			req.Cube = names[0]
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				fmt.Sprintf("no cube named and catalog holds %d cubes", len(s.catalog.Names()))})
+			return
+		}
+	}
+	// The snapshot pins the current published version; the scenario
+	// keeps the (immutable) cube value beyond the lease.
+	snap, err := s.catalog.Acquire(req.Cube)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	sc, err := s.scenarios.Create(req.Name, snap.Name, snap.Version, snap.Cube)
+	snap.Release()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, sc.Info())
+}
+
+func (s *Server) handleScenarioList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Scenarios []scenario.Info `json:"scenarios"`
+	}{s.scenarios.List()})
+}
+
+// scenarioEditRequest is the POST /scenarios/{id}/edit body: one
+// atomic batch of edits.
+type scenarioEditRequest struct {
+	Edits []scenario.Edit `json:"edits"`
+}
+
+func (s *Server) handleScenarioEdit(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.scenarios.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown scenario " + r.PathValue("id")})
+		return
+	}
+	var req scenarioEditRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if _, err := sc.Apply(req.Edits); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	// The revision in the cache key already isolates the new state;
+	// dropping the superseded entries reclaims their bytes eagerly.
+	s.cache.InvalidateScenario(sc.ID())
+	writeJSON(w, http.StatusOK, sc.Info())
+}
+
+// scenarioForkRequest is the POST /scenarios/{id}/fork body.
+type scenarioForkRequest struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) handleScenarioFork(w http.ResponseWriter, r *http.Request) {
+	var req scenarioForkRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	// An empty body means default naming.
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	child, err := s.scenarios.Fork(r.PathValue("id"), req.Name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, child.Info())
+}
+
+// scenarioQueryResponse is the POST /scenarios/{id}/query success
+// body: the plain query shape plus the scenario coordinates the answer
+// was computed at.
+type scenarioQueryResponse struct {
+	Cube             string       `json:"cube"`
+	Version          int64        `json:"version"`
+	Scenario         string       `json:"scenario"`
+	ScenarioRevision int64        `json:"scenario_revision"`
+	Columns          []string     `json:"columns"`
+	Rows             []string     `json:"rows"`
+	PropNames        []string     `json:"prop_names,omitempty"`
+	RowProps         [][]string   `json:"row_props,omitempty"`
+	Values           [][]*float64 `json:"values"`
+	Stats            queryStats   `json:"stats"`
+}
+
+func (s *Server) handleScenarioQuery(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.scenarios.Get(r.PathValue("id"))
+	if !ok {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown scenario " + r.PathValue("id")})
+		return
+	}
+	var req queryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	norm, err := mdx.Normalize(req.Query)
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+
+	// The view is an immutable snapshot: later edits build new layers
+	// and bump the revision, so both the evaluation and the cache entry
+	// below stay consistent even while the scenario is edited.
+	view, rev, err := sc.View()
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	info := sc.Info()
+
+	started := time.Now()
+	key := cacheKey{
+		Cube: sc.CubeName(), Version: sc.BaseVersion(), Query: norm,
+		Scenario: sc.ID(), ScenarioRev: rev,
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		s.metrics.QueriesServed.Add(1)
+		elapsed := time.Since(started)
+		s.metrics.ObserveLatency(elapsed)
+		s.metrics.ObserveScenario(sc.ID(), elapsed)
+		writeCached(w, sc.BaseVersion(), body, true)
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	q, err := mdx.Parse(req.Query)
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if q.Explain {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"EXPLAIN is not supported on the scenario path"})
+		return
+	}
+	s.metrics.CountSemantics(classify(q))
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	tr := s.tracePool.Get().(*trace.Trace)
+	defer func() {
+		tr.Reset()
+		s.tracePool.Put(tr)
+	}()
+
+	var grid *result.Grid
+	var stats core.Stats
+	err = s.exec.Do(ctx, func(ctx context.Context) error {
+		var runErr error
+		root := tr.Start(trace.SpanRef{}, "eval")
+		root.Int("scenario_layers", int64(info.Layers))
+		root.Int("cells_overridden", int64(info.CellsOverridden))
+		defer root.End()
+		ctx = trace.WithSpan(trace.NewContext(ctx, tr), root)
+		rc := mdx.RunContext{Ctx: ctx, Workers: s.cfg.ScanWorkers}
+		grid, stats, runErr = mdx.EvaluateScenario(rc, view, q)
+		return runErr
+	})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	s.metrics.ObserveStages(stats)
+	s.metrics.ObserveTrace(tr.Spans())
+	s.observeSlow(sc.CubeName(), sc.ID(), norm, time.Since(started), tr)
+
+	body, err := json.Marshal(scenarioQueryResponse{
+		Cube:             sc.CubeName(),
+		Version:          sc.BaseVersion(),
+		Scenario:         sc.ID(),
+		ScenarioRevision: rev,
+		Columns:          grid.ColLabels,
+		Rows:             grid.RowLabels,
+		PropNames:        grid.PropNames,
+		RowProps:         grid.RowProps,
+		Values:           gridValues(grid),
+		Stats: queryStats{
+			MembersInScope: stats.MembersInScope,
+			ChunksRead:     stats.ChunksRead,
+			CellsRelocated: stats.CellsRelocated,
+			MergeEdges:     stats.MergeEdges,
+			MergeGroups:    stats.MergeGroups,
+			ScanWorkers:    stats.ScanWorkers,
+		},
+	})
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	s.cache.Put(key, body)
+	s.metrics.QueriesServed.Add(1)
+	elapsed := time.Since(started)
+	s.metrics.ObserveLatency(elapsed)
+	s.metrics.ObserveScenario(sc.ID(), elapsed)
+	writeCached(w, sc.BaseVersion(), body, false)
+}
+
+// gridValues converts a grid's NaN cells to JSON nulls.
+func gridValues(g *result.Grid) [][]*float64 {
+	values := make([][]*float64, len(g.Values))
+	for i, row := range g.Values {
+		values[i] = make([]*float64, len(row))
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				v := v
+				values[i][j] = &v
+			}
+		}
+	}
+	return values
+}
+
+// scenarioDiffResponse is the GET /scenarios/{id}/diff body.
+type scenarioDiffResponse struct {
+	A     string              `json:"a"`
+	B     string              `json:"b"`
+	Count int                 `json:"count"`
+	Cells []scenario.CellDiff `json:"cells"`
+}
+
+func (s *Server) handleScenarioDiff(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.scenarios.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown scenario " + r.PathValue("id")})
+		return
+	}
+	against := r.URL.Query().Get("against")
+	if against == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"missing ?against={scenario id}"})
+		return
+	}
+	b, ok := s.scenarios.Get(against)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown scenario " + against})
+		return
+	}
+	cells, err := scenario.Diff(a, b)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	if cells == nil {
+		cells = []scenario.CellDiff{}
+	}
+	writeJSON(w, http.StatusOK, scenarioDiffResponse{
+		A: a.ID(), B: b.ID(), Count: len(cells), Cells: cells,
+	})
+}
+
+// scenarioCommitResponse is the POST /scenarios/{id}/commit body.
+type scenarioCommitResponse struct {
+	Scenario string `json:"scenario"`
+	Cube     string `json:"cube"`
+	Version  int64  `json:"version"`
+}
+
+func (s *Server) handleScenarioCommit(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.scenarios.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown scenario " + r.PathValue("id")})
+		return
+	}
+	next, err := sc.Materialize()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	// Optimistic publish: refuse when the cube moved past the pinned
+	// base version, so a stale scenario cannot clobber newer updates.
+	v, err := s.catalog.Publish(sc.CubeName(), sc.BaseVersion(), next)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrVersionConflict) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	sc.MarkCommitted(v)
+	s.cache.InvalidateCube(sc.CubeName())
+	s.cache.InvalidateScenario(sc.ID())
+	writeJSON(w, http.StatusOK, scenarioCommitResponse{
+		Scenario: sc.ID(), Cube: sc.CubeName(), Version: v,
+	})
+}
+
+func (s *Server) handleScenarioDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.scenarios.Delete(id) {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown scenario " + id})
+		return
+	}
+	s.cache.InvalidateScenario(id)
+	writeJSON(w, http.StatusOK, struct {
+		Deleted string `json:"deleted"`
+	}{id})
+}

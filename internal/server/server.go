@@ -18,7 +18,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -29,6 +28,7 @@ import (
 	"whatifolap/internal/cube"
 	"whatifolap/internal/mdx"
 	"whatifolap/internal/result"
+	"whatifolap/internal/scenario"
 	"whatifolap/internal/trace"
 )
 
@@ -83,12 +83,13 @@ const defaultSlowlogCap = 128
 // Server wires catalog, executor, cache and metrics together behind an
 // http.Handler. Create with New, serve Handler(), stop with Close.
 type Server struct {
-	catalog *Catalog
-	exec    *Executor
-	cache   *resultCache
-	metrics *Metrics
-	slowlog *slowlog
-	cfg     Config
+	catalog   *Catalog
+	exec      *Executor
+	cache     *resultCache
+	metrics   *Metrics
+	slowlog   *slowlog
+	scenarios *scenario.Manager
+	cfg       Config
 
 	// tracePool recycles span buffers across queries: every engine-backed
 	// query runs traced (the recorder is allocation-free once its buffer
@@ -111,12 +112,13 @@ func New(catalog *Catalog, cfg Config) *Server {
 		cfg.SlowQueryMs = DefaultSlowQueryMs
 	}
 	s := &Server{
-		catalog: catalog,
-		exec:    NewExecutor(cfg.Workers, cfg.QueueCap),
-		cache:   newResultCache(cfg.CacheBytes),
-		metrics: NewMetrics(),
-		slowlog: newSlowlog(cfg.SlowlogCap),
-		cfg:     cfg,
+		catalog:   catalog,
+		exec:      NewExecutor(cfg.Workers, cfg.QueueCap),
+		cache:     newResultCache(cfg.CacheBytes),
+		metrics:   NewMetrics(),
+		slowlog:   newSlowlog(cfg.SlowlogCap),
+		scenarios: scenario.NewManager(),
+		cfg:       cfg,
 	}
 	s.tracePool.New = func() interface{} { return trace.New(cfg.TraceSpans) }
 	s.metrics.queueDepth = s.exec.QueueDepth
@@ -155,6 +157,17 @@ func (s *Server) UpdateCube(name string, mutate func(c *cube.Cube) (*cube.Cube, 
 //	                     for Prometheus text exposition)
 //	GET  /debug/slowlog  recent slow queries with their span traces
 //	GET  /healthz        liveness
+//
+// plus the scenario workspace surface:
+//
+//	POST   /scenarios                  create over a catalog cube
+//	GET    /scenarios                  list workspaces
+//	POST   /scenarios/{id}/edit        apply an edit batch
+//	POST   /scenarios/{id}/fork        fork (shares the layer chain)
+//	POST   /scenarios/{id}/query       query the layered view
+//	GET    /scenarios/{id}/diff        cell diff (?against={id2})
+//	POST   /scenarios/{id}/commit      publish as a new cube version
+//	DELETE /scenarios/{id}             discard
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -162,6 +175,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /scenarios", s.handleScenarioCreate)
+	mux.HandleFunc("GET /scenarios", s.handleScenarioList)
+	mux.HandleFunc("POST /scenarios/{id}/edit", s.handleScenarioEdit)
+	mux.HandleFunc("POST /scenarios/{id}/fork", s.handleScenarioFork)
+	mux.HandleFunc("POST /scenarios/{id}/query", s.handleScenarioQuery)
+	mux.HandleFunc("GET /scenarios/{id}/diff", s.handleScenarioDiff)
+	mux.HandleFunc("POST /scenarios/{id}/commit", s.handleScenarioCommit)
+	mux.HandleFunc("DELETE /scenarios/{id}", s.handleScenarioDelete)
 	return mux
 }
 
@@ -311,7 +332,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.ObserveStages(stats)
 	s.metrics.ObserveTrace(tr.Spans())
-	s.observeSlow(snap.Name, norm, time.Since(started), tr)
+	s.observeSlow(snap.Name, "", norm, time.Since(started), tr)
 
 	body, err := json.Marshal(buildResponse(snap, grid, stats))
 	if err != nil {
@@ -329,7 +350,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // the configured threshold. The span trace is rendered eagerly: the
 // trace buffer goes back to the pool when the handler returns, but the
 // log entry must outlive it.
-func (s *Server) observeSlow(cubeName, norm string, elapsed time.Duration, tr *trace.Trace) {
+func (s *Server) observeSlow(cubeName, scenarioID, norm string, elapsed time.Duration, tr *trace.Trace) {
 	if s.cfg.SlowQueryMs < 0 {
 		return
 	}
@@ -341,6 +362,7 @@ func (s *Server) observeSlow(cubeName, norm string, elapsed time.Duration, tr *t
 	s.slowlog.record(SlowQueryRecord{
 		Time:      time.Now(),
 		Cube:      cubeName,
+		Scenario:  scenarioID,
 		Query:     norm,
 		LatencyMs: ms,
 		Trace:     tr.Render(),
@@ -424,16 +446,7 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 
 // buildResponse converts a grid into the wire shape.
 func buildResponse(snap *Snapshot, g *result.Grid, stats core.Stats) queryResponse {
-	values := make([][]*float64, len(g.Values))
-	for i, row := range g.Values {
-		values[i] = make([]*float64, len(row))
-		for j, v := range row {
-			if !math.IsNaN(v) {
-				v := v
-				values[i][j] = &v
-			}
-		}
-	}
+	values := gridValues(g)
 	return queryResponse{
 		Cube:      snap.Name,
 		Version:   snap.Version,

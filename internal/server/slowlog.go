@@ -8,11 +8,14 @@ import (
 // SlowQueryRecord is one slow-query log entry: the normalized query,
 // how long it took, and the rendered span tree captured while it ran.
 type SlowQueryRecord struct {
-	Time      time.Time `json:"time"`
-	Cube      string    `json:"cube"`
-	Query     string    `json:"query"`
-	LatencyMs float64   `json:"latency_ms"`
-	Trace     string    `json:"trace,omitempty"`
+	Time time.Time `json:"time"`
+	Cube string    `json:"cube"`
+	// Scenario is the scenario id for scenario-path queries, empty for
+	// plain cube queries.
+	Scenario  string  `json:"scenario,omitempty"`
+	Query     string  `json:"query"`
+	LatencyMs float64 `json:"latency_ms"`
+	Trace     string  `json:"trace,omitempty"`
 }
 
 // slowlog is a fixed-capacity ring buffer of the most recent slow

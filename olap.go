@@ -45,6 +45,7 @@ import (
 	"whatifolap/internal/paperdata"
 	"whatifolap/internal/perspective"
 	"whatifolap/internal/result"
+	"whatifolap/internal/scenario"
 	"whatifolap/internal/simdisk"
 	"whatifolap/internal/trace"
 	"whatifolap/internal/workload"
@@ -121,6 +122,34 @@ type (
 	// SpillStats describes a spilled cube's buffer pool: resident and
 	// spilled chunk counts, fault-ins, evictions, and pinned chunks.
 	SpillStats = chunk.SpillStats
+)
+
+// Scenario workspace types: named, versioned chains of overlay deltas
+// over an immutable base cube — the server-side realization of the
+// paper's interactive what-if sessions (see internal/scenario).
+type (
+	// Scenario accumulates edit batches (cell writes, tombstone
+	// deletes, hypothetical new members, validity-window edits) as
+	// sealed layers over a pinned base cube; queries resolve through
+	// the layer chain without copying the base.
+	Scenario = scenario.Scenario
+	// ScenarioManager owns a set of scenario workspaces: id
+	// allocation, lookup, O(layers) forking and discard.
+	ScenarioManager = scenario.Manager
+	// ScenarioEdit is one edit of an atomic scenario batch.
+	ScenarioEdit = scenario.Edit
+	// ScenarioInfo is a scenario's summary.
+	ScenarioInfo = scenario.Info
+	// CellDiff is one cell differing between two scenarios.
+	CellDiff = scenario.CellDiff
+)
+
+// Scenario edit op names for ScenarioEdit.Op.
+const (
+	ScenarioOpSet       = scenario.OpSet
+	ScenarioOpDelete    = scenario.OpDelete
+	ScenarioOpNewMember = scenario.OpNewMember
+	ScenarioOpValidity  = scenario.OpValidity
 )
 
 // Workload generator types.
@@ -242,6 +271,37 @@ func Query(c *Cube, src string) (*Grid, error) {
 // the CLI's -timeout flag use.
 func QueryContext(ctx context.Context, c *Cube, src string) (*Grid, error) {
 	return mdx.NewEvaluator(c).RunContext(ctx, src)
+}
+
+// NewScenario creates a standalone scenario workspace over a cube,
+// outside any server catalog — apply edits with Scenario.Apply, query
+// the layered view with QueryScenario, flatten with
+// Scenario.Materialize.
+func NewScenario(name string, base *Cube) (*Scenario, error) {
+	return scenario.NewLocal(name, base)
+}
+
+// NewScenarioManager creates an empty scenario manager.
+func NewScenarioManager() *ScenarioManager { return scenario.NewManager() }
+
+// ScenarioDiff computes the cell-by-cell difference between two
+// scenarios over the same cube; diff(A, A) is empty.
+func ScenarioDiff(a, b *Scenario) ([]CellDiff, error) { return scenario.Diff(a, b) }
+
+// QueryScenario runs an extended-MDX query against the scenario's
+// layered view: base chunks resolved through the layer chain, newest
+// layer wins, nothing copied.
+func QueryScenario(ctx context.Context, s *Scenario, src string) (*Grid, error) {
+	view, _, err := s.View()
+	if err != nil {
+		return nil, err
+	}
+	q, err := mdx.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := mdx.EvaluateScenario(mdx.RunContext{Ctx: ctx}, view, q)
+	return g, err
 }
 
 // ExecOptions tunes one query execution.

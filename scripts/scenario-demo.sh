@@ -1,0 +1,70 @@
+#!/bin/sh
+# scenario-demo.sh — a curl session against an ephemeral whatifd showing
+# the scenario-workspace lifecycle: create → edit (hypothetical member +
+# cell writes) → query → fork → diff → commit. Run via `make
+# scenario-demo`; needs curl and jq on PATH.
+set -eu
+
+PORT="${SCENARIO_DEMO_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+BIN="${TMPDIR:-/tmp}/whatifd.demo.$$"
+
+say() { printf '\n== %s\n' "$*"; }
+
+go build -o "$BIN" ./cmd/whatifd
+"$BIN" -workforce -addr "127.0.0.1:$PORT" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null; wait "$PID" 2>/dev/null || true; rm -f "$BIN"' EXIT INT TERM
+
+# Wait for the daemon to come up.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "scenario-demo: whatifd did not start" >&2; exit 1; }
+    sleep 0.1
+done
+
+QUERY='SELECT {[Account].[AllAccounts]} ON COLUMNS, {[Department].[Dept00/Emp00000]} ON ROWS FROM [App].[Db] WHERE ([Period].[Jan], [Scenario].[Current], [Currency].[Local], [Version].[BU Version_1], [ValueType].[HSP_InputValue])'
+
+say "catalog before"
+curl -fsS "$BASE/cubes" | jq .
+
+say "create scenario 'promo' on cube workforce"
+SID=$(curl -fsS -X POST "$BASE/scenarios" \
+    -d '{"name": "promo", "cube": "workforce"}' | jq -r .id)
+echo "scenario id: $SID"
+
+say "edit: hypothetical account 'Bonus' + a cell write under it"
+curl -fsS -X POST "$BASE/scenarios/$SID/edit" -d '{"edits": [
+    {"op": "new_member", "dim": "Account", "parent": "AllAccounts", "name": "Bonus"},
+    {"op": "set", "cell": {"Department": "Dept00/Emp00000", "Period": "Jan", "Account": "AllAccounts/Bonus"}, "value": 500}
+]}' | jq .
+
+say "query the layered view (AllAccounts rolls the bonus up)"
+curl -fsS -X POST "$BASE/scenarios/$SID/query" \
+    -d "$(jq -n --arg q "$QUERY" '{query: $q}')" | jq '{scenario, scenario_revision, values}'
+
+say "fork (O(1): shares the parent's sealed layers)"
+FID=$(curl -fsS -X POST "$BASE/scenarios/$SID/fork" \
+    -d '{"name": "promo-big"}' | jq -r .id)
+echo "fork id: $FID"
+
+say "diff before divergence (empty)"
+curl -fsS "$BASE/scenarios/$FID/diff?against=$SID" | jq .
+
+say "edit the fork, then diff again (exactly the divergent cell)"
+curl -fsS -X POST "$BASE/scenarios/$FID/edit" -d '{"edits": [
+    {"op": "set", "cell": {"Department": "Dept00/Emp00000", "Period": "Jan", "Account": "AllAccounts/Bonus"}, "value": 900}
+]}' >/dev/null
+curl -fsS "$BASE/scenarios/$FID/diff?against=$SID" | jq .
+
+say "commit the parent: publish as the cube's next catalog version"
+curl -fsS -X POST "$BASE/scenarios/$SID/commit" | jq .
+
+say "catalog after (workforce is now at the committed version)"
+curl -fsS "$BASE/cubes" | jq .
+
+say "discard the fork"
+curl -fsS -X DELETE "$BASE/scenarios/$FID" -o /dev/null -w 'HTTP %{http_code}\n'
+
+say "done"

@@ -11,7 +11,8 @@ go vet ./...
 # to grep for and several it never could:
 #   hotpathfmt    - no fmt/reflect/log on declared hot-path files
 #                   (internal/trace/trace.go, internal/core/exec.go,
-#                   internal/chunk/overlay.go), including transitively
+#                   internal/chunk/overlay.go, internal/chunk/chain.go),
+#                   including transitively
 #                   re-exported formatting and per-call errors.New
 #   semexhaustive - switches over the five query semantics (paper §3)
 #                   and the eval mode must cover every constant
@@ -37,10 +38,11 @@ go test ./...
 # stress, cache and httptest endpoint tests, the engine's parallel
 # merge-group scan and overlay-kernel equivalence tests, the buffer
 # pool's concurrent fault-in tests, the observability layer (span
-# recorder, trace-derived histograms, slow-query log, EXPLAIN) and the
-# lint suite's analyzer/driver tests.
-echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint' ./..."
-go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint' ./...
+# recorder, trace-derived histograms, slow-query log, EXPLAIN), the
+# scenario workspace fork/edit/query races and the lint suite's
+# analyzer/driver tests.
+echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario' ./..."
+go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario' ./...
 
 # Advisory (non-fatal): known-vulnerability scan, skipped when the
 # toolchain image does not ship govulncheck or has no network.
