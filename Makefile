@@ -1,4 +1,4 @@
-.PHONY: verify test lint lint-fix bench bench-smoke prof scenario-demo
+.PHONY: verify test lint lint-fix bench bench-smoke prof scenario-demo segment-smoke
 
 verify:
 	./verify.sh
@@ -28,6 +28,13 @@ lint-fix:
 # the fork against its parent, and commit as a new catalog version.
 scenario-demo:
 	sh scripts/scenario-demo.sh
+
+# Fast check of the persistent storage tier: segment file round-trip,
+# fail-closed corruption handling, manifest crash recovery, catalog
+# write-back/restore, the segment-vs-memory equivalence pin, and the
+# daemon's kill -9 restart round trip.
+segment-smoke:
+	go test -count=1 -run 'Segment|Manifest|Persist|Writeback|Equivalence|Kill9' . ./internal/segment/ ./internal/server/ ./cmd/whatifd/
 
 bench:
 	go test -run XXX -bench . ./...

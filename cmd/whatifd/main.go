@@ -27,6 +27,13 @@
 // /debug/pprof/ — kept off the query port so profiling endpoints are
 // never exposed where queries are.
 //
+// With -data-dir the daemon is persistent: every published cube version
+// (initial registration, admin update, scenario commit) is written back
+// to the directory as a checksummed segment file behind a crash-safe
+// manifest, and a restart restores the catalog — version numbers
+// included — without re-ingesting dumps. -mmap serves segment reads
+// through a read-only memory map instead of pread.
+//
 // Cube sources mirror cmd/whatif: -paper, -workforce, and repeatable
 // -load name=path flags accepting both dump formats of cmd/cubegen.
 //
@@ -80,17 +87,42 @@ func main() {
 		slowMs     = flag.Float64("slowlog", server.DefaultSlowQueryMs, "slow-query log threshold in ms (negative disables)")
 		slowCap    = flag.Int("slowlog-cap", 0, "slow-query ring buffer capacity (0 = default)")
 		traceSpans = flag.Int("trace-spans", 0, "span buffer size per traced query (0 = default)")
+		dataDir    = flag.String("data-dir", "", "persistent data directory: restore cubes from it at startup and write published versions back as segment files (empty = in-memory only)")
+		useMmap    = flag.Bool("mmap", false, "with -data-dir, serve segment reads through a read-only memory map instead of pread")
 	)
 	flag.Var(&loads, "load", "serve a cube dump as name=path (repeatable; text or binary format)")
 	flag.Parse()
 
 	catalog := server.NewCatalog()
-	if *paper {
+	restored := map[string]bool{}
+	if *dataDir != "" {
+		p, err := server.OpenPersister(*dataDir, *useMmap)
+		if err != nil {
+			fatal(err)
+		}
+		if p.Recovered() {
+			fmt.Fprintln(os.Stderr, "whatifd: data dir manifest recovered from previous commit")
+		}
+		names, err := p.Restore(catalog)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			restored[n] = true
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(os.Stderr, "whatifd: restored %v from %s\n", names, *dataDir)
+		}
+		// Attach after Restore: restored versions are already durable and
+		// must not be rewritten; everything registered from here on is.
+		catalog.SetPersister(p)
+	}
+	if *paper && !restored["paper"] {
 		if err := catalog.Register("paper", olap.PaperWarehouseChunked()); err != nil {
 			fatal(err)
 		}
 	}
-	if *wf {
+	if *wf && !restored["workforce"] {
 		w, err := olap.NewWorkforce(olap.WorkforceDefault())
 		if err != nil {
 			fatal(err)
@@ -104,13 +136,16 @@ func main() {
 		if !ok || name == "" || path == "" {
 			fatal(fmt.Errorf("bad -load %q, want name=path", spec))
 		}
+		if restored[name] {
+			continue
+		}
 		if err := catalog.LoadFile(name, path); err != nil {
 			fatal(err)
 		}
 	}
 	names := catalog.Names()
 	if len(names) == 0 {
-		fatal(errors.New("no cubes: pass -paper, -workforce and/or -load name=path"))
+		fatal(errors.New("no cubes: pass -paper, -workforce, -load name=path, or -data-dir with restorable cubes"))
 	}
 
 	svc := server.New(catalog, server.Config{
@@ -153,6 +188,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "whatifd: shutdown:", err)
 		}
 		svc.Close()
+		if p := catalog.Persister(); p != nil {
+			if err := p.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "whatifd:", err)
+			}
+		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)

@@ -34,10 +34,10 @@ func TestScenarioChainResolution(t *testing.T) {
 		addr []int
 		want float64 // NaN = absent
 	}{
-		{[]int{0, 0}, 10}, // newest layer wins over base
-		{[]int{0, 1}, 20}, // older layer wins over base
+		{[]int{0, 0}, 10},         // newest layer wins over base
+		{[]int{0, 1}, 20},         // older layer wins over base
 		{[]int{1, 0}, math.NaN()}, // tombstoned
-		{[]int{2, 2}, 99}, // layer-only cell in a chunk the base never held
+		{[]int{2, 2}, 99},         // layer-only cell in a chunk the base never held
 		{[]int{3, 3}, math.NaN()}, // untouched empty cell
 	}
 	for _, tc := range cases {

@@ -6,26 +6,17 @@ import (
 	"io"
 	"math"
 	"os"
-	"time"
+	"sync"
 )
 
-// Spill tier: the paper's testbed holds a 20.2 GB cube behind a 256 MB
-// cube cache. SpillTo gives a Store the same discipline — a resident-
-// memory budget with least-recently-used chunks serialized to a backing
-// file and faulted back in on access. The spill file is append-only
-// (rewritten spans supersede older ones); it is a cache extension, not
-// a durability format — use workload.SaveBinary for persistence.
-//
-// The tier is a small buffer pool, not just a cache: recency tracking
-// is an O(1) intrusive list (not a slice scan), chunks can be pinned
-// against eviction while the executor still needs their merge-
-// dependency partners (the paper's §5.2 pebbling objective), and
-// fault-in I/O runs outside the pool lock with per-chunk in-flight
-// deduplication, so concurrent queries faulting different chunks
-// overlap their reads instead of serializing behind one mutex.
+// Spill file: an append-only scratch Tier. SpillTo backs a Store with
+// one so the resident set fits a memory budget; rewritten chunks
+// supersede older spans. It is a cache extension, not a durability
+// format — use workload.SaveBinary or the segment store
+// (internal/segment) for persistence.
 
-// Spill record layout, shared by encodeChunk, decodeChunk and
-// Store.Len (which sizes spilled chunks without loading them).
+// Spill record layout, shared by encodeChunk, decodeChunk and the
+// tiers that size chunks without loading them (see RecordCells).
 const (
 	// spillHeaderLen is the record header: a uint32 cell count.
 	spillHeaderLen = 4
@@ -39,361 +30,211 @@ type span struct {
 	len int64
 }
 
-// lruNode is one resident chunk's slot in the intrusive recency list.
-type lruNode struct {
-	id         int
-	prev, next *lruNode
+// spilledCells sizes a spilled chunk from its span without loading it.
+func (sp span) spilledCells() int {
+	return int((sp.len - spillHeaderLen) / spillCellLen)
 }
 
-// spillTier manages the backing file and the buffer-pool bookkeeping.
-// All fields are guarded by the owning Store's mu except f (ReadAt and
-// WriteAt are safe at distinct offsets).
-type spillTier struct {
+// spillShared is the part of a spill file shared between a writable
+// tier and its read-only clones: the file handle, the append cursor,
+// and the reference count that decides when Close really closes.
+// Existing spans are immutable (the file is append-only), so clones
+// read concurrently with the parent's appends without coordination.
+type spillShared struct {
+	mu     sync.Mutex
 	f      *os.File
 	end    int64
-	index  map[int]span // spilled chunk id -> file span
-	budget int          // resident byte budget
-	// nodes maps resident chunk ids to their recency-list slot; head is
-	// the least recently used, tail the most. touch is O(1).
-	nodes      map[int]*lruNode
-	head, tail *lruNode
-	// pins counts Pin calls per chunk id; a pinned chunk is never
-	// evicted. Pins are independent of residency so a Pin racing an
-	// eviction still protects the next fault-in.
-	pins map[int]int
-	// inflight marks chunk ids whose fault-in I/O is running outside
-	// the lock; waiters block on the channel instead of re-reading.
-	inflight map[int]chan struct{}
-	// residentBytes approximates resident chunk memory.
-	residentBytes int
-	faults        int
-	evictions     int
+	refs   int
+	closed bool
 }
 
-// lruPushBack appends a node as most recently used.
-func (t *spillTier) lruPushBack(n *lruNode) {
-	n.prev, n.next = t.tail, nil
-	if t.tail != nil {
-		t.tail.next = n
-	} else {
-		t.head = n
-	}
-	t.tail = n
+// reserve claims len bytes at the end of the file for one record.
+func (sh *spillShared) reserve(n int64) int64 {
+	sh.mu.Lock()
+	off := sh.end
+	sh.end += n
+	sh.mu.Unlock()
+	return off
 }
 
-// lruRemove unlinks a node.
-func (t *spillTier) lruRemove(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		t.head = n.next
+// release drops one reference, closing the file on the last one.
+func (sh *spillShared) release() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.refs--
+	if sh.refs > 0 || sh.closed {
+		return nil
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		t.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
+	sh.closed = true
+	return sh.f.Close()
 }
 
-// touch marks a resident chunk as recently used, inserting it when it
-// has no slot yet. O(1), unlike the slice scan it replaced.
-func (t *spillTier) touch(id int) {
-	if n, ok := t.nodes[id]; ok {
-		if t.tail != n {
-			t.lruRemove(n)
-			t.lruPushBack(n)
-		}
-		return
-	}
-	n := &lruNode{id: id}
-	t.nodes[id] = n
-	t.lruPushBack(n)
+// spillFile is the scratch-file Tier. Each view (the original and any
+// clones) has a private span index over the shared append-only file;
+// the index is guarded by mu, file I/O runs outside it (ReadAt and
+// WriteAt are safe at distinct offsets).
+type spillFile struct {
+	mu       sync.Mutex
+	shared   *spillShared
+	index    map[int]span // chunk id -> file span
+	chunkCap int
+	readonly bool
 }
 
-// drop removes a chunk's recency slot, if any.
-func (t *spillTier) drop(id int) {
-	if n, ok := t.nodes[id]; ok {
-		t.lruRemove(n)
-		delete(t.nodes, id)
+// newSpillFile creates (truncating) the scratch file at path.
+func newSpillFile(path string, chunkCap int) (*spillFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
 	}
+	return &spillFile{
+		shared:   &spillShared{f: f, refs: 1},
+		index:    make(map[int]span),
+		chunkCap: chunkCap,
+	}, nil
 }
 
-// SpillTo attaches a backing file and a resident-memory budget to the
-// store. Chunks beyond the budget are serialized to the file and loaded
-// back on access. The file is truncated. A store can spill to at most
-// one file; calling SpillTo twice is an error.
+// ReadChunkAt implements Tier. The modeled cost is 0: a spill read is
+// real I/O, measured by the pool as fault wall time.
+func (t *spillFile) ReadChunkAt(id int) (*Chunk, float64, error) {
+	t.mu.Lock()
+	sp, ok := t.index[id]
+	t.mu.Unlock()
+	if !ok {
+		return nil, 0, nil
+	}
+	buf := make([]byte, sp.len)
+	if _, err := t.shared.f.ReadAt(buf, sp.off); err != nil {
+		return nil, 0, err
+	}
+	c, err := decodeChunk(buf, t.chunkCap)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, 0, nil
+}
+
+// WriteChunk implements Tier: append the record, then publish the new
+// span. A concurrent reader of the superseded span still sees a valid
+// (stale) record — the file is append-only.
+func (t *spillFile) WriteChunk(id int, c *Chunk) error {
+	if t.readonly {
+		return ErrTierReadOnly
+	}
+	buf := encodeChunk(c)
+	off := t.shared.reserve(int64(len(buf)))
+	if _, err := t.shared.f.WriteAt(buf, off); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.index[id] = span{off: off, len: int64(len(buf))}
+	t.mu.Unlock()
+	return nil
+}
+
+// Remove implements Tier. The superseded span is leaked (append-only
+// file); the scratch file is deleted wholesale on Close.
+func (t *spillFile) Remove(id int) error {
+	if t.readonly {
+		return ErrTierReadOnly
+	}
+	t.mu.Lock()
+	delete(t.index, id)
+	t.mu.Unlock()
+	return nil
+}
+
+// Contains implements Tier.
+func (t *spillFile) Contains(id int) bool {
+	t.mu.Lock()
+	_, ok := t.index[id]
+	t.mu.Unlock()
+	return ok
+}
+
+// IDs implements Tier.
+func (t *spillFile) IDs() []int {
+	t.mu.Lock()
+	ids := make([]int, 0, len(t.index))
+	for id := range t.index {
+		ids = append(ids, id)
+	}
+	t.mu.Unlock()
+	return ids
+}
+
+// Cells implements Tier: the record layout implies the cell count.
+func (t *spillFile) Cells(id int) int {
+	t.mu.Lock()
+	sp, ok := t.index[id]
+	t.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return sp.spilledCells()
+}
+
+// Len implements Tier.
+func (t *spillFile) Len() int {
+	t.mu.Lock()
+	n := len(t.index)
+	t.mu.Unlock()
+	return n
+}
+
+// Sync implements Tier. A scratch file needs no durability barrier.
+func (t *spillFile) Sync() error { return nil }
+
+// Close implements Tier, dropping this view's reference on the shared
+// file; the file really closes when the last view goes.
+func (t *spillFile) Close() error { return t.shared.release() }
+
+// ReadOnly implements Tier.
+func (t *spillFile) ReadOnly() bool { return t.readonly }
+
+// CloneTier implements CloneableTier: a read-only view sharing the
+// append-only file, with a private snapshot of the span index. Spans
+// are immutable once written, so the view stays valid however the
+// parent appends afterwards.
+func (t *spillFile) CloneTier() (Tier, bool) {
+	t.shared.mu.Lock()
+	if t.shared.closed {
+		t.shared.mu.Unlock()
+		return nil, false
+	}
+	t.shared.refs++
+	t.shared.mu.Unlock()
+	t.mu.Lock()
+	idx := make(map[int]span, len(t.index))
+	for id, sp := range t.index {
+		idx[id] = sp
+	}
+	t.mu.Unlock()
+	return &spillFile{
+		shared:   t.shared,
+		index:    idx,
+		chunkCap: t.chunkCap,
+		readonly: true,
+	}, true
+}
+
+// SpillTo attaches a backing scratch file and a resident-memory budget
+// to the store. Chunks beyond the budget are serialized to the file
+// and loaded back on access. The file is truncated. A store can have
+// at most one backing tier; calling SpillTo (or AttachTier) twice is
+// an error.
 func (s *Store) SpillTo(path string, budgetBytes int) error {
-	if s.tier != nil {
-		return fmt.Errorf("chunk: store already spills to a file")
+	if s.pool != nil {
+		return fmt.Errorf("chunk: store already has a backing tier")
 	}
 	if budgetBytes <= 0 {
 		return fmt.Errorf("chunk: spill budget must be positive, got %d", budgetBytes)
 	}
-	f, err := os.Create(path)
+	t, err := newSpillFile(path, s.geom.ChunkCap())
 	if err != nil {
 		return err
 	}
-	t := &spillTier{
-		f:        f,
-		index:    make(map[int]span),
-		budget:   budgetBytes,
-		nodes:    make(map[int]*lruNode),
-		pins:     make(map[int]int),
-		inflight: make(map[int]chan struct{}),
-	}
-	for id, c := range s.chunks {
-		t.touch(id)
-		t.residentBytes += c.MemBytes()
-	}
-	s.tier = t
-	s.mu.Lock()
-	s.evictLocked()
-	s.mu.Unlock()
-	return nil
-}
-
-// SpillStats describes the buffer pool's state. The zero value is
-// returned augmented with the resident count when no tier is attached.
-type SpillStats struct {
-	// Resident and Spilled are the chunk counts on each side of the
-	// budget line.
-	Resident int
-	Spilled  int
-	// Faults counts loads from the spill file.
-	Faults int
-	// Evictions counts chunks written out to the spill file.
-	Evictions int
-	// Pinned is the number of distinct chunk ids currently pinned.
-	Pinned int
-}
-
-// SpillStats reports the spill tier's state. Resident is the full chunk
-// count and the rest zero when no tier is attached.
-func (s *Store) SpillStats() SpillStats {
-	if s.tier == nil {
-		return SpillStats{Resident: len(s.chunks)}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return SpillStats{
-		Resident:  len(s.chunks),
-		Spilled:   len(s.tier.index),
-		Faults:    s.tier.faults,
-		Evictions: s.tier.evictions,
-		Pinned:    len(s.tier.pins),
-	}
-}
-
-// Pooled reports whether a spill tier (buffer pool) is attached. The
-// executor skips its pin bookkeeping entirely on unpooled stores.
-func (s *Store) Pooled() bool { return s.tier != nil }
-
-// Pin marks a chunk unevictable until a matching Unpin. The executor
-// pins chunks whose merge-dependency partners are still unscanned, so
-// the pebbling-optimal resident set survives concurrent queries'
-// evictions. Pinning is by id and independent of residency: pinning a
-// spilled chunk protects it from the moment it faults back in. No-op
-// without a spill tier.
-func (s *Store) Pin(id int) {
-	if s.tier == nil {
-		return
-	}
-	s.mu.Lock()
-	s.tier.pins[id]++
-	s.mu.Unlock()
-}
-
-// Unpin releases one Pin. When the last pin drops, deferred evictions
-// proceed. Unpinning a chunk that is not pinned is a no-op.
-func (s *Store) Unpin(id int) {
-	if s.tier == nil {
-		return
-	}
-	s.mu.Lock()
-	if t := s.tier; t.pins[id] > 0 {
-		t.pins[id]--
-		if t.pins[id] == 0 {
-			delete(t.pins, id)
-			s.evictLocked()
-		}
-	}
-	s.mu.Unlock()
-}
-
-// CloseSpill detaches and closes the spill file after faulting every
-// spilled chunk back into memory. The store remains fully usable.
-func (s *Store) CloseSpill() error {
-	if s.tier == nil {
-		return nil
-	}
-	// Lift the budget so faulting in does not re-evict mid-iteration.
-	s.mu.Lock()
-	s.tier.budget = int(^uint(0) >> 1)
-	ids := make([]int, 0, len(s.tier.index))
-	for id := range s.tier.index {
-		ids = append(ids, id)
-	}
-	s.mu.Unlock()
-	for _, id := range ids {
-		if _, _, err := s.poolGet(id); err != nil {
-			return err
-		}
-	}
-	err := s.tier.f.Close()
-	s.tier = nil
-	return err
-}
-
-// chunkAt returns the chunk for id, faulting it in from the spill file
-// when necessary. It returns nil when the chunk exists nowhere. With a
-// spill tier attached, lookups go through the pool (short map/recency
-// critical sections under mu, fault I/O outside it); without one, the
-// resident map is read directly (safe for concurrent readers).
-func (s *Store) chunkAt(id int) *Chunk {
-	if s.tier == nil {
-		return s.chunks[id]
-	}
-	c, _, err := s.poolGet(id)
-	if err != nil {
-		panic(fmt.Sprintf("chunk: spill fault for chunk %d: %v", id, err))
-	}
-	return c
-}
-
-// faultInfo describes what one poolGet did: whether it faulted the
-// chunk in from the spill file, how long the fault I/O took, how many
-// evictions it triggered, and whether the chunk was pinned. It feeds
-// ReadInfo so the engine can attribute pool behaviour per query.
-type faultInfo struct {
-	faulted   bool
-	faultMs   float64
-	evictions int
-	pinned    bool
-}
-
-// poolGet is the buffer pool's lookup: resident hit, wait on an
-// in-flight fault, or fault in. The disk read and decode run outside
-// mu so concurrent fault-ins of different chunks overlap; per-chunk
-// in-flight channels prevent duplicate reads of the same chunk.
-func (s *Store) poolGet(id int) (*Chunk, faultInfo, error) {
-	t := s.tier
-	var fi faultInfo
-	for {
-		s.mu.Lock()
-		if c, ok := s.chunks[id]; ok {
-			t.touch(id)
-			fi.pinned = t.pins[id] > 0
-			s.mu.Unlock()
-			return c, fi, nil
-		}
-		if ch, busy := t.inflight[id]; busy {
-			s.mu.Unlock()
-			<-ch
-			continue
-		}
-		sp, ok := t.index[id]
-		if !ok {
-			s.mu.Unlock()
-			return nil, fi, nil
-		}
-		ch := make(chan struct{})
-		t.inflight[id] = ch
-		s.mu.Unlock()
-
-		faultStart := time.Now()
-		buf := make([]byte, sp.len)
-		var c *Chunk
-		_, err := t.f.ReadAt(buf, sp.off)
-		if err == nil {
-			c, err = decodeChunk(buf, s.geom.ChunkCap())
-		}
-		fi.faultMs = float64(time.Since(faultStart)) / float64(time.Millisecond)
-
-		s.mu.Lock()
-		delete(t.inflight, id)
-		if err != nil {
-			s.mu.Unlock()
-			close(ch)
-			return nil, fi, err
-		}
-		delete(t.index, id)
-		s.chunks[id] = c
-		t.touch(id)
-		t.residentBytes += c.MemBytes()
-		t.faults++
-		fi.faulted = true
-		fi.evictions = s.evictLocked()
-		fi.pinned = t.pins[id] > 0
-		s.mu.Unlock()
-		close(ch)
-		return c, fi, nil
-	}
-}
-
-// evictLocked spills least-recently-used unpinned chunks until the
-// resident set fits the budget (always keeping at least one chunk
-// resident), returning the number of chunks evicted. Pinned chunks are
-// skipped, not unlinked: their recency position survives the pin.
-// Caller holds mu.
-func (s *Store) evictLocked() int {
-	t := s.tier
-	if t == nil {
-		return 0
-	}
-	evicted := 0
-	n := t.head
-	for t.residentBytes > t.budget && len(t.nodes) > 1 && n != nil {
-		next := n.next
-		if t.pins[n.id] > 0 {
-			n = next
-			continue
-		}
-		victim := n.id
-		c, ok := s.chunks[victim]
-		if !ok {
-			// Defensive: a node without a resident chunk is stale.
-			t.drop(victim)
-			n = next
-			continue
-		}
-		buf := encodeChunk(c)
-		off := t.end
-		if _, err := t.f.WriteAt(buf, off); err != nil {
-			panic(fmt.Sprintf("chunk: spill write for chunk %d: %v", victim, err))
-		}
-		t.end += int64(len(buf))
-		t.index[victim] = span{off: off, len: int64(len(buf))}
-		t.residentBytes -= c.MemBytes()
-		t.evictions++
-		evicted++
-		delete(s.chunks, victim)
-		t.drop(victim)
-		n = next
-	}
-	return evicted
-}
-
-// noteMutation updates spill accounting after a resident chunk changed
-// size, or after a chunk was created or deleted.
-func (s *Store) noteMutation(id int, delta int) {
-	if s.tier == nil {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := s.tier
-	t.residentBytes += delta
-	if _, resident := s.chunks[id]; resident {
-		t.touch(id)
-		// A resident write supersedes any stale spilled copy.
-		delete(t.index, id)
-	} else {
-		// Deleted: drop the recency slot and any stale spill span.
-		t.drop(id)
-		delete(t.index, id)
-	}
-	s.evictLocked()
+	return s.AttachTier(t, budgetBytes)
 }
 
 // encodeChunk serializes a chunk in the sparse pair format.
@@ -430,9 +271,4 @@ func decodeChunk(buf []byte, capacity int) (*Chunk, error) {
 		c.Set(off, v)
 	}
 	return c, nil
-}
-
-// spilledCells sizes a spilled chunk from its span without loading it.
-func (sp span) spilledCells() int {
-	return int((sp.len - spillHeaderLen) / spillCellLen)
 }

@@ -50,12 +50,14 @@ type Store struct {
 	// separate from mu: a slow hook (the simulated disk's cost model)
 	// must not block other queries' pool fault-ins.
 	hookMu sync.Mutex
-	// tier, when non-nil, spills least-recently-used chunks to a file
-	// (SpillTo) so the resident set fits a memory budget.
-	tier *spillTier
+	// pool, when non-nil, pages least-recently-used chunks out to a
+	// backing Tier (SpillTo's scratch file, simdisk's deterministic
+	// model, or a persistent segment) so the resident set fits a
+	// memory budget.
+	pool *bufferPool
 	// mu guards the resident chunk map and the buffer-pool bookkeeping
-	// (recency list, spill index, pins) whenever a tier is attached.
-	// Fault-in I/O runs outside it — see poolGet.
+	// (recency list, dirty/deleted sets, pins) whenever a tier is
+	// attached. Fault-in I/O runs outside it — see poolGet.
 	mu sync.Mutex
 }
 
@@ -161,10 +163,10 @@ func (s *Store) NonNull(fn func(addr []int, v float64) bool) {
 	}
 }
 
-// Len implements cube.Store. Spilled chunks contribute without being
-// loaded (their cell counts are implied by the record layout).
+// Len implements cube.Store. Tier-held chunks contribute without
+// being loaded (the tier sizes them from its index).
 func (s *Store) Len() int {
-	if s.tier != nil {
+	if s.pool != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 	}
@@ -172,30 +174,69 @@ func (s *Store) Len() int {
 	for _, c := range s.chunks {
 		n += c.Len()
 	}
-	if s.tier != nil {
-		for _, sp := range s.tier.index {
-			n += sp.spilledCells()
+	if p := s.pool; p != nil {
+		for _, id := range p.tier.IDs() {
+			if _, resident := s.chunks[id]; resident || p.deleted[id] {
+				continue
+			}
+			n += p.tier.Cells(id)
 		}
 	}
 	return n
 }
 
-// Clone implements cube.Store. The clone is fully resident (no spill
-// tier); cloning a spilled store faults chunks through as needed.
+// Clone implements cube.Store. When the backing tier supports cheap
+// views (CloneableTier — the spill file and the segment store do), the
+// clone shares the tier read-only and stays within the same resident
+// budget instead of forcing every chunk into memory; its subsequent
+// mutations stay resident (the shared tier is immutable from the
+// clone's side). Tiers without view support fall back to a fully
+// resident clone.
 func (s *Store) Clone() cube.Store {
 	out := NewStore(s.geom)
-	for _, id := range s.ChunkIDs() {
-		if c := s.chunkAt(id); c != nil {
+	if s.pool == nil {
+		for id, c := range s.chunks {
 			out.chunks[id] = c.Clone()
 		}
+		return out
 	}
+	s.mu.Lock()
+	var nt Tier
+	if ct, ok := s.pool.tier.(CloneableTier); ok {
+		nt, _ = ct.CloneTier()
+	}
+	if nt == nil {
+		s.mu.Unlock()
+		// Fallback: materialize everything through the pool.
+		for _, id := range s.ChunkIDs() {
+			if c := s.chunkAt(id); c != nil {
+				out.chunks[id] = c.Clone()
+			}
+		}
+		return out
+	}
+	p := newBufferPool(nt, s.pool.budget)
+	for id, c := range s.chunks {
+		out.chunks[id] = c.Clone()
+	}
+	// Dirty/deleted survive verbatim: the cloned view may hold a stale
+	// copy of a chunk the parent mutated in place, and must not serve
+	// it after an eviction or count a deleted chunk.
+	for id := range s.pool.dirty {
+		p.dirty[id] = true
+	}
+	for id := range s.pool.deleted {
+		p.deleted[id] = true
+	}
+	s.mu.Unlock()
+	out.attachPoolClone(p)
 	return out
 }
 
 // ChunkIDs returns the canonical IDs of the materialized chunks —
-// resident and spilled — sorted.
+// resident and tier-held — sorted without duplicates.
 func (s *Store) ChunkIDs() []int {
-	if s.tier != nil {
+	if s.pool != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 	}
@@ -203,8 +244,11 @@ func (s *Store) ChunkIDs() []int {
 	for id := range s.chunks {
 		ids = append(ids, id)
 	}
-	if s.tier != nil {
-		for id := range s.tier.index {
+	if p := s.pool; p != nil {
+		for _, id := range p.tier.IDs() {
+			if _, resident := s.chunks[id]; resident || p.deleted[id] {
+				continue
+			}
 			ids = append(ids, id)
 		}
 	}
@@ -213,15 +257,20 @@ func (s *Store) ChunkIDs() []int {
 }
 
 // NumChunks returns the number of materialized chunks, resident or
-// spilled.
+// tier-held.
 func (s *Store) NumChunks() int {
-	if s.tier != nil {
+	if s.pool != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 	}
 	n := len(s.chunks)
-	if s.tier != nil {
-		n += len(s.tier.index)
+	if p := s.pool; p != nil {
+		for _, id := range p.tier.IDs() {
+			if _, resident := s.chunks[id]; resident || p.deleted[id] {
+				continue
+			}
+			n++
+		}
 	}
 	return n
 }
@@ -231,19 +280,25 @@ func (s *Store) NumChunks() int {
 // the buffer pool did to satisfy the read. The engine turns faulted
 // reads into trace spans and sums CostMs into per-query statistics.
 type ReadInfo struct {
-	// CostMs is this read's modeled I/O cost (0 without a cost hook).
+	// CostMs is this read's modeled I/O cost: the cost hook's charge
+	// plus, on a fault, the backing tier's own modeled cost (simdisk's
+	// deterministic tier charges here; real-file tiers charge 0 and
+	// are measured by FaultMs instead).
 	CostMs float64
-	// Faulted reports that the chunk was loaded from the spill file.
+	// Faulted reports that the chunk was loaded from the backing tier.
 	Faulted bool
 	// FaultMs is the wall time of the fault-in I/O and decode (0 on a
 	// pool hit or an unpooled store).
 	FaultMs float64
-	// Evictions counts chunks this read's fault-in pushed out to the
-	// spill file to make room.
+	// Evictions counts chunks this read's fault-in pushed out of the
+	// resident set to make room.
 	Evictions int
 	// Pinned reports that the chunk was pinned at read time (a merge
 	// partner protected it against eviction).
 	Pinned bool
+	// Durable reports that the fault was served by a durable tier (the
+	// segment store) — real storage I/O, not scratch-file traffic.
+	Durable bool
 }
 
 // ReadChunk fetches the chunk with the given canonical ID, counting the
@@ -275,17 +330,19 @@ func (s *Store) ReadChunkInfo(id int) (*Chunk, ReadInfo) {
 		}
 		s.hookMu.Unlock()
 	}
-	if s.tier == nil {
+	if s.pool == nil {
 		return s.chunks[id], info
 	}
 	c, fi, err := s.poolGet(id)
 	if err != nil {
-		panic(fmt.Sprintf("chunk: spill fault for chunk %d: %v", id, err))
+		panic(fmt.Sprintf("chunk: tier fault for chunk %d: %v", id, err))
 	}
+	info.CostMs += fi.costMs
 	info.Faulted = fi.faulted
 	info.FaultMs = fi.faultMs
 	info.Evictions = fi.evictions
 	info.Pinned = fi.pinned
+	info.Durable = fi.durable
 	return c, info
 }
 

@@ -1,0 +1,123 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+)
+
+// Clone of a pooled store must share the backing tier read-only rather
+// than forcing every chunk resident (the pre-tier Clone materialized
+// the whole cube in RAM).
+func TestPoolCloneSharesTier(t *testing.T) {
+	s := spillStore(t, 70)
+	for i := 0; i < 64; i++ {
+		s.Set([]int{i}, float64(i+1))
+	}
+	cl, ok := s.Clone().(*Store)
+	if !ok {
+		t.Fatal("clone is not a chunk store")
+	}
+	if !cl.Pooled() {
+		t.Fatal("clone of a pooled store should stay pooled")
+	}
+	if st := cl.SpillStats(); st.Resident >= 16 {
+		t.Fatalf("clone forced full residency: %d chunks resident", st.Resident)
+	}
+	if cl.Len() != 64 || cl.NumChunks() != 16 {
+		t.Fatalf("clone Len=%d NumChunks=%d, want 64/16", cl.Len(), cl.NumChunks())
+	}
+	for i := 0; i < 64; i++ {
+		if got := cl.Get([]int{i}); got != float64(i+1) {
+			t.Fatalf("clone Get(%d) = %v, want %v", i, got, float64(i+1))
+		}
+	}
+
+	// Divergence both ways: the clone's writes never reach the parent,
+	// and the parent's post-clone writes never reach the clone — even
+	// after churn forces parent evictions that append to the shared
+	// file (the clone's span snapshot is immutable).
+	cl.Set([]int{0}, 99)
+	if got := s.Get([]int{0}); got != 1 {
+		t.Fatalf("parent saw clone write: Get(0) = %v", got)
+	}
+	s.Set([]int{5}, -5)
+	if got := cl.Get([]int{5}); got != 6 {
+		t.Fatalf("clone saw parent write: Get(5) = %v", got)
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 64; i++ {
+			s.Set([]int{i}, s.Get([]int{i}))
+		}
+	}
+	if cl.Get([]int{0}) != 99 || cl.Get([]int{63}) != 64 {
+		t.Fatal("clone values drifted under parent churn")
+	}
+
+	// Deleting a tier-held chunk from the clone (read-only tier) hides
+	// it without touching the shared file.
+	for off := 60; off < 64; off++ {
+		cl.Set([]int{off}, math.NaN())
+	}
+	for _, id := range cl.ChunkIDs() {
+		if id == 15 {
+			t.Fatal("deleted chunk still listed in clone")
+		}
+	}
+	if !math.IsNaN(cl.Get([]int{63})) {
+		t.Fatal("deleted cell still readable in clone")
+	}
+	if got := s.Get([]int{63}); got != 64 {
+		t.Fatalf("clone delete leaked into parent: Get(63) = %v", got)
+	}
+
+	// The shared file is refcounted: the parent closing its spill must
+	// not pull the file out from under the clone.
+	if err := s.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 60; i++ {
+		if got := cl.Get([]int{i}); got != float64(i+1) {
+			t.Fatalf("clone Get(%d) = %v after parent CloseSpill", i, got)
+		}
+	}
+	if err := cl.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A chunk faulted in and not mutated is clean: evicting it is a drop,
+// not a rewrite, and the tier's copy keeps serving it.
+func TestPoolCleanEvictionSkipsWriteback(t *testing.T) {
+	s := spillStore(t, 70)
+	for i := 0; i < 64; i++ {
+		s.Set([]int{i}, float64(i+1))
+	}
+	base := s.SpillStats().Evictions
+	// Two read-only passes: every fault-in is clean, so the second
+	// pass's evictions must not rewrite records.
+	for i := 0; i < 64; i++ {
+		if got := s.Get([]int{i}); got != float64(i+1) {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+	st := s.SpillStats()
+	if st.Evictions <= base {
+		t.Fatal("read churn over budget should still evict (by dropping)")
+	}
+	sf, ok := s.pool.tier.(*spillFile)
+	if !ok {
+		t.Fatal("spill tier is not a spillFile")
+	}
+	sf.shared.mu.Lock()
+	end := sf.shared.end
+	sf.shared.mu.Unlock()
+	for i := 0; i < 64; i++ {
+		s.Get([]int{i})
+	}
+	sf.shared.mu.Lock()
+	end2 := sf.shared.end
+	sf.shared.mu.Unlock()
+	if end2 != end {
+		t.Fatalf("clean evictions appended to the spill file: %d -> %d bytes", end, end2)
+	}
+}

@@ -63,8 +63,8 @@ func (o ReadOrder) String() string {
 // Per-query state (cancellation context, scan parallelism) travels in
 // an ExecContext instead of engine fields.
 type Engine struct {
-	base    *cube.Cube
-	store   *chunk.Store
+	base  *cube.Cube
+	store *chunk.Store
 	// chain is non-nil when the cube reads through a scenario layer
 	// chain (chunk.Chain): the scan resolves each chunk's cells through
 	// the chain instead of the raw store, and the assembled view falls

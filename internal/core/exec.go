@@ -297,6 +297,9 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 			if info.Pinned {
 				sp.Int("pinned", 1)
 			}
+			if info.Durable {
+				sp.Int("durable", 1)
+			}
 		}
 		if pins != nil {
 			pins.scanned(id)

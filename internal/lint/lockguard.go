@@ -26,21 +26,24 @@ import (
 // lock may be held is reported:
 //
 //   - channel sends and receives
-//   - simdisk calls (the modeled disk: every call is priced I/O)
+//   - calls into blocked packages (simdisk: every call is priced I/O;
+//     segment: every exported entry point does file I/O)
 //   - ReadAt / WriteAt / Sync methods (file and spill-tier I/O)
+//   - ReadChunkAt / WriteChunk methods (storage-tier fault-in and
+//     write-back — the chunk.Tier read/write surface)
 //   - sync.WaitGroup.Wait and time.Sleep
 //
 // Annotate //lint:lockok <reason> for a reviewed exception.
 var LockGuard = &analysis.Analyzer{
 	Name:     "lockguard",
-	Doc:      "no blocking calls (fault-in I/O, channel ops, simdisk reads) while holding chunk-store/buffer-pool mutexes",
+	Doc:      "no blocking calls (tier fault-in/write-back I/O, channel ops, simdisk reads) while holding chunk-store/buffer-pool mutexes",
 	Run:      runLockGuard,
 	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
 }
 
 var (
-	lockguardPkgs      = ModulePath + "/internal/chunk"
-	lockguardBlockPkgs = ModulePath + "/internal/simdisk"
+	lockguardPkgs      = ModulePath + "/internal/chunk," + ModulePath + "/internal/segment"
+	lockguardBlockPkgs = ModulePath + "/internal/simdisk," + ModulePath + "/internal/segment"
 )
 
 func init() {
@@ -194,7 +197,7 @@ func (la *lockAnalysis) call(held lockState, call *ast.CallExpr, report bool) {
 		}
 		return
 	}
-	if desc := blockingCallee(fn); desc != "" {
+	if desc := blockingCallee(fn, la.pass.Pkg.Path()); desc != "" {
 		la.blockingOp(held, call.Pos(), desc, report)
 	}
 }
@@ -227,8 +230,11 @@ func (la *lockAnalysis) mutexOp(call *ast.CallExpr, fn *types.Func) (kind, key s
 	return "", ""
 }
 
-// blockingCallee describes why fn blocks, or returns "".
-func blockingCallee(fn *types.Func) string {
+// blockingCallee describes why fn blocks, or returns "". selfPkg is
+// the package under analysis: a blocked package's own internal calls
+// are not "calls into the blocked package" — its lock discipline is
+// checked directly via the pkgs list instead.
+func blockingCallee(fn *types.Func, selfPkg string) string {
 	pkg := fn.Pkg()
 	if pkg == nil {
 		return ""
@@ -236,8 +242,8 @@ func blockingCallee(fn *types.Func) string {
 	if pkg.Path() == "time" && fn.Name() == "Sleep" {
 		return "time.Sleep"
 	}
-	if pkgInList(pkg.Path(), lockguardBlockPkgs) {
-		return "simdisk I/O (" + pkg.Name() + "." + fn.Name() + ")"
+	if pkg.Path() != selfPkg && pkgInList(pkg.Path(), lockguardBlockPkgs) {
+		return pkg.Name() + " I/O (" + pkg.Name() + "." + fn.Name() + ")"
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
@@ -246,6 +252,8 @@ func blockingCallee(fn *types.Func) string {
 	switch fn.Name() {
 	case "ReadAt", "WriteAt", "Sync":
 		return fn.Name() + " I/O"
+	case "ReadChunkAt", "WriteChunk":
+		return fn.Name() + " tier I/O"
 	case "Wait":
 		if pkg.Path() == "sync" && namedTypeName(sig.Recv().Type()) == "WaitGroup" {
 			return "sync.WaitGroup.Wait"

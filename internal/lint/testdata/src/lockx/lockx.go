@@ -25,7 +25,7 @@ func (p *pool) recvUnderLock() int {
 func (p *pool) diskUnderDefer() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return diskx.Read(7) // want `simdisk I/O \(diskx.Read\) while p.mu may be held`
+	return diskx.Read(7) // want `diskx I/O \(diskx.Read\) while p.mu may be held`
 }
 
 // faultInCorrect is the spill.go fault-in shape: drop the lock around
@@ -66,6 +66,43 @@ func (p *pool) waitUnderLock() {
 	p.mu.Lock()
 	p.wg.Wait() // want `sync.WaitGroup.Wait while p.mu may be held`
 	p.mu.Unlock()
+}
+
+// tier mirrors chunk.Tier's read/write surface: fault-in and
+// write-back are file I/O and must run outside the pool lock.
+type tier interface {
+	ReadChunkAt(id int) ([]byte, error)
+	WriteChunk(id int, b []byte) error
+}
+
+type tiered struct {
+	mu sync.Mutex
+	t  tier
+}
+
+func (p *tiered) faultUnderLock(id int) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.t.ReadChunkAt(id) // want `ReadChunkAt tier I/O while p.mu may be held`
+}
+
+func (p *tiered) writebackUnderLock(id int, b []byte) error {
+	p.mu.Lock()
+	err := p.t.WriteChunk(id, b) // want `WriteChunk tier I/O while p.mu may be held`
+	p.mu.Unlock()
+	return err
+}
+
+// faultOutsideLock is the pool's real shape: drop the lock, fault in,
+// re-acquire to publish. Nothing is flagged.
+func (p *tiered) faultOutsideLock(id int) ([]byte, error) {
+	p.mu.Lock()
+	_ = p.t
+	p.mu.Unlock()
+	b, err := p.t.ReadChunkAt(id)
+	p.mu.Lock()
+	p.mu.Unlock()
+	return b, err
 }
 
 func (p *pool) annotated() int {

@@ -1,0 +1,316 @@
+package segment
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"whatifolap/internal/chunk"
+)
+
+// testStore builds a 16-chunk store with deterministic values.
+func testStore(t *testing.T) *chunk.Store {
+	t.Helper()
+	g := chunk.MustGeometry([]int{64}, []int{4})
+	s := chunk.NewStore(g)
+	for i := 0; i < 64; i += 2 { // half the cells, so chunks are sparse
+		s.Set([]int{i}, float64(i)*1.5)
+	}
+	return s
+}
+
+func writeTestSegment(t *testing.T, path string, meta []byte) *chunk.Store {
+	t.Helper()
+	s := testStore(t)
+	err := Create(path, s.Geometry().ChunkCap(), meta, s.ChunkIDs(), func(id int) *chunk.Chunk {
+		return s.PeekChunk(id)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, mmap := range []bool{false, true} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "cube-v000001.seg")
+		meta := []byte("schema-blob")
+		src := writeTestSegment(t, path, meta)
+
+		sf, err := Open(path, OpenOptions{Mmap: mmap, VerifyChunks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sf.Meta()) != "schema-blob" {
+			t.Fatalf("meta = %q", sf.Meta())
+		}
+		if sf.ChunkCap() != 4 || sf.Len() != 16 {
+			t.Fatalf("cap=%d len=%d", sf.ChunkCap(), sf.Len())
+		}
+
+		// Attach as the tier of an empty store: every cell identical.
+		dst := chunk.NewStore(src.Geometry())
+		if err := dst.AttachTier(sf, 100); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Len() != src.Len() || dst.NumChunks() != src.NumChunks() {
+			t.Fatalf("shape: Len %d/%d NumChunks %d/%d", dst.Len(), src.Len(), dst.NumChunks(), src.NumChunks())
+		}
+		for i := 0; i < 64; i++ {
+			a, b := src.Get([]int{i}), dst.Get([]int{i})
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("mmap=%v cell %d: src %v dst %v", mmap, i, a, b)
+			}
+		}
+		info := mustFault(t, dst)
+		if !info.Durable {
+			t.Fatal("segment fault not flagged durable")
+		}
+		if err := dst.CloseSpill(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// mustFault reads chunks until one faults, returning its ReadInfo.
+func mustFault(t *testing.T, s *chunk.Store) chunk.ReadInfo {
+	t.Helper()
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range s.ChunkIDs() {
+			if _, info := s.ReadChunkInfo(id); info.Faulted {
+				return info
+			}
+		}
+	}
+	t.Fatal("no read faulted through the tier")
+	return chunk.ReadInfo{}
+}
+
+func TestSegmentBadChecksumFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cube-v000001.seg")
+	writeTestSegment(t, path, []byte("m"))
+
+	// Flip one byte in the first chunk slot (page 2: header, meta, then
+	// slots — meta is tiny so slots start at page 2).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), raw...)
+	corrupt[2*PageSize+1] ^= 0xFF
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Up-front verification refuses the segment outright.
+	if _, err := Open(path, OpenOptions{VerifyChunks: true}); err == nil {
+		t.Fatal("VerifyChunks open of corrupt segment should fail")
+	}
+	// Lazy open succeeds (header/index intact) but the corrupt slot
+	// errors on read instead of serving wrong cells.
+	sf, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	var sawErr bool
+	for _, id := range sf.IDs() {
+		if _, _, err := sf.ReadChunkAt(id); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("corrupt slot read should error")
+	}
+
+	// Header corruption: refuse immediately.
+	corrupt2 := append([]byte(nil), raw...)
+	corrupt2[20] ^= 0x01
+	if err := os.WriteFile(path, corrupt2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, OpenOptions{}); err == nil {
+		t.Fatal("header corruption should fail open")
+	}
+
+	// Truncation: refuse immediately.
+	if err := os.WriteFile(path, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, OpenOptions{}); err == nil {
+		t.Fatal("truncated segment should fail open")
+	}
+}
+
+func TestSegmentCreateAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c-v000001.seg")
+	writeTestSegment(t, path, nil)
+	// No temp droppings after a successful create.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// Create into a missing directory fails without touching path.
+	err := Create(filepath.Join(dir, "nope", "x.seg"), 4, nil, nil, func(int) *chunk.Chunk { return nil })
+	if err == nil {
+		t.Fatal("create in missing dir should fail")
+	}
+}
+
+func TestSegmentCloneTierRefcount(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c-v000001.seg")
+	src := writeTestSegment(t, path, nil)
+
+	sf, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := chunk.NewStore(src.Geometry())
+	if err := a.AttachTier(sf, 100); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone().(*chunk.Store)
+	if !b.Pooled() {
+		t.Fatal("clone of segment-backed store should stay pooled")
+	}
+	// Closing the original keeps the clone readable (shared refcount).
+	if err := a.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		want := src.Get([]int{i})
+		got := b.Get([]int{i})
+		if math.IsNaN(want) != math.IsNaN(got) || (!math.IsNaN(want) && want != got) {
+			t.Fatalf("cell %d after original closed: %v vs %v", i, got, want)
+		}
+	}
+	if err := b.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+	// The file is really closed now: a fresh read errors.
+	if _, _, err := sf.ReadChunkAt(0); err == nil {
+		t.Fatal("read after final close should fail")
+	}
+}
+
+func TestManifestCommitAndLoad(t *testing.T) {
+	dir := t.TempDir()
+
+	// Empty dir: empty manifest, not recovered.
+	m, rec, err := LoadManifest(dir)
+	if err != nil || rec || len(m.Cubes) != 0 {
+		t.Fatalf("fresh load: m=%+v rec=%v err=%v", m, rec, err)
+	}
+
+	m.Add("wf", CubeVersion{Version: 1, File: "wf-v000001.seg", Cells: 10})
+	if err := m.Commit(dir); err != nil {
+		t.Fatal(err)
+	}
+	m.Add("wf", CubeVersion{Version: 2, File: "wf-v000002.seg", Cells: 12})
+	m.Add("paper", CubeVersion{Version: 1, File: "paper-v000001.seg", Cells: 5})
+	if err := m.Commit(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rec, err := LoadManifest(dir)
+	if err != nil || rec {
+		t.Fatalf("load: rec=%v err=%v", rec, err)
+	}
+	if lv, ok := got.Latest("wf"); !ok || lv.Version != 2 || lv.File != "wf-v000002.seg" {
+		t.Fatalf("Latest(wf) = %+v %v", lv, ok)
+	}
+	if names := got.Names(); len(names) != 2 || names[0] != "paper" || names[1] != "wf" {
+		t.Fatalf("Names = %v", names)
+	}
+	if vs := got.Versions("wf"); len(vs) != 2 || vs[0].Version != 1 || vs[1].Version != 2 {
+		t.Fatalf("Versions(wf) = %+v", vs)
+	}
+
+	// Re-adding a version replaces in place.
+	got.Add("wf", CubeVersion{Version: 2, File: "wf-v000002b.seg", Cells: 13})
+	if vs := got.Versions("wf"); len(vs) != 2 || vs[1].File != "wf-v000002b.seg" {
+		t.Fatalf("replace: %+v", vs)
+	}
+}
+
+func TestManifestTornFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest()
+	m.Add("wf", CubeVersion{Version: 1, File: "wf-v000001.seg", Cells: 10})
+	if err := m.Commit(dir); err != nil {
+		t.Fatal(err)
+	}
+	m.Add("wf", CubeVersion{Version: 2, File: "wf-v000002.seg", Cells: 12})
+	if err := m.Commit(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	live := filepath.Join(dir, ManifestName)
+	raw, err := os.ReadFile(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn write: truncated live manifest recovers to the previous one
+	// (version 1), refusing the half-committed version 2.
+	if err := os.WriteFile(live, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rec, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec {
+		t.Fatal("torn manifest should report recovered")
+	}
+	if lv, ok := got.Latest("wf"); !ok || lv.Version != 1 {
+		t.Fatalf("recovered Latest = %+v %v", lv, ok)
+	}
+
+	// Crash between the two Commit renames: live missing, prev holds
+	// the old manifest.
+	if err := os.Remove(live); err != nil {
+		t.Fatal(err)
+	}
+	got, rec, err = LoadManifest(dir)
+	if err != nil || !rec {
+		t.Fatalf("prev-only load: rec=%v err=%v", rec, err)
+	}
+	if lv, ok := got.Latest("wf"); !ok || lv.Version != 1 {
+		t.Fatalf("prev-only Latest = %+v %v", lv, ok)
+	}
+
+	// Both unusable: hard error, never a guessed catalog.
+	if err := os.WriteFile(live, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName+".prev"), []byte("also torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(dir); err == nil {
+		t.Fatal("both-corrupt load should fail")
+	}
+
+	// Foreign format version: rejected.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, ManifestName), []byte(`{"format_version": 99, "cubes": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(dir2); err == nil {
+		t.Fatal("future format version should fail")
+	}
+
+	// Path traversal in a segment file name: rejected.
+	dir3 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir3, ManifestName),
+		[]byte(`{"format_version": 1, "cubes": {"x": [{"version": 1, "file": "../evil.seg", "cells": 1}]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(dir3); err == nil {
+		t.Fatal("relative-path segment file should fail validation")
+	}
+}

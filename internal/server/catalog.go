@@ -20,6 +20,10 @@ import (
 type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*catalogEntry
+	// persister, when set, receives every published version for
+	// asynchronous segment write-back. Set once at startup (before the
+	// catalog serves) via SetPersister; never swapped while serving.
+	persister *Persister
 }
 
 // catalogEntry tracks one named cube across versions.
@@ -64,6 +68,21 @@ func NewCatalog() *Catalog {
 	return &Catalog{entries: make(map[string]*catalogEntry)}
 }
 
+// SetPersister attaches the storage write-back hook. Call before the
+// catalog starts serving; versions published afterwards — including
+// initial Register calls — are persisted asynchronously.
+func (c *Catalog) SetPersister(p *Persister) { c.persister = p }
+
+// Persister returns the attached storage hook, or nil.
+func (c *Catalog) Persister() *Persister { return c.persister }
+
+// enqueuePersist hands a freshly published version to the persister.
+func (c *Catalog) enqueuePersist(name string, version int64, cb *cube.Cube) {
+	if c.persister != nil {
+		c.persister.Enqueue(name, version, cb)
+	}
+}
+
 // Register publishes a cube under a name at version 1. The caller must
 // not mutate the cube afterwards; use Update for subsequent changes.
 func (c *Catalog) Register(name string, cb *cube.Cube) error {
@@ -74,13 +93,40 @@ func (c *Catalog) Register(name string, cb *cube.Cube) error {
 		return fmt.Errorf("server: nil cube for %q", name)
 	}
 	c.mu.Lock()
+	if _, dup := c.entries[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("server: cube %q already registered", name)
+	}
+	c.entries[name] = &catalogEntry{
+		name: name,
+		cur:  &cubeVersion{version: 1, cube: cb},
+	}
+	c.mu.Unlock()
+	c.enqueuePersist(name, 1, cb)
+	return nil
+}
+
+// RegisterVersion publishes a cube under a name at an explicit version
+// number — the restore path, where the data directory already holds
+// the version and persisting it again would be a wasted rewrite.
+func (c *Catalog) RegisterVersion(name string, version int64, cb *cube.Cube) error {
+	if name == "" {
+		return fmt.Errorf("server: empty cube name")
+	}
+	if cb == nil {
+		return fmt.Errorf("server: nil cube for %q", name)
+	}
+	if version <= 0 {
+		return fmt.Errorf("server: cube %q version must be positive, got %d", name, version)
+	}
+	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.entries[name]; dup {
 		return fmt.Errorf("server: cube %q already registered", name)
 	}
 	c.entries[name] = &catalogEntry{
 		name: name,
-		cur:  &cubeVersion{version: 1, cube: cb},
+		cur:  &cubeVersion{version: version, cube: cb},
 	}
 	return nil
 }
@@ -142,6 +188,7 @@ func (c *Catalog) Update(name string, mutate func(*cube.Cube) (*cube.Cube, error
 	c.mu.Lock()
 	e.cur = nv
 	c.mu.Unlock()
+	c.enqueuePersist(name, nv.version, next)
 	return nv.version, nil
 }
 
@@ -180,6 +227,7 @@ func (c *Catalog) Publish(name string, want int64, next *cube.Cube) (int64, erro
 	c.mu.Lock()
 	e.cur = nv
 	c.mu.Unlock()
+	c.enqueuePersist(name, nv.version, next)
 	return nv.version, nil
 }
 

@@ -124,10 +124,12 @@ type Metrics struct {
 
 	// Trace-derived histograms, fed by ObserveTrace from each query's
 	// span tree: chunk reads per query, per-merge-group scan span
-	// durations, spill fault-in durations.
-	chunksRead   *histogram
-	groupSpanMs  *histogram
-	spillFaultMs *histogram
+	// durations, spill fault-in durations, and the subset of faults
+	// served by the durable segment tier (real storage reads).
+	chunksRead    *histogram
+	groupSpanMs   *histogram
+	spillFaultMs  *histogram
+	segmentReadMs *histogram
 
 	// Per-stage pipeline time accumulators (microseconds) plus the
 	// sample count, fed by ObserveStages after engine-backed queries.
@@ -145,9 +147,12 @@ type Metrics struct {
 	// exposition cardinality.
 	byScenario map[string]*scenarioStat
 
-	// queueDepth and cacheBytes are sampled at snapshot time.
-	queueDepth func() int
-	cacheBytes func() int
+	// queueDepth, cacheBytes and writebackPending are sampled at
+	// snapshot time. writebackPending is nil unless a persister is
+	// attached (whatifd -data-dir).
+	queueDepth       func() int
+	cacheBytes       func() int
+	writebackPending func() int64
 }
 
 // scenarioStat accumulates one scenario's query attribution.
@@ -167,13 +172,14 @@ type ScenarioSnapshot struct {
 // NewMetrics creates an empty metrics set.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:        time.Now(),
-		bySem:        make(map[string]int64),
-		byScenario:   make(map[string]*scenarioStat),
-		latency:      newHistogram(latencyBucketsMs),
-		chunksRead:   newHistogram(chunksReadBuckets),
-		groupSpanMs:  newHistogram(spanBucketsMs),
-		spillFaultMs: newHistogram(spanBucketsMs),
+		start:         time.Now(),
+		bySem:         make(map[string]int64),
+		byScenario:    make(map[string]*scenarioStat),
+		latency:       newHistogram(latencyBucketsMs),
+		chunksRead:    newHistogram(chunksReadBuckets),
+		groupSpanMs:   newHistogram(spanBucketsMs),
+		spillFaultMs:  newHistogram(spanBucketsMs),
+		segmentReadMs: newHistogram(spanBucketsMs),
 	}
 }
 
@@ -193,8 +199,10 @@ func (m *Metrics) ObserveStages(s core.Stats) {
 // ObserveTrace folds one finished query's span tree into the
 // trace-derived histograms: "scan" spans contribute the query's chunk
 // reads, each "group" span its merge-group scan duration, each "fault"
-// span its spill fault-in duration. Call after the traced execution has
-// returned (snapshotting must not race recording).
+// span its fault-in duration — faults flagged durable (served by the
+// segment tier, not the scratch spill file) also feed the
+// segment-read histogram. Call after the traced execution has returned
+// (snapshotting must not race recording).
 func (m *Metrics) ObserveTrace(spans []trace.Span) {
 	var chunks int64
 	sawScan := false
@@ -209,6 +217,9 @@ func (m *Metrics) ObserveTrace(spans []trace.Span) {
 			m.groupSpanMs.observe(s.Ms())
 		case "fault":
 			m.spillFaultMs.observe(s.Ms())
+			if v, ok := s.Attr("durable"); ok && v > 0 {
+				m.segmentReadMs.observe(s.Ms())
+			}
 		}
 	}
 	if sawScan {
@@ -249,21 +260,26 @@ type StageSnapshot struct {
 
 // MetricsSnapshot is the JSON shape served at /metrics.
 type MetricsSnapshot struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	QueriesServed int64            `json:"queries_served"`
-	QueryErrors   int64            `json:"query_errors"`
-	Overloaded    int64            `json:"overloaded"`
-	Canceled      int64            `json:"canceled"`
-	TimedOut      int64            `json:"timed_out"`
-	CacheHits     int64            `json:"cache_hits"`
-	CacheMisses   int64            `json:"cache_misses"`
-	CacheHitRatio float64          `json:"cache_hit_ratio"`
-	CacheBytes    int              `json:"cache_bytes"`
-	QueueDepth    int              `json:"queue_depth"`
-	SlowQueries   int64            `json:"slow_queries"`
-	Latency       LatencySnapshot  `json:"latency"`
-	Stages        StageSnapshot    `json:"stage_ms"`
-	BySemantics   map[string]int64 `json:"by_semantics"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueriesServed int64   `json:"queries_served"`
+	QueryErrors   int64   `json:"query_errors"`
+	Overloaded    int64   `json:"overloaded"`
+	Canceled      int64   `json:"canceled"`
+	TimedOut      int64   `json:"timed_out"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	CacheBytes    int     `json:"cache_bytes"`
+	QueueDepth    int     `json:"queue_depth"`
+	SlowQueries   int64   `json:"slow_queries"`
+	// WritebackPending counts segment write-backs queued or in flight;
+	// always 0 without a data directory.
+	WritebackPending int64 `json:"writeback_pending"`
+	// SegmentRead summarizes durable segment fault-in latency.
+	SegmentRead LatencySnapshot  `json:"segment_read_ms"`
+	Latency     LatencySnapshot  `json:"latency"`
+	Stages      StageSnapshot    `json:"stage_ms"`
+	BySemantics map[string]int64 `json:"by_semantics"`
 	// ByScenario attributes scenario-path queries per scenario id;
 	// absent when no scenario query has been served.
 	ByScenario map[string]ScenarioSnapshot `json:"by_scenario,omitempty"`
@@ -293,6 +309,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			P50Ms:  m.latency.quantile(0.50),
 			P95Ms:  m.latency.quantile(0.95),
 			P99Ms:  m.latency.quantile(0.99),
+		}
+	}
+	if n := m.segmentReadMs.count.Load(); n > 0 {
+		s.SegmentRead = LatencySnapshot{
+			Count:  n,
+			MeanMs: m.segmentReadMs.sum() / float64(n),
+			P50Ms:  m.segmentReadMs.quantile(0.50),
+			P95Ms:  m.segmentReadMs.quantile(0.95),
+			P99Ms:  m.segmentReadMs.quantile(0.99),
 		}
 	}
 	if n := m.stageCount.Load(); n > 0 {
@@ -327,6 +352,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if m.cacheBytes != nil {
 		s.CacheBytes = m.cacheBytes()
+	}
+	if m.writebackPending != nil {
+		s.WritebackPending = m.writebackPending()
 	}
 	return s
 }

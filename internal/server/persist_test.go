@@ -1,0 +1,232 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"whatifolap/internal/cube"
+	"whatifolap/internal/paperdata"
+	"whatifolap/internal/segment"
+)
+
+// persistedCatalog builds a catalog writing through a persister in dir.
+func persistedCatalog(t *testing.T, dir string) (*Catalog, *Persister) {
+	t.Helper()
+	p, err := OpenPersister(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog()
+	c.SetPersister(p)
+	return c, p
+}
+
+func TestPersisterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cat, p := persistedCatalog(t, dir)
+	orig := paperdata.ChunkedWarehouse(nil)
+	if err := cat.Register("paper", orig); err != nil {
+		t.Fatal(err)
+	}
+	// An update publishes version 2; both versions become durable.
+	if _, err := cat.Update("paper", func(c *cube.Cube) (*cube.Cube, error) {
+		return c, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after flush", p.Pending())
+	}
+
+	// A fresh process: restore from the directory alone.
+	cat2, p2 := persistedCatalog(t, dir)
+	names, err := p2.Restore(cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "paper" {
+		t.Fatalf("restored %v", names)
+	}
+	snap, err := cat2.Acquire("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if snap.Version != 2 {
+		t.Fatalf("restored version %d, want 2", snap.Version)
+	}
+	if snap.Cube.NumCells() != orig.NumCells() {
+		t.Fatalf("cells %d, want %d", snap.Cube.NumCells(), orig.NumCells())
+	}
+	// Every cell identical to the original, through the segment tier.
+	orig.Store().NonNull(func(addr []int, v float64) bool {
+		if got := snap.Cube.Leaf(addr); got != v {
+			t.Fatalf("cell %v = %v, want %v", addr, got, v)
+		}
+		return true
+	})
+	// Restored cubes must not be re-persisted: still exactly 2 versions.
+	if err := p2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := segment.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := man.Versions("paper"); len(vs) != 2 {
+		t.Fatalf("manifest versions = %+v", vs)
+	}
+}
+
+func TestPersisterRestoreFallsBackOnCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	cat, p := persistedCatalog(t, dir)
+	if err := cat.Register("paper", paperdata.ChunkedWarehouse(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Update("paper", func(c *cube.Cube) (*cube.Cube, error) {
+		return c, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := segment.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, ok := man.Latest("paper")
+	if !ok || v2.Version != 2 {
+		t.Fatalf("latest = %+v %v", v2, ok)
+	}
+	// Truncate the newest segment: restore must fall back to version 1.
+	path := filepath.Join(dir, v2.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat2, p2 := persistedCatalog(t, dir)
+	if _, err := p2.Restore(cat2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cat2.Acquire("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if snap.Version != 1 {
+		t.Fatalf("restored version %d, want fallback to 1", snap.Version)
+	}
+
+	// Corrupt the remaining version too: restore now fails closed.
+	v1 := man.Versions("paper")[0]
+	if err := os.WriteFile(filepath.Join(dir, v1.File), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat3, p3 := persistedCatalog(t, dir)
+	if _, err := p3.Restore(cat3); err == nil {
+		t.Fatal("restore with every version corrupt should fail")
+	}
+}
+
+func TestPersisterSkipsNonChunkCubes(t *testing.T) {
+	dir := t.TempDir()
+	cat, p := persistedCatalog(t, dir)
+	// The MemStore-backed warehouse has no segment encoding: registering
+	// it must not enqueue a write-back.
+	if err := cat.Register("mem", paperdata.Warehouse()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := segment.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Cubes) != 0 {
+		t.Fatalf("manifest should be empty, got %+v", man.Cubes)
+	}
+}
+
+// TestWritebackConcurrentPublishes exercises the write-back queue under
+// concurrent catalog publishes across cubes (the -race subset for the
+// persistence layer).
+func TestWritebackConcurrentPublishes(t *testing.T) {
+	dir := t.TempDir()
+	cat, p := persistedCatalog(t, dir)
+	const cubes = 4
+	for i := 0; i < cubes; i++ {
+		if err := cat.Register(fmt.Sprintf("c%d", i), paperdata.ChunkedWarehouse(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cubes; i++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for v := 0; v < 3; v++ {
+				if _, err := cat.Update(name, func(c *cube.Cube) (*cube.Cube, error) {
+					c.SetLeaf([]int{0, 0, 0, 0}, float64(v))
+					return c, nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(fmt.Sprintf("c%d", i))
+	}
+	// Sample the pending gauge concurrently with the publishes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if n := p.Pending(); n < 0 {
+				t.Error("negative pending")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := segment.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cubes; i++ {
+		vs := man.Versions(fmt.Sprintf("c%d", i))
+		if len(vs) != 4 {
+			t.Fatalf("cube c%d has %d durable versions, want 4", i, len(vs))
+		}
+		if vs[len(vs)-1].Version != 4 {
+			t.Fatalf("cube c%d newest = %+v", i, vs[len(vs)-1])
+		}
+	}
+	// The final durable state round-trips.
+	cat2, p2 := persistedCatalog(t, dir)
+	if _, err := p2.Restore(cat2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cat2.Acquire("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if got := snap.Cube.Leaf([]int{0, 0, 0, 0}); got != 2 {
+		t.Fatalf("restored leaf = %v, want 2", got)
+	}
+}

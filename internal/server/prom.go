@@ -59,6 +59,7 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	writePromCounter(w, "whatif_slow_queries_total", "Queries recorded in the slow-query log.", s.SlowQueries)
 	writePromGauge(w, "whatif_cache_bytes", "Bytes held by the result cache.", float64(s.CacheBytes))
 	writePromGauge(w, "whatif_queue_depth", "Queries waiting in the executor queue.", float64(s.QueueDepth))
+	writePromGauge(w, "whatif_writeback_pending", "Segment write-backs queued or in flight.", float64(s.WritebackPending))
 
 	if len(s.BySemantics) > 0 {
 		fmt.Fprintf(w, "# HELP whatif_queries_by_semantics_total Queries by perspective semantics.\n")
@@ -113,4 +114,5 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	writePromHistogram(w, "whatif_query_chunks_read", "Chunks read per engine-backed query.", m.chunksRead)
 	writePromHistogram(w, "whatif_merge_group_span_ms", "Per-merge-group scan span duration in milliseconds.", m.groupSpanMs)
 	writePromHistogram(w, "whatif_spill_fault_ms", "Spill fault-in duration in milliseconds.", m.spillFaultMs)
+	writePromHistogram(w, "whatif_segment_read_ms", "Durable segment fault-in duration in milliseconds.", m.segmentReadMs)
 }

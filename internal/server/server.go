@@ -123,6 +123,9 @@ func New(catalog *Catalog, cfg Config) *Server {
 	s.tracePool.New = func() interface{} { return trace.New(cfg.TraceSpans) }
 	s.metrics.queueDepth = s.exec.QueueDepth
 	s.metrics.cacheBytes = s.cache.Bytes
+	if p := catalog.Persister(); p != nil {
+		s.metrics.writebackPending = p.Pending
+	}
 	return s
 }
 
@@ -132,8 +135,15 @@ func (s *Server) Catalog() *Catalog { return s.catalog }
 // Metrics returns the server's metrics set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close stops the worker pool after draining admitted queries.
-func (s *Server) Close() { s.exec.Close() }
+// Close stops the worker pool after draining admitted queries, then
+// waits for any pending segment write-backs so a clean shutdown never
+// loses a published version.
+func (s *Server) Close() {
+	s.exec.Close()
+	if p := s.catalog.Persister(); p != nil {
+		_ = p.Flush()
+	}
+}
 
 // UpdateCube applies a copy-on-write catalog update and invalidates the
 // result cache for that cube. This is the server-side hook for

@@ -1,0 +1,134 @@
+package simdisk
+
+import (
+	"sync"
+
+	"whatifolap/internal/chunk"
+)
+
+// Tier is the deterministic chunk.Tier: a RAM-held chunk map whose
+// reads and writes are charged against a Disk's seek-cost model. It is
+// the test double for the real storage tiers — pebbling and
+// co-location experiments run against it to get reproducible modeled
+// I/O costs with no filesystem in the loop, while the buffer pool
+// exercises exactly the fault/evict protocol it uses against the
+// segment store.
+//
+// Chunks are cloned on the way in and out, so a faulted-in chunk the
+// store mutates never aliases the tier's copy (a real tier's decode
+// step gives the same isolation).
+type Tier struct {
+	disk *Disk
+
+	mu     sync.Mutex
+	chunks map[int]*chunk.Chunk
+}
+
+// NewTier creates an empty deterministic tier charging reads and
+// writes to the given disk.
+func NewTier(d *Disk) *Tier {
+	return &Tier{disk: d, chunks: make(map[int]*chunk.Chunk)}
+}
+
+// Disk returns the cost model the tier charges against.
+func (t *Tier) Disk() *Disk { return t.disk }
+
+// Put preloads a chunk without charging the disk (test setup).
+func (t *Tier) Put(id int, c *chunk.Chunk) {
+	t.mu.Lock()
+	t.chunks[id] = c.Clone()
+	t.mu.Unlock()
+}
+
+// ReadChunkAt implements chunk.Tier: the modeled cost of the read is
+// returned for per-query attribution, exactly like Disk.Read through
+// the cost hook.
+func (t *Tier) ReadChunkAt(id int) (*chunk.Chunk, float64, error) {
+	t.mu.Lock()
+	c, ok := t.chunks[id]
+	if ok {
+		c = c.Clone()
+	}
+	t.mu.Unlock()
+	if !ok {
+		return nil, 0, nil
+	}
+	return c, t.disk.Read(id), nil
+}
+
+// WriteChunk implements chunk.Tier. Write-back charges the same seek
+// model as a read: the head still has to travel to the slot.
+func (t *Tier) WriteChunk(id int, c *chunk.Chunk) error {
+	cl := c.Clone()
+	t.disk.Read(id)
+	t.mu.Lock()
+	t.chunks[id] = cl
+	t.mu.Unlock()
+	return nil
+}
+
+// Remove implements chunk.Tier.
+func (t *Tier) Remove(id int) error {
+	t.mu.Lock()
+	delete(t.chunks, id)
+	t.mu.Unlock()
+	return nil
+}
+
+// Contains implements chunk.Tier.
+func (t *Tier) Contains(id int) bool {
+	t.mu.Lock()
+	_, ok := t.chunks[id]
+	t.mu.Unlock()
+	return ok
+}
+
+// IDs implements chunk.Tier.
+func (t *Tier) IDs() []int {
+	t.mu.Lock()
+	ids := make([]int, 0, len(t.chunks))
+	for id := range t.chunks {
+		ids = append(ids, id)
+	}
+	t.mu.Unlock()
+	return ids
+}
+
+// Cells implements chunk.Tier.
+func (t *Tier) Cells(id int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.chunks[id]; ok {
+		return c.Len()
+	}
+	return 0
+}
+
+// Len implements chunk.Tier.
+func (t *Tier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.chunks)
+}
+
+// Sync implements chunk.Tier. RAM needs no barrier.
+func (t *Tier) Sync() error { return nil }
+
+// Close implements chunk.Tier.
+func (t *Tier) Close() error { return nil }
+
+// ReadOnly implements chunk.Tier.
+func (t *Tier) ReadOnly() bool { return false }
+
+// CloneTier implements chunk.CloneableTier: a deep copy of the chunk
+// map sharing the disk, so a cloned store keeps deterministic costs
+// without forcing residency.
+func (t *Tier) CloneTier() (chunk.Tier, bool) {
+	t.mu.Lock()
+	m := make(map[int]*chunk.Chunk, len(t.chunks))
+	for id, c := range t.chunks {
+		m[id] = c.Clone()
+	}
+	t.mu.Unlock()
+	return &Tier{disk: t.disk, chunks: m}, true
+}

@@ -1,0 +1,100 @@
+package simdisk
+
+import (
+	"testing"
+
+	"whatifolap/internal/chunk"
+)
+
+// A store behind a simdisk Tier must answer exactly like a resident
+// store, while the disk accounts every fault and write-back
+// deterministically.
+func TestTierPoolMatchesResident(t *testing.T) {
+	g := chunk.MustGeometry([]int{64}, []int{4}) // 16 chunks of 4 cells
+	plain := chunk.NewStore(g)
+	tiered := chunk.NewStore(g)
+	d := MustNew(DefaultModel())
+	if err := tiered.AttachTier(NewTier(d), 70); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		plain.Set([]int{i}, float64(i+1))
+		tiered.Set([]int{i}, float64(i+1))
+	}
+	if plain.Len() != tiered.Len() || plain.NumChunks() != tiered.NumChunks() {
+		t.Fatalf("shape mismatch: Len %d/%d NumChunks %d/%d",
+			plain.Len(), tiered.Len(), plain.NumChunks(), tiered.NumChunks())
+	}
+	for i := 0; i < 64; i++ {
+		if a, b := plain.Get([]int{i}), tiered.Get([]int{i}); a != b {
+			t.Fatalf("Get(%d): plain %v, tiered %v", i, a, b)
+		}
+	}
+	st := tiered.SpillStats()
+	if st.Evictions == 0 || st.Faults == 0 {
+		t.Fatalf("expected pool traffic: %+v", st)
+	}
+	ds := d.Stats()
+	if ds.Reads == 0 || ds.CostMs <= 0 {
+		t.Fatalf("disk never charged: %+v", ds)
+	}
+}
+
+// Faults through the tier surface the modeled cost in ReadInfo.CostMs,
+// mirroring the cost-hook contract (per-read attribution, no global
+// counter diffing).
+func TestTierFaultCostAttribution(t *testing.T) {
+	g := chunk.MustGeometry([]int{64}, []int{4})
+	s := chunk.NewStore(g)
+	d := MustNew(DefaultModel())
+	ti := NewTier(d)
+	for i := 0; i < 64; i++ {
+		s.Set([]int{i}, float64(i+1))
+	}
+	if err := s.AttachTier(ti, 70); err != nil {
+		t.Fatal(err)
+	}
+	// Evictions wrote most chunks to the tier; fault one back.
+	var faulted bool
+	for id := 0; id < 16; id++ {
+		c, info := s.ReadChunkInfo(id)
+		if c == nil {
+			t.Fatalf("chunk %d lost", id)
+		}
+		if info.Faulted {
+			faulted = true
+			if info.CostMs <= 0 {
+				t.Fatalf("fault of chunk %d carried no modeled cost: %+v", id, info)
+			}
+			if info.Durable {
+				t.Fatalf("simdisk tier is not durable: %+v", info)
+			}
+		}
+	}
+	if !faulted {
+		t.Fatal("no read faulted through the tier")
+	}
+}
+
+// The tier isolates its copies: mutating a faulted-in chunk must not
+// alter the tier's stored bytes until eviction writes it back.
+func TestTierCopyIsolation(t *testing.T) {
+	d := MustNew(DefaultModel())
+	ti := NewTier(d)
+	c := chunk.NewSparse(4)
+	c.Set(0, 1)
+	ti.Put(0, c)
+	c.Set(0, 2) // caller mutates after Put
+	got, _, err := ti.ReadChunkAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(0) != 1 {
+		t.Fatalf("tier copy aliased caller's chunk: %v", got.Get(0))
+	}
+	got.Set(0, 3) // caller mutates the read result
+	again, _, _ := ti.ReadChunkAt(0)
+	if again.Get(0) != 1 {
+		t.Fatalf("tier copy aliased read result: %v", again.Get(0))
+	}
+}

@@ -35,7 +35,17 @@ const (
 )
 
 // SaveBinary writes a chunk-backed cube in the binary format.
-func SaveBinary(c *cube.Cube, w io.Writer) error {
+func SaveBinary(c *cube.Cube, w io.Writer) error { return saveBinary(c, w, true) }
+
+// SaveSchema writes only the cube's schema — dimensions, bindings,
+// validity sets, and chunk geometry — as a binary stream with zero
+// chunks. The segment store embeds this blob in each segment file's
+// meta region: the schema travels with the cells, so a data directory
+// restores cubes without re-ingest. LoadSchema (or LoadBinary) reads
+// it back into a cube with an empty chunk store.
+func SaveSchema(c *cube.Cube, w io.Writer) error { return saveBinary(c, w, false) }
+
+func saveBinary(c *cube.Cube, w io.Writer, withChunks bool) error {
 	st, ok := c.Store().(*chunk.Store)
 	if !ok {
 		return fmt.Errorf("workload: binary format requires a chunk-backed cube, got %T", c.Store())
@@ -100,6 +110,10 @@ func SaveBinary(c *cube.Cube, w io.Writer) error {
 	for _, cd := range g.ChunkDims {
 		putU32(cd)
 	}
+	if !withChunks {
+		putU32(0)
+		return bw.Flush()
+	}
 	ids := st.ChunkIDs()
 	putU32(len(ids))
 	for _, id := range ids {
@@ -114,6 +128,11 @@ func SaveBinary(c *cube.Cube, w io.Writer) error {
 	}
 	return bw.Flush()
 }
+
+// LoadSchema reads a schema stream written by SaveSchema into a cube
+// backed by an empty chunk store (chunks come from a storage tier).
+// Any binary cube stream is accepted; cells, if present, load too.
+func LoadSchema(r io.Reader) (*cube.Cube, error) { return LoadBinary(r) }
 
 // binReader wraps error-sticky reads over a buffered reader.
 type binReader struct {

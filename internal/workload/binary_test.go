@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"whatifolap/internal/chunk"
 	"whatifolap/internal/paperdata"
 )
 
@@ -124,5 +125,42 @@ func TestBinarySmallerThanText(t *testing.T) {
 	}
 	if binBuf.Len() >= txtBuf.Len() {
 		t.Fatalf("binary (%d B) should be smaller than text (%d B)", binBuf.Len(), txtBuf.Len())
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	orig := paperdata.ChunkedWarehouse(nil)
+	var buf bytes.Buffer
+	if err := SaveSchema(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The schema blob must be far smaller than the full dump: no cells.
+	var full bytes.Buffer
+	if err := SaveBinary(orig, &full); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= full.Len() {
+		t.Fatalf("schema blob %d B not smaller than full dump %d B", buf.Len(), full.Len())
+	}
+	loaded, err := LoadSchema(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDims() != orig.NumDims() {
+		t.Fatalf("dims = %d, want %d", loaded.NumDims(), orig.NumDims())
+	}
+	if loaded.NumCells() != 0 {
+		t.Fatalf("schema-only cube has %d cells, want 0", loaded.NumCells())
+	}
+	lst, ok := loaded.Store().(*chunk.Store)
+	if !ok {
+		t.Fatalf("schema cube store is %T", loaded.Store())
+	}
+	ost := orig.Store().(*chunk.Store)
+	if lst.Geometry().ChunkCap() != ost.Geometry().ChunkCap() {
+		t.Fatal("geometry lost in schema round trip")
+	}
+	if loaded.BindingFor("Organization") == nil {
+		t.Fatal("binding lost in schema round trip")
 	}
 }

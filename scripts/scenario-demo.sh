@@ -8,13 +8,29 @@ set -eu
 PORT="${SCENARIO_DEMO_PORT:-18080}"
 BASE="http://127.0.0.1:$PORT"
 BIN="${TMPDIR:-/tmp}/whatifd.demo.$$"
+DATA_DIR=$(mktemp -d "${TMPDIR:-/tmp}/whatifd.demo.data.XXXXXX")
 
 say() { printf '\n== %s\n' "$*"; }
 
+# Cleanup runs on EVERY exit path — normal completion, set -e failures,
+# and signals — so a half-finished demo never leaves a stray daemon, a
+# built binary, or the ephemeral data directory behind. Installed
+# before the daemon starts: a failure between spawn and the old
+# post-spawn trap used to orphan the process.
+PID=""
+cleanup() {
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    rm -f "$BIN"
+    rm -rf "$DATA_DIR"
+}
+trap cleanup EXIT INT TERM
+
 go build -o "$BIN" ./cmd/whatifd
-"$BIN" -workforce -addr "127.0.0.1:$PORT" &
+"$BIN" -workforce -addr "127.0.0.1:$PORT" -data-dir "$DATA_DIR" &
 PID=$!
-trap 'kill "$PID" 2>/dev/null; wait "$PID" 2>/dev/null || true; rm -f "$BIN"' EXIT INT TERM
 
 # Wait for the daemon to come up.
 i=0
@@ -63,6 +79,10 @@ curl -fsS -X POST "$BASE/scenarios/$SID/commit" | jq .
 
 say "catalog after (workforce is now at the committed version)"
 curl -fsS "$BASE/cubes" | jq .
+
+say "storage: the committed version is written back to the data dir"
+curl -fsS "$BASE/metrics" | jq '{writeback_pending}'
+ls "$DATA_DIR"
 
 say "discard the fork"
 curl -fsS -X DELETE "$BASE/scenarios/$FID" -o /dev/null -w 'HTTP %{http_code}\n'

@@ -39,10 +39,11 @@ go test ./...
 # merge-group scan and overlay-kernel equivalence tests, the buffer
 # pool's concurrent fault-in tests, the observability layer (span
 # recorder, trace-derived histograms, slow-query log, EXPLAIN), the
-# scenario workspace fork/edit/query races and the lint suite's
+# scenario workspace fork/edit/query races, the storage tier (segment
+# reads, manifest commits, background write-back) and the lint suite's
 # analyzer/driver tests.
-echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario' ./..."
-go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario' ./...
+echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback' ./..."
+go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback' ./...
 
 # Advisory (non-fatal): known-vulnerability scan, skipped when the
 # toolchain image does not ship govulncheck or has no network.
