@@ -43,7 +43,7 @@ bench:
 # series, the overlay-kernel write-path comparison and the trace
 # overhead guard; full numbers come from `make bench` or cmd/benchfig.
 bench-smoke:
-	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan|BenchmarkRelocationKernel|BenchmarkTrace' -benchtime=100ms .
+	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan|BenchmarkRelocationKernel|BenchmarkRleScan|BenchmarkTrace' -benchtime=100ms .
 
 # CPU profile of the relocation kernel under the trace hooks; inspect
 # with `go tool pprof cpu.prof`.

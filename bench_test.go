@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"whatifolap/internal/bench"
+	"whatifolap/internal/chunk"
 	"whatifolap/internal/core"
 	"whatifolap/internal/dimension"
 	"whatifolap/internal/perspective"
@@ -469,4 +470,72 @@ func subK(k int) string {
 		k /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- Run-encoded scan: run kernel vs per-cell relocation ---
+
+var (
+	rleOnce sync.Once
+	rleWf   *workload.Workforce
+	rleErr  error
+)
+
+// rleBenchWorkforce builds the validity-window cube shape of the RLE
+// figure — flat months (constant value across each instance's validity
+// window) and a period-fastest chunk layout — at benchmark scale.
+func rleBenchWorkforce(b *testing.B) *workload.Workforce {
+	b.Helper()
+	rleOnce.Do(func() {
+		cfg := benchConfig()
+		cfg.FlatMonths = true
+		cfg.ChunkDims = []int{64, 12, 1, 1, 1, 1, 1}
+		rleWf, rleErr = workload.NewWorkforce(cfg)
+	})
+	if rleErr != nil {
+		b.Fatal(rleErr)
+	}
+	return rleWf
+}
+
+// BenchmarkRleScan runs the same serial forward query over the cube
+// stored per-cell (auto dense/sparse) and run-encoded. Only the
+// run-encoded variant takes the run-aware kernel; store_bytes and
+// cells_relocated are reported per variant, scan throughput is the
+// cells_relocated over the scan stage captured in BENCH_rle_scan.json.
+func BenchmarkRleScan(b *testing.B) {
+	w := rleBenchWorkforce(b)
+	variants := []struct {
+		name   string
+		encode bool
+	}{{"per-cell", false}, {"run-encoded", true}}
+	for _, va := range variants {
+		b.Run(va.name, func(b *testing.B) {
+			c := w.Cube.Clone()
+			st := c.Store().(*chunk.Store)
+			if va.encode {
+				if n := st.EncodeRunsAll(); n == 0 {
+					b.Fatal("nothing run-encoded")
+				}
+			}
+			e, err := core.New(c, workload.DimDepartment)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := core.PerspectiveQuery{
+				Members: w.Changing, Perspectives: []int{0, 3, 6, 9},
+				Sem: perspective.Forward, Mode: perspective.NonVisual,
+			}
+			var cells int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := e.ExecPerspective(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = v.Stats.CellsRelocated
+			}
+			b.ReportMetric(float64(cells), "cells_relocated")
+			b.ReportMetric(float64(st.MemBytes()), "store_bytes")
+		})
+	}
 }

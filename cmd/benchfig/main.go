@@ -10,7 +10,8 @@
 //	benchfig -fig 12            # chunk co-location vs. query time (§6.2)
 //	benchfig -fig 13            # varying members vs. query time (§6.3)
 //	benchfig -fig overlay-kernel  # overlay write path: MemStore vs chunk-native
-//	benchfig -fig ablation-pebble | ablation-mode | ablation-rep
+//	benchfig -fig rle-scan        # run-encoded chunks vs per-cell relocation
+//	benchfig -fig ablation-pebble | ablation-mode | ablation-rep | ablation-compress
 //	benchfig -fig all
 //	benchfig -fig 11 -employees 20250 -accounts 100 -scenarios 5  # paper scale
 package main
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, parallel-scan, overlay-kernel, ablation-pebble, ablation-mode, ablation-rep, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, parallel-scan, overlay-kernel, rle-scan, ablation-pebble, ablation-mode, ablation-rep, ablation-compress, all")
 		reps      = flag.Int("reps", 3, "repetitions per point (fastest wins)")
 		employees = flag.Int("employees", 0, "workforce scale override")
 		accounts  = flag.Int("accounts", 0, "accounts override")
@@ -85,6 +86,10 @@ func main() {
 		ablationRep(w, *reps)
 	case "ablation-compress":
 		ablationCompress(w, *reps)
+	case "rle-scan":
+		// rle-scan generates its own validity-window cube (FlatMonths,
+		// period-fastest chunks), so the shared workforce is not used.
+		rleScan(*reps)
 	case "all":
 		fig11(w, *reps)
 		fig12(*reps)
@@ -95,6 +100,7 @@ func main() {
 		ablationMode(w, *reps)
 		ablationRep(w, *reps)
 		ablationCompress(w, *reps)
+		rleScan(*reps)
 	default:
 		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}
@@ -149,13 +155,38 @@ func parallelScan(w *workload.Workforce, reps int) {
 	fmt.Println("# Parallel scan — scan workers vs. query time")
 	fmt.Println("# dynamic forward over all changing employees, 4 perspectives {Jan,Apr,Jul,Oct};")
 	fmt.Println("# the scan fans out over independent merge groups, speedup relative to 1 worker")
-	fmt.Println("workers,wall_ms,speedup,merge_groups,chunk_reads")
+	fmt.Println("workers,wall_ms,speedup,merge_groups,subtasks,chunk_reads")
 	rows, err := bench.ParallelScan(w, []int{1, 2, 4, 8}, reps)
 	if err != nil {
 		fatal(err)
 	}
 	for _, r := range rows {
-		fmt.Printf("%d,%.3f,%.2f,%d,%d\n", r.Workers, r.WallMS, r.Speedup, r.MergeGroups, r.ChunkReads)
+		fmt.Printf("%d,%.3f,%.2f,%d,%d,%d\n", r.Workers, r.WallMS, r.Speedup, r.MergeGroups, r.Subtasks, r.ChunkReads)
+	}
+	fmt.Println()
+}
+
+func rleScan(reps int) {
+	fmt.Println("# RLE scan — run-encoded chunks vs per-cell relocation")
+	fmt.Println("# validity-window cube (FlatMonths workforce, period-fastest chunks);")
+	fmt.Println("# serial forward over all changing employees, 4 perspectives {Jan,Apr,Jul,Oct};")
+	fmt.Println("# only the run-encoded row uses the run kernel — the others measure the")
+	fmt.Println("# unchanged per-cell path")
+	cfg := bench.RleScanConfig()
+	fmt.Fprintf(os.Stderr, "benchfig: generating flat-months workforce (%d employees)...\n", cfg.Employees)
+	w, err := workload.NewWorkforce(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("representation,store_bytes,dense_chunks,sparse_chunks,run_chunks,wall_ms,scan_ms,cells_relocated,cells_per_sec")
+	rows, err := bench.RleScan(w, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%d,%d,%d,%.3f,%.3f,%d,%.0f\n",
+			r.Representation, r.StoreBytes, r.DenseChunks, r.SparseChunks, r.RunChunks,
+			r.WallMS, r.ScanMS, r.CellsRelocated, r.CellsPerSec)
 	}
 	fmt.Println()
 }

@@ -89,6 +89,7 @@ func main() {
 		traceSpans = flag.Int("trace-spans", 0, "span buffer size per traced query (0 = default)")
 		dataDir    = flag.String("data-dir", "", "persistent data directory: restore cubes from it at startup and write published versions back as segment files (empty = in-memory only)")
 		useMmap    = flag.Bool("mmap", false, "with -data-dir, serve segment reads through a read-only memory map instead of pread")
+		rle        = flag.Bool("rle", true, "run-length encode eligible chunks of every served cube at startup (smaller resident set, run-aware scans)")
 	)
 	flag.Var(&loads, "load", "serve a cube dump as name=path (repeatable; text or binary format)")
 	flag.Parse()
@@ -146,6 +147,21 @@ func main() {
 	names := catalog.Names()
 	if len(names) == 0 {
 		fatal(errors.New("no cubes: pass -paper, -workforce, -load name=path, or -data-dir with restorable cubes"))
+	}
+	if *rle {
+		// Sweep before serving: conversion is a representation change,
+		// not a version change, so nothing is re-persisted — restored
+		// segments already hold run records where they paid off.
+		for _, name := range names {
+			snap, err := catalog.Acquire(name)
+			if err != nil {
+				continue
+			}
+			if n, err := olap.EncodeRuns(snap.Cube); err == nil && n > 0 {
+				fmt.Fprintf(os.Stderr, "whatifd: run-encoded %d chunks of %q\n", n, name)
+			}
+			snap.Release()
+		}
 	}
 
 	svc := server.New(catalog, server.Config{

@@ -209,3 +209,82 @@ func TestWhatifdKill9RestartRoundTrip(t *testing.T) {
 	cmd2.Process.Signal(syscall.SIGTERM)
 	cmd2.Wait()
 }
+
+// TestWhatifdRleKill9Restart is the -rle variant of the kill -9 round
+// trip: the daemon run-length encodes its cubes at startup, serves
+// queries from run-encoded chunks, persists a committed scenario, dies
+// without a flush hook, and the restarted daemon — which re-sweeps the
+// restored store — answers with the committed values.
+func TestWhatifdRleKill9Restart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and restarts the daemon binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "whatifd.test.bin")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	cmd := startDaemon(t, bin, port, "-paper", "-rle", "-data-dir", dataDir)
+
+	var g gridJSON
+	postJSON(t, base+"/query", map[string]interface{}{"cube": "paper", "query": fteJanQuery}, &g)
+	if g.Version != 1 || oneCell(t, g) != 20 {
+		t.Fatalf("baseline over run-encoded chunks: version %d cell %v, want v1 cell 20", g.Version, oneCell(t, g))
+	}
+
+	var sc struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/scenarios", map[string]string{"name": "raise", "cube": "paper"}, &sc)
+	postJSON(t, base+"/scenarios/"+sc.ID+"/edit", map[string]interface{}{
+		"edits": []map[string]interface{}{
+			{"op": "set", "cell": map[string]string{
+				"Organization": "FTE/Lisa", "Location": "NY", "Time": "Jan", "Measures": "Salary",
+			}, "value": 42},
+		},
+	}, nil)
+	var committed struct {
+		Version int64 `json:"version"`
+	}
+	postJSON(t, base+"/scenarios/"+sc.ID+"/commit", nil, &committed)
+	if committed.Version != 2 {
+		t.Fatalf("commit version = %d, want 2", committed.Version)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var m struct {
+			WritebackPending int64 `json:"writeback_pending"`
+		}
+		getJSON(t, base+"/metrics", &m)
+		if m.WritebackPending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write-back queue never drained (pending=%d)", m.WritebackPending)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	port2 := freePort(t)
+	base2 := fmt.Sprintf("http://127.0.0.1:%d", port2)
+	cmd2 := startDaemon(t, bin, port2, "-rle", "-data-dir", dataDir)
+
+	var g2 gridJSON
+	postJSON(t, base2+"/query", map[string]interface{}{"cube": "paper", "query": fteJanQuery}, &g2)
+	if g2.Version != 2 || oneCell(t, g2) != 10+42 {
+		t.Fatalf("restored: version %d cell %v, want v2 cell 52", g2.Version, oneCell(t, g2))
+	}
+
+	cmd2.Process.Signal(syscall.SIGTERM)
+	cmd2.Wait()
+}

@@ -560,16 +560,20 @@ type ParallelScanRow struct {
 	WallMS      float64
 	Speedup     float64 // serial wall time / this wall time
 	MergeGroups int
-	ChunkReads  int
+	// Subtasks is how many schedule cuts the scan fanned out over —
+	// above MergeGroups when intra-group splitting applied, 0 serial.
+	Subtasks   int
+	ChunkReads int
 }
 
-// ParallelScan measures the staged pipeline's parallel merge-group
-// scan: a dynamic-forward query over every changing employee with four
+// ParallelScan measures the staged pipeline's parallel scan: a
+// dynamic-forward query over every changing employee with four
 // perspectives, executed at each worker count. Workers = 1 is the
-// serial baseline the speedups are relative to. Results are identical
-// at every worker count (merge groups share no merge edges); only the
-// wall time changes, bounded by the host's core count and by
-// MergeGroups.
+// serial baseline the speedups are relative to. Each merge group's
+// schedule is further cut into crossing-free sub-tasks, so the fan-out
+// is bounded by min(cores, chunks), not min(cores, merge groups).
+// Results are identical at every worker count; only the wall time
+// changes, bounded by the host's core count.
 func ParallelScan(w *workload.Workforce, workers []int, reps int) ([]ParallelScanRow, error) {
 	e, err := core.New(w.Cube, workload.DimDepartment)
 	if err != nil {
@@ -597,6 +601,7 @@ func ParallelScan(w *workload.Workforce, workers []int, reps int) ([]ParallelSca
 			Workers:     n,
 			WallMS:      wall,
 			MergeGroups: stats.MergeGroups,
+			Subtasks:    stats.ScanSubtasks,
 			ChunkReads:  stats.ChunksRead,
 		}
 		if serialMS == 0 {
@@ -608,4 +613,120 @@ func ParallelScan(w *workload.Workforce, workers []int, reps int) ([]ParallelSca
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// RleScanRow is one representation's point of the run-encoding figure:
+// resident store footprint and relocation-scan throughput of the same
+// forward query over a validity-window cube (FlatMonths workforce,
+// period as the fastest in-chunk dimension, so a stable instance's
+// twelve months form one value run).
+type RleScanRow struct {
+	Representation string
+	// StoreBytes is the resident footprint of the base store under this
+	// representation.
+	StoreBytes int
+	// Chunks counts base chunks per representation kind.
+	DenseChunks, SparseChunks, RunChunks int
+	// WallMS is the whole query's wall time; ScanMS the scan stage's
+	// (chunk reads + relocation) — the part the representation changes.
+	// Planning work is identical across rows and dominates WallMS at
+	// this scale, so throughput is computed over ScanMS.
+	WallMS         float64
+	ScanMS         float64
+	CellsRelocated int
+	// CellsPerSec is relocation throughput: CellsRelocated per second
+	// of scan-stage time.
+	CellsPerSec float64
+}
+
+// RleScanConfig returns the validity-window cube shape the RLE figure
+// runs on: ConfigDefault values with FlatMonths (constant value across
+// each instance's validity window) and a period-fastest chunk layout —
+// one department row of 64 employees × 12 months per chunk — so runs
+// extend along the validity window.
+func RleScanConfig() workload.WorkforceConfig {
+	cfg := workload.ConfigDefault()
+	cfg.FlatMonths = true
+	cfg.ChunkDims = []int{64, 12, 1, 1, 1, 1, 1}
+	return cfg
+}
+
+// RleScan measures the run-aware scan against the per-cell paths: the
+// same serial forward query over every changing employee at four
+// perspectives, against the cube stored as-loaded (auto dense/sparse),
+// forced sparse, and run-encoded. The run-encoded row exercises the
+// run kernel (chunk.ForEachRun + coalesced overlay run writes); the
+// other rows keep the unchanged per-cell relocation path, so the
+// comparison isolates the kernel.
+func RleScan(w *workload.Workforce, reps int) ([]RleScanRow, error) {
+	measure := func(label string, c *cube.Cube) (RleScanRow, error) {
+		st := c.Store().(*chunk.Store)
+		e, err := core.New(c, workload.DimDepartment)
+		if err != nil {
+			return RleScanRow{}, err
+		}
+		var stats core.Stats
+		scanMS := 0.0
+		wall, err := timeIt(reps, func() error {
+			v, err := e.ExecPerspective(core.PerspectiveQuery{
+				Members: w.Changing, Perspectives: []int{0, 3, 6, 9},
+				Sem: perspective.Forward, Mode: perspective.NonVisual,
+			})
+			if err == nil {
+				stats = v.Stats
+				if scanMS == 0 || v.Stats.ScanMs < scanMS {
+					scanMS = v.Stats.ScanMs
+				}
+			}
+			return err
+		})
+		if err != nil {
+			return RleScanRow{}, err
+		}
+		row := RleScanRow{
+			Representation: label,
+			StoreBytes:     st.MemBytes(),
+			WallMS:         wall,
+			ScanMS:         scanMS,
+			CellsRelocated: stats.CellsRelocated,
+		}
+		row.DenseChunks, row.SparseChunks, row.RunChunks = countReps(st)
+		if scanMS > 0 {
+			row.CellsPerSec = float64(stats.CellsRelocated) / (scanMS / 1000)
+		}
+		return row, nil
+	}
+	auto, err := measure("auto (dense when >25% full)", w.Cube)
+	if err != nil {
+		return nil, err
+	}
+	sparseCube := w.Cube.Clone()
+	sparseCube.Store().(*chunk.Store).ForceSparseAll()
+	sparse, err := measure("forced sparse", sparseCube)
+	if err != nil {
+		return nil, err
+	}
+	rleCube := w.Cube.Clone()
+	rleCube.Store().(*chunk.Store).EncodeRunsAll()
+	rle, err := measure("run-encoded", rleCube)
+	if err != nil {
+		return nil, err
+	}
+	return []RleScanRow{auto, sparse, rle}, nil
+}
+
+// countReps tallies a store's chunks by representation.
+func countReps(st *chunk.Store) (dense, sparse, runs int) {
+	for _, id := range st.ChunkIDs() {
+		switch c := st.ReadChunk(id); {
+		case c == nil:
+		case c.Rep() == chunk.Dense:
+			dense++
+		case c.Rep() == chunk.RunEncoded:
+			runs++
+		default:
+			sparse++
+		}
+	}
+	return dense, sparse, runs
 }

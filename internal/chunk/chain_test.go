@@ -223,3 +223,74 @@ func TestScenarioChainMemStoreBase(t *testing.T) {
 		t.Fatalf("layer cell = %v, want 6", got)
 	}
 }
+
+// TestScenarioChainOverRunEncodedBase layers scenario edits over a
+// run-encoded base: reads resolve newest-wins through the encoded
+// chunks, ForEachMerged matches a plain-store twin cell for cell, and
+// the base chunks stay run-encoded throughout — layer edits must never
+// force a base decode (copy-on-write applies to writes, and scenario
+// writes land in layers, not the base).
+func TestScenarioChainOverRunEncodedBase(t *testing.T) {
+	g := MustGeometry([]int{4, 4}, []int{2, 2})
+	build := func() *Store {
+		st := NewStore(g)
+		for i := 0; i < 4; i++ { // one value run per row pair
+			st.Set([]int{0, i}, 7)
+			st.Set([]int{1, i}, 7)
+			st.Set([]int{2, i}, 8)
+		}
+		return st
+	}
+	plain := build()
+	rle := build()
+	if n := rle.ForceRunEncodeAll(); n == 0 {
+		t.Fatal("nothing run-encoded")
+	}
+
+	layer := NewLayer(g)
+	layer.Set([]int{0, 1}, 70)   // override inside a run
+	layer.Delete([]int{2, 2})    // tombstone inside a run
+	layer.Set([]int{3, 3}, 99)   // layer-only cell in an empty base chunk
+	plainChain := NewChain(plain, []*Layer{layer})
+	rleChain := NewChain(rle, []*Layer{layer})
+
+	addr := []int{0, 0}
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			addr[0], addr[1] = x, y
+			pw, gw := plainChain.Get(addr), rleChain.Get(addr)
+			if math.IsNaN(pw) != math.IsNaN(gw) || (!math.IsNaN(pw) && pw != gw) {
+				t.Fatalf("Get(%v): run-encoded chain %v, plain %v", addr, gw, pw)
+			}
+		}
+	}
+
+	for _, id := range []int{0, 1, 2, 3} {
+		pb, _ := plainChain.ChunkBase().ReadChunkInfo(id)
+		rb, _ := rleChain.ChunkBase().ReadChunkInfo(id)
+		want := map[int]float64{}
+		plainChain.ForEachMerged(id, pb, func(off int, v float64) bool {
+			want[off] = v
+			return true
+		})
+		got := map[int]float64{}
+		rleChain.ForEachMerged(id, rb, func(off int, v float64) bool {
+			got[off] = v
+			return true
+		})
+		if len(want) != len(got) {
+			t.Fatalf("chunk %d: merged %d cells, want %d", id, len(got), len(want))
+		}
+		for off, w := range want {
+			if got[off] != w {
+				t.Fatalf("chunk %d off %d: merged %v, want %v", id, off, got[off], w)
+			}
+		}
+	}
+
+	for _, id := range rle.ChunkIDs() {
+		if c := rle.ReadChunk(id); c != nil && c.Rep() != RunEncoded {
+			t.Fatalf("base chunk %d decoded to %v by chain reads", id, c.Rep())
+		}
+	}
+}

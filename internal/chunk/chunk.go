@@ -20,6 +20,10 @@ const (
 	// Sparse chunks hold sorted (offset, value) pairs; the paper's
 	// engine compresses sparse regions this way.
 	Sparse
+	// RunEncoded chunks hold RLE value runs (sorted start offsets with
+	// lengths and one value per run; Null runs are elided). The engine's
+	// scan consumes runs directly via ForEachRun — see run.go.
+	RunEncoded
 )
 
 // sparseThreshold is the occupancy fraction above which a sparse chunk
@@ -36,6 +40,11 @@ type Chunk struct {
 	// sparse representation: parallel sorted slices.
 	offs []int32
 	vals []float64
+	// run-encoded representation: parallel slices of non-overlapping
+	// runs in ascending start order (see run.go).
+	runOffs []int32
+	runLens []int32
+	runVals []float64
 }
 
 // NewDense allocates a dense chunk with the given cell capacity.
@@ -56,6 +65,9 @@ func NewSparse(capacity int) *Chunk {
 func (c *Chunk) Rep() Representation {
 	if c.dense != nil {
 		return Dense
+	}
+	if c.runOffs != nil {
+		return RunEncoded
 	}
 	return Sparse
 }
@@ -86,6 +98,9 @@ func (c *Chunk) Get(off int) float64 {
 	if c.dense != nil {
 		return c.dense[off]
 	}
+	if c.runOffs != nil {
+		return c.runGet(off)
+	}
 	i := sort.Search(len(c.offs), func(i int) bool { return c.offs[i] >= int32(off) })
 	if i < len(c.offs) && c.offs[i] == int32(off) {
 		return c.vals[i]
@@ -94,9 +109,13 @@ func (c *Chunk) Get(off int) float64 {
 }
 
 // Set writes v at the in-chunk offset; NaN deletes. A sparse chunk that
-// grows past the density threshold is promoted to dense.
+// grows past the density threshold is promoted to dense; a run-encoded
+// chunk is decoded first (copy-on-write: runs are immutable).
 func (c *Chunk) Set(off int, v float64) {
 	c.checkOff(off)
+	if c.runOffs != nil {
+		c.decodeRuns()
+	}
 	if c.dense != nil {
 		was := !math.IsNaN(c.dense[off])
 		now := !math.IsNaN(v)
@@ -161,6 +180,17 @@ func (c *Chunk) ForEach(fn func(off int, v float64) bool) {
 		}
 		return
 	}
+	if c.runOffs != nil {
+		for i, off := range c.runOffs {
+			v := c.runVals[i]
+			for j := 0; j < int(c.runLens[i]); j++ {
+				if !fn(int(off)+j, v) {
+					return
+				}
+			}
+		}
+		return
+	}
 	for i, off := range c.offs {
 		if !fn(int(off), c.vals[i]) {
 			return
@@ -203,11 +233,18 @@ func (c *Chunk) Compress() bool {
 	return false
 }
 
-// ForceSparse converts a dense chunk to the sparse representation
-// regardless of occupancy. Above the density threshold this *grows* the
-// footprint (12 bytes per cell vs. 8); it exists for representation
-// ablations.
+// ForceSparse converts a dense or run-encoded chunk to the sparse
+// representation regardless of occupancy. Above the density threshold
+// this *grows* the footprint (12 bytes per cell vs. 8); it exists for
+// representation ablations.
 func (c *Chunk) ForceSparse() bool {
+	if c.runOffs != nil {
+		c.decodeRuns()
+		if c.dense != nil {
+			c.toSparse()
+		}
+		return true
+	}
 	if c.dense == nil {
 		return false
 	}
@@ -218,9 +255,14 @@ func (c *Chunk) ForceSparse() bool {
 // Clone returns an independent copy.
 func (c *Chunk) Clone() *Chunk {
 	out := &Chunk{cap: c.cap, n: c.n}
-	if c.dense != nil {
+	switch {
+	case c.dense != nil:
 		out.dense = append([]float64(nil), c.dense...)
-	} else {
+	case c.runOffs != nil:
+		out.runOffs = append([]int32(nil), c.runOffs...)
+		out.runLens = append([]int32(nil), c.runLens...)
+		out.runVals = append([]float64(nil), c.runVals...)
+	default:
 		out.offs = append([]int32(nil), c.offs...)
 		out.vals = append([]float64(nil), c.vals...)
 	}
@@ -228,10 +270,15 @@ func (c *Chunk) Clone() *Chunk {
 }
 
 // MemBytes estimates the chunk's resident size in bytes, used by memory
-// accounting in the engine and the MMST computation.
+// accounting in the engine, the buffer pool's eviction budget and the
+// MMST computation. A run-encoded chunk is charged its encoded size (16
+// bytes per run), not its logical cell capacity.
 func (c *Chunk) MemBytes() int {
 	if c.dense != nil {
 		return 8 * c.cap
+	}
+	if c.runOffs != nil {
+		return 16 * len(c.runOffs)
 	}
 	return 12 * len(c.offs)
 }

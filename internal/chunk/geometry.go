@@ -78,6 +78,30 @@ func (g *Geometry) NumChunks() int {
 // ChunkCap returns the number of cell slots per (full) chunk.
 func (g *Geometry) ChunkCap() int { return g.chunkCap }
 
+// ChunkIDStride returns the canonical-ID increment of one step along
+// dimension dim's chunk coordinate (IDs are row-major over chunk
+// coordinates). The run-aware relocation kernel derives destination
+// chunk IDs with it instead of recomposing full coordinates.
+func (g *Geometry) ChunkIDStride(dim int) int {
+	stride := 1
+	for i := dim + 1; i < len(g.chunksPer); i++ {
+		stride *= g.chunksPer[i]
+	}
+	return stride
+}
+
+// OffsetStride returns the in-chunk offset increment of one step along
+// dimension dim (offsets are row-major over chunk-local digits, last
+// dimension fastest). The run kernel segments runs at multiples of
+// these strides, where the chunk-local digits of interest are constant.
+func (g *Geometry) OffsetStride(dim int) int {
+	stride := 1
+	for i := dim + 1; i < len(g.ChunkDims); i++ {
+		stride *= g.ChunkDims[i]
+	}
+	return stride
+}
+
 // Contains reports whether addr is a valid cell address under the
 // geometry: matching arity, every ordinal within its extent. Scenario
 // layer chains use it to route an address past layers (or a base) too

@@ -76,6 +76,56 @@ func (o *Overlay) Set(addr []int, v float64) {
 // the overlay's writes have triggered so far.
 func (o *Overlay) Promotions() int { return o.promotions }
 
+// SetRunAt writes n copies of v starting at offset off of the chunk
+// with canonical ID id — the run-aware relocation kernel's write path.
+// One map probe and one chunk-level run write cover the whole segment,
+// against n SplitID computations and n probes on the per-cell path.
+// v must be non-Null and the run must lie inside the chunk (the kernel
+// segments runs at chunk-digit boundaries, so both hold by
+// construction).
+func (o *Overlay) SetRunAt(id, off, n int, v float64) {
+	c := o.chunks[id]
+	if c == nil {
+		c = NewSparse(o.geom.ChunkCap())
+		o.chunks[id] = c
+	}
+	before := c.Len()
+	wasSparse := c.dense == nil
+	c.SetRun(off, n, v)
+	if wasSparse && c.dense != nil {
+		o.promotions++
+	}
+	o.cells += c.Len() - before
+}
+
+// Absorb folds src's chunks into o: chunks o lacks are adopted by
+// reference (O(1)), overlapping chunks merge cell by cell. The parallel
+// executor folds each merge group's sub-task overlays this way — their
+// cell sets are disjoint (relocation destinations are injective per
+// parameter leaf), so the fold is order-insensitive on content even
+// though sub-tasks of one group may materialize the same destination
+// chunk. src must share o's geometry and must not be used afterwards.
+func (o *Overlay) Absorb(src *Overlay) {
+	for id, sc := range src.chunks {
+		dst := o.chunks[id]
+		if dst == nil {
+			o.chunks[id] = sc
+			o.cells += sc.Len()
+			continue
+		}
+		before := dst.Len()
+		wasSparse := dst.dense == nil
+		sc.ForEach(func(off int, v float64) bool {
+			dst.Set(off, v)
+			return true
+		})
+		if wasSparse && dst.dense != nil {
+			o.promotions++
+		}
+		o.cells += dst.Len() - before
+	}
+}
+
 // NonNull implements cube.Store. Chunks are visited in canonical ID
 // order, cells within a chunk in offset order, so iteration is
 // deterministic.

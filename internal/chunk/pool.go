@@ -190,13 +190,18 @@ type SpillStats struct {
 	Evictions int
 	// Pinned is the number of distinct chunk ids currently pinned.
 	Pinned int
+	// ResidentBytes is the pool's byte accounting of resident chunks —
+	// what the eviction budget compares against. Representation sweeps
+	// (CompressAll, EncodeRunsAll, …) flow their byte deltas into it,
+	// so an encoded store's budget headroom grows with the encoding.
+	ResidentBytes int
 }
 
 // SpillStats reports the buffer pool's state. Resident is the full
 // chunk count and the rest zero when no tier is attached.
 func (s *Store) SpillStats() SpillStats {
 	if s.pool == nil {
-		return SpillStats{Resident: len(s.chunks)}
+		return SpillStats{Resident: len(s.chunks), ResidentBytes: s.MemBytes()}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -209,11 +214,12 @@ func (s *Store) SpillStats() SpillStats {
 		spilled++
 	}
 	return SpillStats{
-		Resident:  len(s.chunks),
-		Spilled:   spilled,
-		Faults:    p.faults,
-		Evictions: p.evictions,
-		Pinned:    len(p.pins),
+		Resident:      len(s.chunks),
+		Spilled:       spilled,
+		Faults:        p.faults,
+		Evictions:     p.evictions,
+		Pinned:        len(p.pins),
+		ResidentBytes: p.residentBytes,
 	}
 }
 

@@ -1,0 +1,247 @@
+// Run-length encoding over value runs: the third chunk representation
+// (alongside dense and sparse) and the run iterator the engine's
+// run-aware relocation kernel consumes.
+//
+// A run-encoded chunk stores maximal runs of bit-identical non-Null
+// values as three parallel slices: ascending start offsets, lengths,
+// and one value per run. Null runs are elided entirely — a gap between
+// runs *is* the Null run. At 16 bytes per run the encoding wins
+// whenever the run ratio (runs per non-null cell) clears
+// runEncodeThreshold; temporally repetitive data (the workforce cube's
+// SCD-2 validity windows, where a member's value repeats across its
+// window's contiguous time ordinals) compresses by an order of
+// magnitude.
+//
+// Runs are immutable: Set on a run-encoded chunk decodes first
+// (copy-on-write) back to dense or sparse by occupancy, so scenario
+// layers and commits never mutate encoded slices in place.
+//
+// This file is on the engine's scan hot path (ForEachRun feeds the
+// relocation kernel): no fmt, and no per-cell allocation — verify.sh's
+// whatiflint gate enforces the former, the AllocsPerRun pins in
+// run_test.go the latter.
+package chunk
+
+import (
+	"math"
+	"sort"
+)
+
+// runEncodeThreshold is the run ratio (runs per non-null cell) at or
+// below which EncodeRuns converts: 16 bytes per run must beat the 8
+// bytes per cell of the dense array, so paying off at half a run per
+// cell keeps the encoding no larger than dense even before Null-run
+// elision.
+const runEncodeThreshold = 0.5
+
+// RunCount returns the number of maximal value runs the chunk's
+// non-null cells form (its length in runs). For dense and sparse
+// chunks this scans; for run-encoded chunks it is O(1).
+func (c *Chunk) RunCount() int {
+	if c.runOffs != nil {
+		return len(c.runOffs)
+	}
+	n := 0
+	c.ForEachRun(func(off, runLen int, v float64) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEachRun calls fn for every maximal run of bit-identical non-null
+// values, in ascending offset order: fn(start, length, value). Every
+// non-null cell is covered by exactly one run; Null cells by none.
+// Equality is on float64 bit patterns, so -0 and 0 stay distinct and a
+// decode reproduces the chunk bit-exactly. The iteration allocates
+// nothing on any representation (pinned by TestForEachRunAllocs).
+func (c *Chunk) ForEachRun(fn func(off, runLen int, v float64) bool) {
+	switch {
+	case c.runOffs != nil:
+		for i, off := range c.runOffs {
+			if !fn(int(off), int(c.runLens[i]), c.runVals[i]) {
+				return
+			}
+		}
+	case c.dense != nil:
+		start, length := 0, 0
+		var bits uint64
+		for off, v := range c.dense {
+			if math.IsNaN(v) {
+				if length > 0 {
+					if !fn(start, length, math.Float64frombits(bits)) {
+						return
+					}
+					length = 0
+				}
+				continue
+			}
+			b := math.Float64bits(v)
+			if length > 0 && b == bits {
+				length++
+				continue
+			}
+			if length > 0 {
+				if !fn(start, length, math.Float64frombits(bits)) {
+					return
+				}
+			}
+			start, length, bits = off, 1, b
+		}
+		if length > 0 {
+			fn(start, length, math.Float64frombits(bits))
+		}
+	default:
+		start, length := 0, 0
+		var bits uint64
+		for i, off := range c.offs {
+			b := math.Float64bits(c.vals[i])
+			if length > 0 && b == bits && int(off) == start+length {
+				length++
+				continue
+			}
+			if length > 0 {
+				if !fn(start, length, math.Float64frombits(bits)) {
+					return
+				}
+			}
+			start, length, bits = int(off), 1, b
+		}
+		if length > 0 {
+			fn(start, length, math.Float64frombits(bits))
+		}
+	}
+}
+
+// runGet is the run-encoded read path: binary search for the run
+// containing off.
+func (c *Chunk) runGet(off int) float64 {
+	i := sort.Search(len(c.runOffs), func(i int) bool { return c.runOffs[i] > int32(off) }) - 1
+	if i >= 0 && int32(off) < c.runOffs[i]+c.runLens[i] {
+		return c.runVals[i]
+	}
+	return math.NaN()
+}
+
+// EncodeRuns converts a dense or sparse chunk to the run-encoded
+// representation when the run ratio clears runEncodeThreshold (i.e. the
+// encoding is at most as large as the dense array). It reports whether
+// a conversion happened. Empty and already-encoded chunks are left
+// alone.
+func (c *Chunk) EncodeRuns() bool {
+	if c.runOffs != nil || c.n == 0 {
+		return false
+	}
+	if float64(c.RunCount()) > runEncodeThreshold*float64(c.n) {
+		return false
+	}
+	c.toRuns()
+	return true
+}
+
+// ForceRuns converts a dense or sparse chunk to the run-encoded
+// representation regardless of the run ratio. On low-repetition data
+// this *grows* the footprint (16 bytes per length-1 run vs. 8 dense);
+// it exists for representation ablations and the kernel equivalence
+// tests, which must exercise degenerate runs too.
+func (c *Chunk) ForceRuns() bool {
+	if c.runOffs != nil || c.n == 0 {
+		return false
+	}
+	c.toRuns()
+	return true
+}
+
+// DecodeRuns converts a run-encoded chunk back to dense or sparse
+// (chosen by occupancy, like every other write path). It reports
+// whether a conversion happened.
+func (c *Chunk) DecodeRuns() bool {
+	if c.runOffs == nil {
+		return false
+	}
+	c.decodeRuns()
+	return true
+}
+
+// toRuns materializes the run slices from the current representation.
+func (c *Chunk) toRuns() {
+	runs := c.RunCount()
+	offs := make([]int32, 0, runs)
+	lens := make([]int32, 0, runs)
+	vals := make([]float64, 0, runs)
+	c.ForEachRun(func(off, runLen int, v float64) bool {
+		offs = append(offs, int32(off))
+		lens = append(lens, int32(runLen))
+		vals = append(vals, v)
+		return true
+	})
+	c.runOffs, c.runLens, c.runVals = offs, lens, vals
+	c.dense, c.offs, c.vals = nil, nil, nil
+}
+
+// decodeRuns is the copy-on-write decode behind every mutation of a
+// run-encoded chunk: expand to dense, then compress to sparse when
+// occupancy is at or under the sparse threshold (the same policy Set
+// applies to growing sparse chunks, in reverse).
+func (c *Chunk) decodeRuns() {
+	d := make([]float64, c.cap)
+	for i := range d {
+		d[i] = math.NaN()
+	}
+	for i, off := range c.runOffs {
+		v := c.runVals[i]
+		for j := int(off); j < int(off)+int(c.runLens[i]); j++ {
+			d[j] = v
+		}
+	}
+	c.runOffs, c.runLens, c.runVals = nil, nil, nil
+	c.dense = d
+	if c.Occupancy() <= sparseThreshold {
+		c.toSparse()
+	}
+}
+
+// SetRun writes n copies of v starting at off — the overlay write path
+// of the run-aware relocation kernel (Overlay.SetRunAt). NaN deletes
+// the range. Like Set, a run-encoded chunk decodes first and a sparse
+// chunk that would cross the density threshold promotes to dense once,
+// up front, instead of cell by cell.
+func (c *Chunk) SetRun(off, n int, v float64) {
+	if n <= 0 {
+		return
+	}
+	c.checkOff(off)
+	c.checkOff(off + n - 1)
+	if c.runOffs != nil {
+		c.decodeRuns()
+	}
+	if math.IsNaN(v) {
+		for i := off; i < off+n; i++ {
+			c.Set(i, v)
+		}
+		return
+	}
+	if c.dense == nil && float64(c.n+n) > sparseThreshold*float64(c.cap) {
+		if c.offs == nil && c.n == 0 {
+			// Fresh chunk: allocate dense directly.
+			c.dense = make([]float64, c.cap)
+			for i := range c.dense {
+				c.dense[i] = math.NaN()
+			}
+		} else {
+			c.toDense()
+		}
+	}
+	if c.dense != nil {
+		for i := off; i < off+n; i++ {
+			if math.IsNaN(c.dense[i]) {
+				c.n++
+			}
+			c.dense[i] = v
+		}
+		return
+	}
+	for i := off; i < off+n; i++ {
+		c.Set(i, v)
+	}
+}

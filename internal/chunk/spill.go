@@ -16,23 +16,39 @@ import (
 // (internal/segment) for persistence.
 
 // Spill record layout, shared by encodeChunk, decodeChunk and the
-// tiers that size chunks without loading them (see RecordCells).
+// tiers that size chunks without loading them (see RecordCells). Two
+// record kinds share the format, discriminated by the top bit of the
+// leading uint32:
+//
+//	pair record  uint32 cell count, then uint32 offset + float64 bits
+//	             per cell (dense and sparse chunks; the v1 format)
+//	run record   uint32 (runRecordFlag | run count), uint32 cell count,
+//	             then uint32 start delta + uint32 length + float64 bits
+//	             per run (run-encoded chunks; starts are delta-encoded
+//	             against the previous run's end)
+//
+// Cell counts never approach 2^31 (chunk capacities are far smaller),
+// so the flag bit cannot collide with a v1 pair record's count.
 const (
-	// spillHeaderLen is the record header: a uint32 cell count.
+	// spillHeaderLen is the pair-record header: a uint32 cell count.
 	spillHeaderLen = 4
 	// spillCellLen is one serialized cell: uint32 offset + float64 bits.
 	spillCellLen = 12
+	// runRecordFlag marks a run record in the leading uint32.
+	runRecordFlag = uint32(1) << 31
+	// runHeaderLen is the run-record header: flagged run count + cells.
+	runHeaderLen = 8
+	// runEntryLen is one serialized run: start delta, length, value bits.
+	runEntryLen = 16
 )
 
-// span locates one serialized chunk in the spill file.
+// span locates one serialized chunk in the spill file. cells is carried
+// in the index because a run record's cell count cannot be derived from
+// its byte length alone.
 type span struct {
-	off int64
-	len int64
-}
-
-// spilledCells sizes a spilled chunk from its span without loading it.
-func (sp span) spilledCells() int {
-	return int((sp.len - spillHeaderLen) / spillCellLen)
+	off   int64
+	len   int64
+	cells int
 }
 
 // spillShared is the part of a spill file shared between a writable
@@ -127,7 +143,7 @@ func (t *spillFile) WriteChunk(id int, c *Chunk) error {
 		return err
 	}
 	t.mu.Lock()
-	t.index[id] = span{off: off, len: int64(len(buf))}
+	t.index[id] = span{off: off, len: int64(len(buf)), cells: c.Len()}
 	t.mu.Unlock()
 	return nil
 }
@@ -163,7 +179,7 @@ func (t *spillFile) IDs() []int {
 	return ids
 }
 
-// Cells implements Tier: the record layout implies the cell count.
+// Cells implements Tier: sized from the span index, no I/O.
 func (t *spillFile) Cells(id int) int {
 	t.mu.Lock()
 	sp, ok := t.index[id]
@@ -171,7 +187,7 @@ func (t *spillFile) Cells(id int) int {
 	if !ok {
 		return 0
 	}
-	return sp.spilledCells()
+	return sp.cells
 }
 
 // Len implements Tier.
@@ -237,8 +253,12 @@ func (s *Store) SpillTo(path string, budgetBytes int) error {
 	return s.AttachTier(t, budgetBytes)
 }
 
-// encodeChunk serializes a chunk in the sparse pair format.
+// encodeChunk serializes a chunk: run-encoded chunks keep their runs
+// (a run record), everything else flattens to the sparse pair format.
 func encodeChunk(c *Chunk) []byte {
+	if c.Rep() == RunEncoded {
+		return encodeRunRecord(c)
+	}
 	buf := make([]byte, spillHeaderLen, spillHeaderLen+spillCellLen*c.Len())
 	binary.LittleEndian.PutUint32(buf, uint32(c.Len()))
 	var cell [spillCellLen]byte
@@ -251,10 +271,15 @@ func encodeChunk(c *Chunk) []byte {
 	return buf
 }
 
-// decodeChunk deserializes a chunk written by encodeChunk.
+// decodeChunk deserializes a record written by encodeChunk, restoring
+// run records to the run-encoded representation (so a tier fault never
+// silently decompresses a chunk).
 func decodeChunk(buf []byte, capacity int) (*Chunk, error) {
 	if len(buf) < spillHeaderLen {
 		return nil, io.ErrUnexpectedEOF
+	}
+	if binary.LittleEndian.Uint32(buf)&runRecordFlag != 0 {
+		return decodeRunRecord(buf, capacity)
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	if len(buf) != spillHeaderLen+spillCellLen*n {
@@ -271,4 +296,65 @@ func decodeChunk(buf []byte, capacity int) (*Chunk, error) {
 		c.Set(off, v)
 	}
 	return c, nil
+}
+
+// encodeRunRecord serializes a run-encoded chunk: flagged run count,
+// cell count, then one (start delta, length, value bits) entry per run.
+// Starts are delta-encoded against the previous run's end — deltas are
+// small (often 0 for back-to-back runs) and re-validate the no-overlap
+// invariant on decode for free, since a negative gap cannot be encoded.
+func encodeRunRecord(c *Chunk) []byte {
+	runs := len(c.runOffs)
+	buf := make([]byte, runHeaderLen, runHeaderLen+runEntryLen*runs)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(runs)|runRecordFlag)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(c.n))
+	var ent [runEntryLen]byte
+	prevEnd := 0
+	for i, off := range c.runOffs {
+		binary.LittleEndian.PutUint32(ent[0:4], uint32(int(off)-prevEnd))
+		binary.LittleEndian.PutUint32(ent[4:8], uint32(c.runLens[i]))
+		binary.LittleEndian.PutUint64(ent[8:16], math.Float64bits(c.runVals[i]))
+		buf = append(buf, ent[:]...)
+		prevEnd = int(off) + int(c.runLens[i])
+	}
+	return buf
+}
+
+// decodeRunRecord deserializes a run record into a run-encoded chunk,
+// validating run bounds, ordering and the redundant cell count.
+func decodeRunRecord(buf []byte, capacity int) (*Chunk, error) {
+	if len(buf) < runHeaderLen {
+		return nil, io.ErrUnexpectedEOF
+	}
+	runs := int(binary.LittleEndian.Uint32(buf[0:4]) &^ runRecordFlag)
+	cells := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if len(buf) != runHeaderLen+runEntryLen*runs {
+		return nil, fmt.Errorf("chunk: corrupt run record: %d runs in %d bytes", runs, len(buf))
+	}
+	offs := make([]int32, runs)
+	lens := make([]int32, runs)
+	vals := make([]float64, runs)
+	prevEnd, total := 0, 0
+	for i := 0; i < runs; i++ {
+		ent := buf[runHeaderLen+runEntryLen*i:]
+		start := prevEnd + int(binary.LittleEndian.Uint32(ent[0:4]))
+		n := int(binary.LittleEndian.Uint32(ent[4:8]))
+		if n <= 0 || start+n > capacity {
+			return nil, fmt.Errorf("chunk: corrupt run record: run %d spans [%d,%d) beyond capacity %d", i, start, start+n, capacity)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(ent[8:16]))
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("chunk: corrupt run record: run %d holds Null", i)
+		}
+		offs[i], lens[i], vals[i] = int32(start), int32(n), v
+		prevEnd = start + n
+		total += n
+	}
+	if total != cells {
+		return nil, fmt.Errorf("chunk: corrupt run record: %d cells in runs, header says %d", total, cells)
+	}
+	if runs == 0 {
+		return NewSparse(capacity), nil
+	}
+	return &Chunk{cap: capacity, n: cells, runOffs: offs, runLens: lens, runVals: vals}, nil
 }

@@ -387,27 +387,65 @@ func (s *Store) MemBytes() int {
 	return n
 }
 
-// CompressAll converts all dense chunks under the density threshold to
-// sparse representation, returning the number converted. This is the
-// "cube reorganization" step of the co-location experiment.
-func (s *Store) CompressAll() int {
+// residentIDs snapshots the resident chunk IDs (under mu when pooled)
+// so a representation sweep can mutate accounting — which may evict —
+// without iterating the map it is shrinking.
+func (s *Store) residentIDs() []int {
+	if s.pool != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	ids := make([]int, 0, len(s.chunks))
+	for id := range s.chunks {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// convertAll applies a representation conversion to every resident
+// chunk, flowing the byte delta of each conversion through the pool's
+// accounting — without this, a pooled store would keep charging a
+// compressed chunk at its old size, defeating the byte-budgeted LRU.
+func (s *Store) convertAll(convert func(c *Chunk) bool) int {
 	n := 0
-	for _, c := range s.chunks {
-		if c.Compress() {
+	for _, id := range s.residentIDs() {
+		c := s.chunks[id]
+		if c == nil {
+			continue // evicted by an earlier conversion's accounting
+		}
+		before := c.MemBytes()
+		if convert(c) {
 			n++
+			s.noteMutation(id, c.MemBytes()-before)
 		}
 	}
 	return n
 }
 
+// CompressAll converts all dense chunks under the density threshold to
+// sparse representation, returning the number converted. This is the
+// "cube reorganization" step of the co-location experiment.
+func (s *Store) CompressAll() int {
+	return s.convertAll(func(c *Chunk) bool { return c.Compress() })
+}
+
 // ForceSparseAll converts every chunk to the sparse representation
 // regardless of occupancy (representation ablation).
 func (s *Store) ForceSparseAll() int {
-	n := 0
-	for _, c := range s.chunks {
-		if c.ForceSparse() {
-			n++
-		}
-	}
-	return n
+	return s.convertAll(func(c *Chunk) bool { return c.ForceSparse() })
+}
+
+// EncodeRunsAll run-length encodes every resident chunk whose run ratio
+// clears the encoding threshold, returning the number converted. This
+// is the ingest/Seal-time compression step: whatifd applies it after
+// loading a cube, and a pooled store's resident bytes (and therefore
+// its spill budget) shrink to the encoded size.
+func (s *Store) EncodeRunsAll() int {
+	return s.convertAll(func(c *Chunk) bool { return c.EncodeRuns() })
+}
+
+// ForceRunEncodeAll run-length encodes every resident chunk regardless
+// of run ratio (representation ablation and kernel equivalence tests).
+func (s *Store) ForceRunEncodeAll() int {
+	return s.convertAll(func(c *Chunk) bool { return c.ForceRuns() })
 }

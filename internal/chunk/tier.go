@@ -1,6 +1,9 @@
 package chunk
 
-import "errors"
+import (
+	"encoding/binary"
+	"errors"
+)
 
 // Tier is the storage layer beneath the buffer pool: a keyed store of
 // serialized chunks that the pool faults from and evicts to. The spill
@@ -69,23 +72,35 @@ type DurableTier interface {
 // ErrTierReadOnly is returned by WriteChunk/Remove on read-only tiers.
 var ErrTierReadOnly = errors.New("chunk: tier is read-only")
 
-// EncodeChunk serializes a chunk in the shared sparse record layout
-// (uint32 cell count, then uint32 offset + float64 bits per cell, all
-// little-endian). The spill file and the segment store share this
-// format, so a chunk round-trips bit-identically through either tier.
+// EncodeChunk serializes a chunk in the shared record layout, all
+// little-endian: dense and sparse chunks as pair records (uint32 cell
+// count, then uint32 offset + float64 bits per cell), run-encoded
+// chunks as run records (top-bit-flagged uint32 run count, uint32 cell
+// count, then delta start + length + value bits per run). The spill
+// file and the segment store share this format, so a chunk round-trips
+// bit-identically through either tier — and a run-encoded chunk's disk
+// bytes shrink with it.
 func EncodeChunk(c *Chunk) []byte { return encodeChunk(c) }
 
-// DecodeChunk deserializes a record written by EncodeChunk into a
-// sparse chunk with the given capacity.
+// DecodeChunk deserializes a record written by EncodeChunk with the
+// given capacity: pair records restore as sparse chunks, run records as
+// run-encoded chunks (a tier fault never silently decompresses).
 func DecodeChunk(buf []byte, capacity int) (*Chunk, error) {
 	return decodeChunk(buf, capacity)
 }
 
-// RecordCells sizes an encoded chunk record (cell count) from its byte
-// length alone, without decoding.
-func RecordCells(recordLen int) int {
-	if recordLen < spillHeaderLen {
+// RecordCells sizes an encoded chunk record (cell count) from its
+// header, without decoding the cells. Pair records are sized from the
+// byte length; run records carry the count in their header.
+func RecordCells(rec []byte) int {
+	if len(rec) < spillHeaderLen {
 		return 0
 	}
-	return (recordLen - spillHeaderLen) / spillCellLen
+	if binary.LittleEndian.Uint32(rec)&runRecordFlag != 0 {
+		if len(rec) < runHeaderLen {
+			return 0
+		}
+		return int(binary.LittleEndian.Uint32(rec[4:8]))
+	}
+	return (len(rec) - spillHeaderLen) / spillCellLen
 }

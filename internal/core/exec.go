@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"sync"
 	"time"
 
@@ -49,6 +50,170 @@ func recordPlanSpan(tr *trace.Trace, parent trace.SpanRef, startNs int64, p *Phy
 	sp.IntNonZero("pebbling_peak", int64(p.Stats.PeakResidentChunks))
 }
 
+// runKernel is the run-aware relocation path for run-encoded source
+// chunks: instead of decomposing and relocating cell by cell, it cuts
+// each value run at the chunk-digit boundaries of the varying and
+// parameter dimensions — within such a segment both digits are constant
+// (offset strides nest), so one relocation-table probe decides a whole
+// segment and the destination offsets stay contiguous. Consecutive
+// segments landing on the same destination instance coalesce into one
+// overlay run write, so a stable member's entire validity window moves
+// with O(1) table work and one SetRunAt. Vanished segments (pruned
+// source row or -1 destination) skip in O(1) without touching cells.
+//
+// All state lives on the struct and the ForEachRun callback is built
+// once per scan, so the steady-state path allocates nothing per run.
+type runKernel struct {
+	target  map[int][]int
+	overlay *chunk.Overlay
+	vi, pi  int
+	// dimV/dimP are the chunk edges, strideV/strideP the in-chunk
+	// offset strides, of the varying and parameter dimensions.
+	dimV, dimP       int
+	strideV, strideP int
+	// idStrideV is the canonical-ID stride along the varying dimension
+	// in the overlay's (possibly extended) geometry.
+	idStrideV int
+	// outerIsV records which digit changes slower: runs are cut at the
+	// slower stride first so the relocation row probe (keyed by the
+	// varying ordinal) hoists out of the inner loop when possible.
+	outerIsV     bool
+	outer, inner int
+	// Per-chunk state, set by beginChunk.
+	baseV, baseP, idBase int
+	// Pending coalesced destination segment.
+	pendID, pendOff, pendLen int
+	pendVal                  float64
+	moved                    int
+	emit                     func(start, runLen int, v float64) bool
+}
+
+func newRunKernel(g *chunk.Geometry, overlay *chunk.Overlay, target map[int][]int, vi, pi int) *runKernel {
+	k := &runKernel{
+		target:  target,
+		overlay: overlay,
+		vi:      vi,
+		pi:      pi,
+		dimV:    g.ChunkDims[vi],
+		dimP:    g.ChunkDims[pi],
+		strideV: g.OffsetStride(vi),
+		strideP: g.OffsetStride(pi),
+		// Destination IDs live in the overlay's geometry: a positive
+		// scenario extends the varying dimension, changing its chunk
+		// count and therefore every ID stride above it.
+		idStrideV: overlay.Geometry().ChunkIDStride(vi),
+	}
+	k.outerIsV = k.strideV >= k.strideP
+	if k.outerIsV {
+		k.outer, k.inner = k.strideV, k.strideP
+	} else {
+		k.outer, k.inner = k.strideP, k.strideV
+	}
+	k.emit = func(start, runLen int, v float64) bool {
+		k.relocateRun(start, runLen, v)
+		return true
+	}
+	return k
+}
+
+// beginChunk positions the kernel on a source chunk: ccoord is the
+// chunk's coordinate in the source geometry and idBase the overlay-
+// geometry canonical ID of the same coordinate with the varying
+// coordinate zeroed (destination ID = idBase + dstChunkCoord·stride).
+// ccoord is restored before returning.
+func (k *runKernel) beginChunk(og *chunk.Geometry, ccoord []int) {
+	vc := ccoord[k.vi]
+	k.baseV = vc * k.dimV
+	k.baseP = ccoord[k.pi] * k.dimP
+	ccoord[k.vi] = 0
+	k.idBase = og.CanonicalID(ccoord)
+	ccoord[k.vi] = vc
+}
+
+// relocateRun relocates one source value run, segmenting at digit
+// boundaries. The outer loop fixes the slower digit, the inner loop the
+// faster one; when the varying digit is the outer one (a varying
+// dimension chunked coarser than the parameter dimension — the
+// workforce layout), the per-segment work is one slice index.
+func (k *runKernel) relocateRun(start, runLen int, v float64) {
+	off := start
+	end := start + runLen
+	for off < end {
+		outerEnd := off - off%k.outer + k.outer
+		if outerEnd > end {
+			outerEnd = end
+		}
+		if k.outerIsV {
+			digitV := (off / k.strideV) % k.dimV
+			row := k.target[k.baseV+digitV]
+			if row == nil {
+				off = outerEnd
+				continue
+			}
+			for off < outerEnd {
+				segEnd := off - off%k.strideP + k.strideP
+				if segEnd > outerEnd {
+					segEnd = outerEnd
+				}
+				dst := row[k.baseP+(off/k.strideP)%k.dimP]
+				if dst >= 0 {
+					k.emitSeg(dst, digitV, off, segEnd-off, v)
+				}
+				off = segEnd
+			}
+			continue
+		}
+		pOrd := k.baseP + (off/k.strideP)%k.dimP
+		for off < outerEnd {
+			segEnd := off - off%k.strideV + k.strideV
+			if segEnd > outerEnd {
+				segEnd = outerEnd
+			}
+			digitV := (off / k.strideV) % k.dimV
+			if row := k.target[k.baseV+digitV]; row != nil {
+				if dst := row[pOrd]; dst >= 0 {
+					k.emitSeg(dst, digitV, off, segEnd-off, v)
+				}
+			}
+			off = segEnd
+		}
+	}
+}
+
+// emitSeg queues one destination segment, coalescing with the pending
+// one when it carries the same value and lands directly after it in the
+// same destination chunk (consecutive months mapping to the same
+// instance do, so a whole validity window flushes as one overlay run
+// write). Value equality is on bit patterns, matching run encoding.
+func (k *runKernel) emitSeg(dst, digitV, off, segLen int, v float64) {
+	dstID := k.idBase + dst/k.dimV*k.idStrideV
+	dstOff := off + (dst%k.dimV-digitV)*k.strideV
+	k.moved += segLen
+	if k.pendLen > 0 && dstID == k.pendID && dstOff == k.pendOff+k.pendLen &&
+		math.Float64bits(v) == math.Float64bits(k.pendVal) {
+		k.pendLen += segLen
+		return
+	}
+	k.flush()
+	k.pendID, k.pendOff, k.pendLen, k.pendVal = dstID, dstOff, segLen, v
+}
+
+// flush writes the pending destination segment, if any.
+func (k *runKernel) flush() {
+	if k.pendLen > 0 {
+		k.overlay.SetRunAt(k.pendID, k.pendOff, k.pendLen, k.pendVal)
+		k.pendLen = 0
+	}
+}
+
+// take flushes and returns the cells moved since the last take.
+func (k *runKernel) take() int {
+	k.flush()
+	n := k.moved
+	k.moved = 0
+	return n
+}
+
 // annotateScan attaches a tally's counters to a scan or group span.
 // No-op refs (tracing off) make every call free.
 func annotateScan(sp trace.SpanRef, t scanTally, workers int) {
@@ -82,11 +247,18 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 
 	stats := p.Stats
 	workers := ec.Workers
-	if workers > len(p.Groups) {
-		workers = len(p.Groups)
-	}
 	if workers < 1 {
 		workers = 1
+	}
+	// Cut each group's schedule into sub-tasks at crossing-free edge
+	// boundaries, so the scan fans out over min(workers, chunks) units
+	// instead of min(workers, groups).
+	var tasks []subTask
+	if workers > 1 {
+		tasks = splitSubtasks(p, workers)
+		if workers > len(tasks) {
+			workers = len(tasks)
+		}
 	}
 	stats.ScanWorkers = workers
 
@@ -114,7 +286,8 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 	var scanT scanTally
 	var overlay cube.Store
 	if workers > 1 {
-		overlays, tallies, err := e.scanParallel(ec, p, og, workers, tr, scanSp)
+		stats.ScanSubtasks = len(tasks)
+		overlays, tallies, err := e.scanParallel(ec, p, og, tasks, workers, tr, scanSp)
 		if err != nil {
 			scanSp.End()
 			return nil, stats, err
@@ -268,10 +441,15 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 
 	var tally scanTally
 	g := e.store.Geometry()
+	og := overlay.Geometry()
 	ccoord := make([]int, g.NumDims())
 	addr := make([]int, g.NumDims())
 	out := make([]int, g.NumDims())
 	promBefore := overlay.Promotions()
+	// The run kernel is built lazily, on the first run-encoded chunk:
+	// dense and sparse chunks keep the per-cell path below, so the
+	// dense baseline in the RLE figures measures unchanged code.
+	var rk *runKernel
 
 	var pins *pinTracker
 	if e.store.Pooled() && len(p.Neighbors) > 0 {
@@ -333,27 +511,44 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 			e.chain.ForEachMerged(id, ch, relocate)
 			continue
 		}
+		if ch.Rep() == chunk.RunEncoded {
+			// Run-aware path: relocate whole value runs through the
+			// kernel (one table probe per digit segment, coalesced
+			// overlay run writes) instead of cell by cell.
+			if rk == nil {
+				rk = newRunKernel(g, overlay, p.Target, e.vi, e.pi)
+			}
+			rk.beginChunk(og, ccoord)
+			ch.ForEachRun(rk.emit)
+			tally.cellsRelocated += rk.take()
+			continue
+		}
 		ch.ForEach(relocate)
 	}
 	tally.promotions = overlay.Promotions() - promBefore
 	return tally, nil
 }
 
-// scanParallel fans the scan out over the plan's merge groups on a
-// bounded worker pool. Each group scans into a private chunk-grained
-// overlay in its own schedule order — merge edges never cross groups,
-// so the pebbling order stays legal per group — and the caller attaches
-// the overlays to a partitioned router at the barrier in group order.
-// Cells from different groups can never collide (they differ in a
-// non-varying coordinate), so the routed overlay is identical to the
-// serial scan's without copying a single cell. Each group records a
-// "group" child span under scanSp with its own tally (safe from worker
-// goroutines: span slots are claimed atomically).
+// scanParallel fans the scan out over the plan's sub-tasks — contiguous
+// crossing-free cuts of merge-group schedules — on a bounded worker
+// pool. Each sub-task scans into a private chunk-grained overlay in its
+// cut's schedule order: merge edges never cross groups, and sub-task
+// cuts never separate an edge's endpoints, so the pebbling order stays
+// legal per task. At the barrier, sibling sub-tasks of one group fold
+// into the group overlay (Overlay.Absorb) in task order — their cell
+// sets are disjoint because relocation destinations are injective per
+// parameter leaf — and the caller attaches the group overlays to a
+// partitioned router. Cells from different groups can never collide
+// (they differ in a non-varying coordinate), so the routed overlay is
+// identical to the serial scan's. Each sub-task records a "group" child
+// span under scanSp with its own tally and, when its group was split, a
+// "subtask" attribute (safe from worker goroutines: span slots are
+// claimed atomically).
 func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, og *chunk.Geometry,
-	workers int, tr *trace.Trace, scanSp trace.SpanRef) ([]*chunk.Overlay, []scanTally, error) {
+	tasks []subTask, workers int, tr *trace.Trace, scanSp trace.SpanRef) ([]*chunk.Overlay, []scanTally, error) {
 
-	overlays := make([]*chunk.Overlay, len(p.Groups))
-	tallies := make([]scanTally, len(p.Groups))
+	taskOvs := make([]*chunk.Overlay, len(tasks))
+	tallies := make([]scanTally, len(tasks))
 
 	ctx, cancel := context.WithCancel(ec.context())
 	defer cancel()
@@ -374,26 +569,28 @@ func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, og *chunk.Geometr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for gi := range work {
+			for ti := range work {
+				task := tasks[ti]
 				ov := chunk.NewOverlay(og)
 				gsp := tr.Start(scanSp, "group")
-				gsp.Int("group", int64(gi))
-				t, err := e.scanInto(ctx, p.Groups[gi].Chunks, p, ov, tr, gsp)
+				gsp.Int("group", int64(task.group))
+				gsp.IntNonZero("subtask", int64(task.part))
+				t, err := e.scanInto(ctx, task.chunks, p, ov, tr, gsp)
 				annotateScan(gsp, t, 0)
 				gsp.End()
-				tallies[gi] = t
+				tallies[ti] = t
 				if err != nil {
 					fail(err)
 					return
 				}
-				overlays[gi] = ov
+				taskOvs[ti] = ov
 			}
 		}()
 	}
 feed:
-	for gi := range p.Groups {
+	for ti := range tasks {
 		select {
-		case work <- gi:
+		case work <- ti:
 		case <-ctx.Done():
 			break feed
 		}
@@ -405,6 +602,14 @@ feed:
 	}
 	if firstErr != nil {
 		return nil, nil, firstErr
+	}
+	overlays := make([]*chunk.Overlay, len(p.Groups))
+	for ti, task := range tasks {
+		if overlays[task.group] == nil {
+			overlays[task.group] = taskOvs[ti]
+		} else {
+			overlays[task.group].Absorb(taskOvs[ti])
+		}
 	}
 	return overlays, tallies, nil
 }

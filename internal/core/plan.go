@@ -65,6 +65,97 @@ type MergeGroup struct {
 	Peak int
 }
 
+// SplitChunks cuts the group's read schedule into at most maxParts
+// contiguous parts for intra-group scan parallelism. A cut is legal only
+// where no merge edge is in flight — every edge's two endpoints must
+// land in the same part, so each part's restriction of the schedule
+// remains a complete pebbling of the chunks it reads and the
+// neighbor-pinning executed per part never waits on a chunk another
+// part owns. Crossing-edge counts per boundary come from one
+// difference-array pass, so splitting is O(chunks + edges).
+//
+// Parts are returned in schedule order; splitting is deterministic.
+// neighbors is the plan's merge adjacency (PhysicalPlan.Neighbors).
+func (mg *MergeGroup) SplitChunks(maxParts int, neighbors map[int][]int) [][]int {
+	n := len(mg.Chunks)
+	if maxParts <= 1 || n <= 1 {
+		return [][]int{mg.Chunks}
+	}
+	pos := make(map[int]int, n)
+	for i, id := range mg.Chunks {
+		pos[id] = i
+	}
+	// diff accumulates edge spans: an edge between slots i < j makes the
+	// boundaries before slots i+1..j uncuttable. After a prefix sum,
+	// crossing == 0 at slot b means no edge spans the boundary before b.
+	diff := make([]int, n+1)
+	for i, id := range mg.Chunks {
+		for _, nb := range neighbors[id] {
+			if j, ok := pos[nb]; ok && j > i {
+				diff[i+1]++
+				diff[j+1]--
+			}
+		}
+	}
+	per := (n + maxParts - 1) / maxParts
+	out := make([][]int, 0, maxParts)
+	start, crossing := 0, 0
+	for b := 1; b < n; b++ {
+		crossing += diff[b]
+		if crossing == 0 && b-start >= per && len(out) < maxParts-1 {
+			out = append(out, mg.Chunks[start:b])
+			start = b
+		}
+	}
+	return append(out, mg.Chunks[start:])
+}
+
+// subTask is one unit of parallel scan work: a contiguous cut of one
+// merge group's read schedule. Relocation destinations are injective
+// per parameter leaf, so the overlay cell sets written by sibling
+// sub-tasks of one group are disjoint and fold order-insensitively
+// (Overlay.Absorb) at the merge barrier.
+type subTask struct {
+	group  int
+	chunks []int
+	// part is the 1-based index of this cut within its group when the
+	// group was split, 0 when the group runs as a single task — the
+	// "subtask" span attribute, elided for unsplit groups.
+	part int
+}
+
+// splitSubtasks cuts every merge group's schedule into sub-tasks,
+// allocating the targetParts budget to groups in proportion to their
+// chunk counts (each group gets at least one task), so scan parallelism
+// scales with min(workers, chunks) instead of min(workers, groups) —
+// one huge group no longer serializes the scan.
+func splitSubtasks(p *PhysicalPlan, targetParts int) []subTask {
+	total := 0
+	for _, mg := range p.Groups {
+		total += len(mg.Chunks)
+	}
+	tasks := make([]subTask, 0, len(p.Groups))
+	for gi := range p.Groups {
+		mg := &p.Groups[gi]
+		want := 1
+		if total > 0 {
+			want = targetParts * len(mg.Chunks) / total
+		}
+		if want < 1 {
+			want = 1
+		}
+		parts := mg.SplitChunks(want, p.Neighbors)
+		for i, part := range parts {
+			t := subTask{group: gi, chunks: part}
+			if len(parts) > 1 {
+				t.part = i + 1
+			}
+			tasks = append(tasks, t)
+		}
+	}
+	return tasks
+}
+
 // PhysicalPlan is the engine's inspectable physical execution plan for
 // one relocation query: the relocation tables, which chunks to read in
 // what order, and the merge-group partition the parallel scan fans out

@@ -208,6 +208,11 @@ type Stats struct {
 	// ScanWorkers is the number of scan workers the execution used
 	// (1 = serial).
 	ScanWorkers int
+	// ScanSubtasks is the number of sub-tasks the parallel scan cut the
+	// merge-group schedules into (0 on a serial scan). It exceeds
+	// MergeGroups when intra-group splitting found crossing-free cut
+	// points, which is what lets ScanWorkers exceed MergeGroups.
+	ScanSubtasks int
 	// PlanMs, ScanMs, MergeMs and ProjectMs are the per-stage wall
 	// times in milliseconds: plan (target pruning, merge graph, read
 	// scheduling), scan (chunk reads + cell relocation), merge
@@ -251,6 +256,9 @@ func (s *Stats) Add(s2 Stats) {
 	}
 	if s2.ScanWorkers > s.ScanWorkers {
 		s.ScanWorkers = s2.ScanWorkers
+	}
+	if s2.ScanSubtasks > s.ScanSubtasks {
+		s.ScanSubtasks = s2.ScanSubtasks
 	}
 	s.Ranges += s2.Ranges
 	s.DiskCostMs += s2.DiskCostMs

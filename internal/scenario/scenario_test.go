@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"whatifolap/internal/chunk"
 	"whatifolap/internal/cube"
 	"whatifolap/internal/mdx"
 	"whatifolap/internal/scenario"
@@ -604,5 +605,86 @@ func TestScenarioConcurrentForkEditQuery(t *testing.T) {
 	}
 	if rev := parent.Revision(); rev != 4*iters {
 		t.Fatalf("parent revision = %d, want %d", rev, 4*iters)
+	}
+}
+
+// TestScenarioForkEditDiffRunEncodedBase reruns the fork-and-edit flow
+// with the base cube's chunks force run-encoded: every query grid is
+// bit-identical to a plain-store twin across all 5 semantics × 2 modes,
+// diff reports exactly the divergent cell, and the base chunks stay
+// run-encoded throughout — scenario edits land in layers and must never
+// trigger a copy-on-write decode of the base.
+func TestScenarioForkEditDiffRunEncodedBase(t *testing.T) {
+	wPlain := newWorkforce(t)
+	wRle := newWorkforce(t) // same config + seed → identical cube
+	st := wRle.Cube.Store().(*chunk.Store)
+	if n := st.ForceRunEncodeAll(); n == 0 {
+		t.Fatal("nothing run-encoded")
+	}
+
+	m := scenario.NewManager()
+	plain, err := m.Create("plain", "wf", 1, wPlain.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rle, err := m.Create("rle", "wf", 1, wRle.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edit := map[string]string{
+		workload.DimDepartment: "Emp00020",
+		workload.DimPeriod:     "Mar",
+		workload.DimAccount:    "Acct001",
+	}
+	for _, s := range []*scenario.Scenario{plain, rle} {
+		if _, err := s.Apply([]scenario.Edit{{Op: scenario.OpSet, Cell: edit, Value: 4242}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, sem := range allSemantics {
+		for _, mode := range allModes {
+			q := perspectiveQuery(t, wPlain, sem, mode)
+			pg := queryScenario(t, plain, q, 2)
+			rg := queryScenario(t, rle, perspectiveQuery(t, wRle, sem, mode), 2)
+			if pg != rg {
+				t.Fatalf("%s %s: run-encoded base diverged from plain\nplain:\n%s\nrle:\n%s", sem, mode, pg, rg)
+			}
+		}
+	}
+
+	// Fork-and-edit: diff is cell-exact against the parent.
+	fork, err := m.Fork(rle.ID(), "rle-fork")
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergent := map[string]string{
+		workload.DimDepartment: "Emp00021",
+		workload.DimPeriod:     "Jul",
+		workload.DimAccount:    "Acct002",
+	}
+	if _, err := fork.Apply([]scenario.Edit{{Op: scenario.OpSet, Cell: divergent, Value: 777}}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := scenario.Diff(rle, fork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 {
+		t.Fatalf("diff = %d cells, want exactly the divergent cell: %v", len(d), d)
+	}
+	if d[0].B == nil || *d[0].B != 777 {
+		t.Fatalf("diff B side = %v, want 777", d[0].B)
+	}
+	base := wRle.Cube.Store().Get(leafAddr(t, wRle.Cube, divergent))
+	if d[0].A == nil || *d[0].A != base {
+		t.Fatalf("diff A side = %v, want base value %v", d[0].A, base)
+	}
+
+	// The base store still holds only run-encoded chunks.
+	for _, id := range st.ChunkIDs() {
+		if c := st.ReadChunk(id); c != nil && c.Rep() != chunk.RunEncoded {
+			t.Fatalf("base chunk %d decoded to %v during scenario work", id, c.Rep())
+		}
 	}
 }

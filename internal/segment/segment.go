@@ -45,7 +45,15 @@ import (
 
 const (
 	// Magic identifies a segment file (version in the last two bytes).
-	Magic = "WOSEGv01"
+	// v02 segments may contain run-encoded chunk records (the
+	// top-bit-flagged record kind EncodeChunk emits for run-encoded
+	// chunks); v01 segments predate them. Open accepts both — the record
+	// decoder distinguishes the kinds per slot — while Create always
+	// stamps the current version.
+	Magic = "WOSEGv02"
+	// MagicV1 is the previous version's magic, still accepted by Open so
+	// segment files written before run encoding restore unchanged.
+	MagicV1 = "WOSEGv01"
 	// PageSize aligns the meta blob and every chunk slot. 4 KiB matches
 	// the common filesystem block, so one slot read touches no
 	// neighbouring slot's pages.
@@ -243,7 +251,7 @@ func (o OpenOptions) open(path string) (*File, error) {
 	if _, err := f.ReadAt(hb, 0); err != nil {
 		return nil, fmt.Errorf("segment %s: short header: %w", path, err)
 	}
-	if string(hb[:8]) != Magic {
+	if m := string(hb[:8]); m != Magic && m != MagicV1 {
 		return nil, fmt.Errorf("segment %s: bad magic %q", path, hb[:8])
 	}
 	if got := binary.LittleEndian.Uint32(hb[72:76]); got != crc32.ChecksumIEEE(hb[:headerLen-4]) {

@@ -1,6 +1,8 @@
 package segment
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -312,5 +314,92 @@ func TestManifestTornFailsClosed(t *testing.T) {
 	}
 	if _, _, err := LoadManifest(dir3); err == nil {
 		t.Fatal("relative-path segment file should fail validation")
+	}
+}
+
+// TestSegmentV1MagicAccepted pins backward compatibility: a file
+// stamped with the v01 magic (pre run-record format) still opens. Run
+// records are a new record kind inside the unchanged container layout,
+// so the only format delta v02 declares is codec capability — old files
+// contain only pair records, which the codec still decodes.
+func TestSegmentV1MagicAccepted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cube-v000001.seg")
+	src := writeTestSegment(t, path, []byte("m"))
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(b[:8], MagicV1)
+	binary.LittleEndian.PutUint32(b[72:76], crc32.ChecksumIEEE(b[:headerLen-4]))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := Open(path, OpenOptions{VerifyChunks: true})
+	if err != nil {
+		t.Fatalf("v01-stamped segment rejected: %v", err)
+	}
+	defer sf.Close()
+	for _, id := range src.ChunkIDs() {
+		c, _, err := sf.ReadChunkAt(id)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", id, err)
+		}
+		want := src.PeekChunk(id)
+		if c.Len() != want.Len() {
+			t.Fatalf("chunk %d: %d cells, want %d", id, c.Len(), want.Len())
+		}
+	}
+}
+
+// TestSegmentRunEncodedRoundTrip writes a segment from a run-encoded
+// store and checks that tier faults come back still run-encoded (the
+// run record decodes straight to the compressed representation — no
+// dense detour) with every cell intact.
+func TestSegmentRunEncodedRoundTrip(t *testing.T) {
+	g := chunk.MustGeometry([]int{64}, []int{8})
+	src := chunk.NewStore(g)
+	for i := 0; i < 48; i++ { // long constant runs per chunk
+		src.Set([]int{i}, float64(i/8+1))
+	}
+	if n := src.ForceRunEncodeAll(); n == 0 {
+		t.Fatal("nothing run-encoded")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cube-v000001.seg")
+	err := Create(path, g.ChunkCap(), []byte("m"), src.ChunkIDs(), func(id int) *chunk.Chunk {
+		return src.PeekChunk(id)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := Open(path, OpenOptions{VerifyChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	for _, id := range src.ChunkIDs() {
+		c, _, err := sf.ReadChunkAt(id)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", id, err)
+		}
+		if src.PeekChunk(id).Rep() == chunk.RunEncoded && c.Rep() != chunk.RunEncoded {
+			t.Fatalf("chunk %d faulted back as %v, want RunEncoded", id, c.Rep())
+		}
+	}
+
+	dst := chunk.NewStore(g)
+	if err := dst.AttachTier(sf, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		a, b := src.Get([]int{i}), dst.Get([]int{i})
+		if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+			t.Fatalf("cell %d: src %v dst %v", i, a, b)
+		}
 	}
 }

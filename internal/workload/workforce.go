@@ -41,6 +41,12 @@ type WorkforceConfig struct {
 	Scenarios int
 	// Seed makes generation deterministic.
 	Seed int64
+	// FlatMonths drops the monthly drift factor from generated values,
+	// so a stable instance carries one constant value across its whole
+	// validity window — the shape run-length encoding compresses. The
+	// RLE benchmark figure uses it (with a period-fastest ChunkDims) to
+	// model validity-window cubes; default keeps the drift.
+	FlatMonths bool
 	// ChunkDims sets the chunk edge for
 	// (Department, Period, Account, Scenario, Currency, Version,
 	// ValueType); zero entries get defaults.
@@ -279,9 +285,13 @@ func NewWorkforce(cfg WorkforceConfig) (*Workforce, error) {
 					addr[3] = s
 					addr[4], addr[5], addr[6] = 0, 0, 0
 					// Salaries drift month to month so what-if columns
-					// differ from actuals even for stable structures.
-					v := float64(base) * (1 + 0.01*float64(a)) * (1 + 0.1*float64(s)) *
-						(1 + 0.02*float64(m))
+					// differ from actuals even for stable structures —
+					// unless FlatMonths asks for constant validity
+					// windows (the run-encoding benchmark shape).
+					v := float64(base) * (1 + 0.01*float64(a)) * (1 + 0.1*float64(s))
+					if !cfg.FlatMonths {
+						v *= 1 + 0.02*float64(m)
+					}
 					store.Set(addr, v)
 				}
 			}

@@ -238,6 +238,21 @@ func SpillTo(c *Cube, path string, budgetBytes int) error {
 	return st.SpillTo(path, budgetBytes)
 }
 
+// EncodeRuns sweeps a chunk-backed cube's resident chunks into the
+// run-length-encoded representation where it pays: a chunk converts
+// when its bit-identical value runs number at most half its cells.
+// Returns how many chunks converted. Reads stay exact (runs decode to
+// the original bit patterns) and writes transparently decode first, so
+// this is purely a space/scan-speed trade. Queries over run-encoded
+// chunks take the engine's run-aware relocation kernel.
+func EncodeRuns(c *Cube) (int, error) {
+	st, ok := c.Store().(*chunk.Store)
+	if !ok {
+		return 0, fmt.Errorf("olap: EncodeRuns requires a chunk-backed cube, got %T", c.Store())
+	}
+	return st.EncodeRunsAll(), nil
+}
+
 // CubeSpillStats reports the buffer-pool state of a chunk-backed cube:
 // chunk counts on each side of the budget line, fault-ins, evictions,
 // and currently pinned chunks. Without a spill tier (no SpillTo call)

@@ -11,7 +11,8 @@ go vet ./...
 # to grep for and several it never could:
 #   hotpathfmt    - no fmt/reflect/log on declared hot-path files
 #                   (internal/trace/trace.go, internal/core/exec.go,
-#                   internal/chunk/overlay.go, internal/chunk/chain.go),
+#                   internal/chunk/overlay.go, internal/chunk/chain.go,
+#                   internal/chunk/run.go),
 #                   including transitively
 #                   re-exported formatting and per-call errors.New
 #   semexhaustive - switches over the five query semantics (paper §3)
@@ -40,10 +41,11 @@ go test ./...
 # pool's concurrent fault-in tests, the observability layer (span
 # recorder, trace-derived histograms, slow-query log, EXPLAIN), the
 # scenario workspace fork/edit/query races, the storage tier (segment
-# reads, manifest commits, background write-back) and the lint suite's
-# analyzer/driver tests.
-echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback' ./..."
-go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback' ./...
+# reads, manifest commits, background write-back), the lint suite's
+# analyzer/driver tests, and the run-encoded representation (run-aware
+# scan kernel equivalence, sub-task splitting, daemon RLE restart).
+echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback|Run|Rle|Subtask' ./..."
+go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback|Run|Rle|Subtask' ./...
 
 # Advisory (non-fatal): known-vulnerability scan, skipped when the
 # toolchain image does not ship govulncheck or has no network.
