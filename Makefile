@@ -1,4 +1,4 @@
-.PHONY: verify test lint lint-fix bench bench-smoke prof scenario-demo segment-smoke
+.PHONY: verify test lint lint-fix bench bench-smoke prof scenario-demo segment-smoke obs-demo
 
 verify:
 	./verify.sh
@@ -29,6 +29,14 @@ lint-fix:
 scenario-demo:
 	sh scripts/scenario-demo.sh
 
+# Live curl session against an ephemeral whatifd on 127.0.0.1:18081
+# (override with OBS_DEMO_PORT) showing the observability layer: the
+# /metrics/history time-series evolving under miss-then-hit traffic, a
+# retained trace fetched back by the X-Trace-Id a query response
+# carried, and the structured lifecycle event log.
+obs-demo:
+	sh scripts/obs-demo.sh
+
 # Fast check of the persistent storage tier: segment file round-trip,
 # fail-closed corruption handling, manifest crash recovery, catalog
 # write-back/restore, the segment-vs-memory equivalence pin, and the
@@ -40,10 +48,11 @@ bench:
 	go test -run XXX -bench . ./...
 
 # A fast sanity pass over the figure benchmarks, the parallel-scan
-# series, the overlay-kernel write-path comparison and the trace
-# overhead guard; full numbers come from `make bench` or cmd/benchfig.
+# series, the overlay-kernel write-path comparison and the trace and
+# trace-retention overhead guards; full numbers come from `make bench`
+# or cmd/benchfig.
 bench-smoke:
-	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan|BenchmarkRelocationKernel|BenchmarkRleScan|BenchmarkTrace' -benchtime=100ms .
+	go test -run '^$$' -bench 'BenchmarkFig|BenchmarkParallelScan|BenchmarkRelocationKernel|BenchmarkRleScan|BenchmarkTrace|BenchmarkObs' -benchtime=100ms .
 
 # CPU profile of the relocation kernel under the trace hooks; inspect
 # with `go tool pprof cpu.prof`.

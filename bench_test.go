@@ -17,6 +17,7 @@ import (
 	"whatifolap/internal/chunk"
 	"whatifolap/internal/core"
 	"whatifolap/internal/dimension"
+	"whatifolap/internal/obs"
 	"whatifolap/internal/perspective"
 	"whatifolap/internal/simdisk"
 	"whatifolap/internal/trace"
@@ -299,6 +300,62 @@ func BenchmarkRelocationKernelSteady(b *testing.B) {
 	var cells int
 	for i := 0; i < b.N; i++ {
 		cells = k.Replay(ov)
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+// --- Observability overhead ---
+
+// BenchmarkObsRetainOff bounds what the per-query retention decision
+// costs when tail-sampling is disabled (nil ring): the traced
+// steady-state replay plus one MaybeRetain call on its spans. Must show
+// 0 allocs/op and stay within 2% of BenchmarkTraceOn;
+// BENCH_obs_overhead.json records both.
+func BenchmarkObsRetainOff(b *testing.B) {
+	k, err := bench.NewKernel(benchWorkforce(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := k.NewOverlay()
+	tr := trace.New(8192)
+	k.ReplayTraced(tr, trace.SpanRef{}, ov)
+	var ring *obs.TraceRing
+	meta := obs.TraceMeta{Cube: "wf", Query: "bench", LatencyMs: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		root := tr.Start(trace.SpanRef{}, "replay")
+		cells = k.ReplayTraced(tr, root, ov)
+		root.End()
+		ring.MaybeRetain(meta, tr.Spans)
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+// BenchmarkObsRetainOn is the same replay against a live 4MiB ring at
+// the server's default 1-in-64 sampling: most iterations take the
+// atomic-reject path, one in 64 snapshots its spans into the ring.
+func BenchmarkObsRetainOn(b *testing.B) {
+	k, err := bench.NewKernel(benchWorkforce(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := k.NewOverlay()
+	tr := trace.New(8192)
+	k.ReplayTraced(tr, trace.SpanRef{}, ov)
+	ring := obs.NewTraceRing(4<<20, 64)
+	meta := obs.TraceMeta{Cube: "wf", Query: "bench", LatencyMs: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		root := tr.Start(trace.SpanRef{}, "replay")
+		cells = k.ReplayTraced(tr, root, ov)
+		root.End()
+		ring.MaybeRetain(meta, tr.Spans)
 	}
 	b.ReportMetric(float64(cells), "cells/op")
 }

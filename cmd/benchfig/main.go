@@ -11,6 +11,7 @@
 //	benchfig -fig 13            # varying members vs. query time (§6.3)
 //	benchfig -fig overlay-kernel  # overlay write path: MemStore vs chunk-native
 //	benchfig -fig rle-scan        # run-encoded chunks vs per-cell relocation
+//	benchfig -fig obs-overhead    # trace-retention cost on the traced replay
 //	benchfig -fig ablation-pebble | ablation-mode | ablation-rep | ablation-compress
 //	benchfig -fig all
 //	benchfig -fig 11 -employees 20250 -accounts 100 -scenarios 5  # paper scale
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, parallel-scan, overlay-kernel, rle-scan, ablation-pebble, ablation-mode, ablation-rep, ablation-compress, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, parallel-scan, overlay-kernel, rle-scan, obs-overhead, ablation-pebble, ablation-mode, ablation-rep, ablation-compress, all")
 		reps      = flag.Int("reps", 3, "repetitions per point (fastest wins)")
 		employees = flag.Int("employees", 0, "workforce scale override")
 		accounts  = flag.Int("accounts", 0, "accounts override")
@@ -53,6 +54,7 @@ func main() {
 
 	needWorkforce := map[string]bool{
 		"11": true, "13": true, "parallel-scan": true, "overlay-kernel": true,
+		"obs-overhead":    true,
 		"ablation-pebble": true, "ablation-mode": true,
 		"ablation-rep": true, "ablation-compress": true, "all": true,
 	}
@@ -90,6 +92,8 @@ func main() {
 		// rle-scan generates its own validity-window cube (FlatMonths,
 		// period-fastest chunks), so the shared workforce is not used.
 		rleScan(*reps)
+	case "obs-overhead":
+		obsOverhead(w, *reps)
 	case "all":
 		fig11(w, *reps)
 		fig12(*reps)
@@ -101,6 +105,7 @@ func main() {
 		ablationRep(w, *reps)
 		ablationCompress(w, *reps)
 		rleScan(*reps)
+		obsOverhead(w, *reps)
 	default:
 		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}
@@ -203,6 +208,21 @@ func overlayKernel(w *workload.Workforce, reps int) {
 	for _, r := range rows {
 		fmt.Printf("%s,%d,%.3f,%.0f,%.4f,%.4f\n",
 			r.Kernel, r.Cells, r.WallMS, r.CellsPerSec, r.AllocsPerCell, r.SteadyAllocsPerCell)
+	}
+	fmt.Println()
+}
+
+func obsOverhead(w *workload.Workforce, reps int) {
+	fmt.Println("# Obs overhead — tail-sampled trace retention on the traced replay")
+	fmt.Println("# steady-state traced relocation replay plus one MaybeRetain per op:")
+	fmt.Println("# nil ring (retention off), 4MiB ring at 1-in-64 sampling, retain-everything")
+	fmt.Println("variant,cells,wall_ms,allocs_per_op,vs_baseline")
+	rows, err := bench.ObsOverhead(w, reps)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%.3f,%.2f,%.3f\n", r.Variant, r.Cells, r.WallMS, r.AllocsPerOp, r.VsBaseline)
 	}
 	fmt.Println()
 }

@@ -16,6 +16,11 @@
 //
 //	cubegen -kind workforce -out wf.dump
 //	whatif -load wf.dump -chunked < queries.mdx
+//
+// With -top the command is instead a live health view over a running
+// whatifd: it polls GET /metrics/history on -addr every -top-interval
+// and repaints QPS, latency quantiles, cache hit ratio, scan
+// amplification and buffer-pool pressure with sparklines.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	olap "whatifolap"
 	"whatifolap/internal/mdx"
@@ -47,8 +53,19 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (e.g. 5s); 0 disables")
 		workers   = flag.Int("workers", 1, "scan workers per query (parallel merge-group scan; 1 = serial)")
 		scenFile  = flag.String("scenario", "", "apply a JSON scenario edit script before querying (array of edits or {\"edits\": [...]})")
+		topMode   = flag.Bool("top", false, "live terminal health view over a running whatifd's /metrics/history")
+		topAddr   = flag.String("addr", "http://127.0.0.1:8080", "daemon base URL for -top")
+		topEvery  = flag.Duration("top-interval", time.Second, "refresh cadence for -top")
 	)
 	flag.Parse()
+
+	if *topMode {
+		if err := runTop(*topAddr, *topEvery, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "whatif:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	c, err := openCube(*paper, *wf, *load, *chunked)
 	if err != nil {

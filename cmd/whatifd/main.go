@@ -9,7 +9,10 @@
 //	GET  /cubes          catalog listing (name, version, dims, cells, in-flight)
 //	GET  /metrics        counters, cache hit ratio, queue depth, p50/p95/p99
 //	                     (?format=prom for Prometheus text exposition)
+//	GET  /metrics/history  in-process metrics time-series (interval deltas)
 //	GET  /debug/slowlog  recent slow queries with their span traces
+//	GET  /debug/trace    retained trace summaries; /debug/trace/{id} one tree
+//	GET  /debug/events   structured component lifecycle events
 //	GET  /healthz        liveness
 //
 // Scenario workspaces (layered what-if sessions over a catalog cube):
@@ -60,6 +63,7 @@ import (
 	"time"
 
 	olap "whatifolap"
+	"whatifolap/internal/obs"
 	"whatifolap/internal/server"
 )
 
@@ -75,24 +79,32 @@ func (l *loadFlags) Set(v string) error {
 func main() {
 	var loads loadFlags
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		paper      = flag.Bool("paper", false, "serve the paper's Fig. 1/2 example warehouse as cube \"paper\"")
-		wf         = flag.Bool("workforce", false, "serve the default generated workforce dataset as cube \"workforce\"")
-		workers    = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
-		scanWork   = flag.Int("scan-workers", 0, "scan workers per query (parallel merge-group scan; 0 or 1 = serial)")
-		queueCap   = flag.Int("queue", 0, "admission queue capacity (0 = 4×workers); overflow returns 429")
-		cacheBytes = flag.Int("cache-bytes", server.DefaultCacheBytes, "result cache byte budget (0 disables)")
-		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query deadline (0 = none)")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
-		slowMs     = flag.Float64("slowlog", server.DefaultSlowQueryMs, "slow-query log threshold in ms (negative disables)")
-		slowCap    = flag.Int("slowlog-cap", 0, "slow-query ring buffer capacity (0 = default)")
-		traceSpans = flag.Int("trace-spans", 0, "span buffer size per traced query (0 = default)")
-		dataDir    = flag.String("data-dir", "", "persistent data directory: restore cubes from it at startup and write published versions back as segment files (empty = in-memory only)")
-		useMmap    = flag.Bool("mmap", false, "with -data-dir, serve segment reads through a read-only memory map instead of pread")
-		rle        = flag.Bool("rle", true, "run-length encode eligible chunks of every served cube at startup (smaller resident set, run-aware scans)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		paper       = flag.Bool("paper", false, "serve the paper's Fig. 1/2 example warehouse as cube \"paper\"")
+		wf          = flag.Bool("workforce", false, "serve the default generated workforce dataset as cube \"workforce\"")
+		workers     = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		scanWork    = flag.Int("scan-workers", 0, "scan workers per query (parallel merge-group scan; 0 or 1 = serial)")
+		queueCap    = flag.Int("queue", 0, "admission queue capacity (0 = 4×workers); overflow returns 429")
+		cacheBytes  = flag.Int("cache-bytes", server.DefaultCacheBytes, "result cache byte budget (0 disables)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query deadline (0 = none)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+		slowMs      = flag.Float64("slowlog", server.DefaultSlowQueryMs, "slow-query log threshold in ms (negative disables)")
+		slowCap     = flag.Int("slowlog-cap", 0, "slow-query ring buffer capacity (0 = default)")
+		traceSpans  = flag.Int("trace-spans", 0, "span buffer size per traced query (0 = default)")
+		dataDir     = flag.String("data-dir", "", "persistent data directory: restore cubes from it at startup and write published versions back as segment files (empty = in-memory only)")
+		useMmap     = flag.Bool("mmap", false, "with -data-dir, serve segment reads through a read-only memory map instead of pread")
+		rle         = flag.Bool("rle", true, "run-length encode eligible chunks of every served cube at startup (smaller resident set, run-aware scans)")
+		obsEvery    = flag.Duration("obs-interval", 0, "metrics-history sampling cadence (0 = default 1s, negative disables)")
+		historyCap  = flag.Int("history", 0, "metrics-history ring capacity in samples (0 = default)")
+		retainBytes = flag.Int("retain-bytes", 0, "retained-trace ring byte budget (0 = default 4 MiB, negative disables)")
+		traceSample = flag.Int("trace-sample", 0, "retain every Nth healthy query trace (0 = default 64, negative = slow/errored only)")
 	)
 	flag.Var(&loads, "load", "serve a cube dump as name=path (repeatable; text or binary format)")
 	flag.Parse()
+
+	// Component lifecycle goes through one structured event log: every
+	// event is a JSON line on stderr and retained for /debug/events.
+	events := obs.NewEventLog(0, os.Stderr)
 
 	catalog := server.NewCatalog()
 	restored := map[string]bool{}
@@ -102,7 +114,7 @@ func main() {
 			fatal(err)
 		}
 		if p.Recovered() {
-			fmt.Fprintln(os.Stderr, "whatifd: data dir manifest recovered from previous commit")
+			events.Log("manifest_recovered", map[string]string{"dir": *dataDir})
 		}
 		names, err := p.Restore(catalog)
 		if err != nil {
@@ -112,7 +124,10 @@ func main() {
 			restored[n] = true
 		}
 		if len(names) > 0 {
-			fmt.Fprintf(os.Stderr, "whatifd: restored %v from %s\n", names, *dataDir)
+			events.Log("restore", map[string]string{
+				"dir":   *dataDir,
+				"cubes": strings.Join(names, ","),
+			})
 		}
 		// Attach after Restore: restored versions are already durable and
 		// must not be rewritten; everything registered from here on is.
@@ -158,21 +173,29 @@ func main() {
 				continue
 			}
 			if n, err := olap.EncodeRuns(snap.Cube); err == nil && n > 0 {
-				fmt.Fprintf(os.Stderr, "whatifd: run-encoded %d chunks of %q\n", n, name)
+				events.Log("run_encode", map[string]string{
+					"cube":   name,
+					"chunks": fmt.Sprint(n),
+				})
 			}
 			snap.Release()
 		}
 	}
 
 	svc := server.New(catalog, server.Config{
-		Workers:        *workers,
-		ScanWorkers:    *scanWork,
-		QueueCap:       *queueCap,
-		CacheBytes:     *cacheBytes,
-		DefaultTimeout: *timeout,
-		SlowQueryMs:    *slowMs,
-		SlowlogCap:     *slowCap,
-		TraceSpans:     *traceSpans,
+		Workers:          *workers,
+		ScanWorkers:      *scanWork,
+		QueueCap:         *queueCap,
+		CacheBytes:       *cacheBytes,
+		DefaultTimeout:   *timeout,
+		SlowQueryMs:      *slowMs,
+		SlowlogCap:       *slowCap,
+		TraceSpans:       *traceSpans,
+		ObsInterval:      *obsEvery,
+		HistoryCap:       *historyCap,
+		RetainTraceBytes: *retainBytes,
+		TraceSampleEvery: *traceSample,
+		Events:           events,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
@@ -185,7 +208,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "whatifd: debug listener:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "whatifd: pprof on %s/debug/pprof/\n", *debugAddr)
+		events.Log("debug_listener", map[string]string{"addr": *debugAddr})
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -193,11 +216,14 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "whatifd: serving %v on %s\n", names, *addr)
+	events.Log("serving", map[string]string{
+		"addr":  *addr,
+		"cubes": strings.Join(names, ","),
+	})
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "whatifd: shutting down")
+		events.Log("shutdown", nil)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -248,9 +248,9 @@ func TestScenarioChainOverRunEncodedBase(t *testing.T) {
 	}
 
 	layer := NewLayer(g)
-	layer.Set([]int{0, 1}, 70)   // override inside a run
-	layer.Delete([]int{2, 2})    // tombstone inside a run
-	layer.Set([]int{3, 3}, 99)   // layer-only cell in an empty base chunk
+	layer.Set([]int{0, 1}, 70) // override inside a run
+	layer.Delete([]int{2, 2})  // tombstone inside a run
+	layer.Set([]int{3, 3}, 99) // layer-only cell in an empty base chunk
 	plainChain := NewChain(plain, []*Layer{layer})
 	rleChain := NewChain(rle, []*Layer{layer})
 

@@ -24,6 +24,7 @@ import (
 // queries absorb each other's I/O cost.
 type scanTally struct {
 	chunksRead     int
+	cellsScanned   int
 	cellsRelocated int
 	diskCostMs     float64
 	spillFaults    int
@@ -33,6 +34,7 @@ type scanTally struct {
 // add accumulates t2 into t.
 func (t *scanTally) add(t2 scanTally) {
 	t.chunksRead += t2.chunksRead
+	t.cellsScanned += t2.cellsScanned
 	t.cellsRelocated += t2.cellsRelocated
 	t.diskCostMs += t2.diskCostMs
 	t.spillFaults += t2.spillFaults
@@ -85,6 +87,7 @@ type runKernel struct {
 	pendID, pendOff, pendLen int
 	pendVal                  float64
 	moved                    int
+	scanned                  int
 	emit                     func(start, runLen int, v float64) bool
 }
 
@@ -110,6 +113,7 @@ func newRunKernel(g *chunk.Geometry, overlay *chunk.Overlay, target map[int][]in
 		k.outer, k.inner = k.strideP, k.strideV
 	}
 	k.emit = func(start, runLen int, v float64) bool {
+		k.scanned += runLen
 		k.relocateRun(start, runLen, v)
 		return true
 	}
@@ -206,18 +210,20 @@ func (k *runKernel) flush() {
 	}
 }
 
-// take flushes and returns the cells moved since the last take.
-func (k *runKernel) take() int {
+// take flushes and returns the cells moved and scanned since the last
+// take.
+func (k *runKernel) take() (moved, scanned int) {
 	k.flush()
-	n := k.moved
-	k.moved = 0
-	return n
+	moved, scanned = k.moved, k.scanned
+	k.moved, k.scanned = 0, 0
+	return moved, scanned
 }
 
 // annotateScan attaches a tally's counters to a scan or group span.
 // No-op refs (tracing off) make every call free.
 func annotateScan(sp trace.SpanRef, t scanTally, workers int) {
 	sp.Int("chunks_read", int64(t.chunksRead))
+	sp.Int("cells_scanned", int64(t.cellsScanned))
 	sp.Int("cells_relocated", int64(t.cellsRelocated))
 	sp.IntNonZero("spill_faults", int64(t.spillFaults))
 	sp.IntNonZero("overlay_promotions", int64(t.promotions))
@@ -322,6 +328,7 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 		scanSp.End()
 	}
 	stats.ChunksRead += scanT.chunksRead
+	stats.CellsScanned += scanT.cellsScanned
 	stats.CellsRelocated += scanT.cellsRelocated
 	stats.DiskCostMs += scanT.diskCostMs
 	stats.SpillFaults += scanT.spillFaults
@@ -487,6 +494,7 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 		}
 		g.CoordOf(id, ccoord)
 		relocate := func(off int, v float64) bool {
+			tally.cellsScanned++
 			g.Join(ccoord, off, addr)
 			row := p.Target[addr[e.vi]]
 			if row == nil {
@@ -520,7 +528,9 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 			}
 			rk.beginChunk(og, ccoord)
 			ch.ForEachRun(rk.emit)
-			tally.cellsRelocated += rk.take()
+			moved, scanned := rk.take()
+			tally.cellsRelocated += moved
+			tally.cellsScanned += scanned
 			continue
 		}
 		ch.ForEach(relocate)

@@ -197,6 +197,12 @@ type Stats struct {
 	ChunksRead int
 	// CellsRelocated counts leaf cells written into the overlay.
 	CellsRelocated int
+	// CellsScanned counts source cells the scan visited (non-null
+	// cells iterated across scheduled chunks; run-encoded chunks count
+	// their run lengths) before relocation filtering. Scanned ÷ cells
+	// returned to the client is the scan-amplification trend the
+	// serving layer's /metrics/history tracks.
+	CellsScanned int
 	// MergeEdges is the number of edges in the merge dependency graph.
 	MergeEdges int
 	// PeakResidentChunks is the peak number of chunks that must be
@@ -247,6 +253,7 @@ func (s *Stats) Add(s2 Stats) {
 	s.RelevantChunks += s2.RelevantChunks
 	s.ChunksRead += s2.ChunksRead
 	s.CellsRelocated += s2.CellsRelocated
+	s.CellsScanned += s2.CellsScanned
 	s.MergeEdges += s2.MergeEdges
 	if s2.PeakResidentChunks > s.PeakResidentChunks {
 		s.PeakResidentChunks = s2.PeakResidentChunks

@@ -14,8 +14,9 @@ import (
 // paths. The span recorder (internal/trace/trace.go), the staged
 // executor's scan loop (internal/core/exec.go), the overlay write
 // path (internal/chunk/overlay.go), the scenario layer-chain read
-// path (internal/chunk/chain.go) and the run-encoded chunk iterator
-// (internal/chunk/run.go) hold the suite's 0-alloc-per-cell
+// path (internal/chunk/chain.go), the run-encoded chunk iterator
+// (internal/chunk/run.go) and the per-query trace-retention decision
+// (internal/obs/retain.go) hold the suite's 0-alloc-per-cell
 // guarantee; an fmt import there puts reflection-based formatting on
 // the per-chunk path. The analyzer replaces verify.sh's old grep with
 // an import-graph check:
@@ -40,7 +41,7 @@ var HotpathFmt = &analysis.Analyzer{
 }
 
 var (
-	hotpathFiles = "internal/trace/trace.go,internal/core/exec.go,internal/chunk/overlay.go,internal/chunk/chain.go,internal/chunk/run.go"
+	hotpathFiles = "internal/trace/trace.go,internal/core/exec.go,internal/chunk/overlay.go,internal/chunk/chain.go,internal/chunk/run.go,internal/obs/retain.go"
 	hotpathRoot  = ModulePath
 )
 

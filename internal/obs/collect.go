@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Collector drives a sample closure at a fixed cadence from its own
+// goroutine. It owns nothing but the ticker: the closure (built by the
+// server) reads the counters, computes the interval deltas and pushes
+// the Sample into a History — keeping the differencing logic next to
+// the counters it differences.
+//
+// A stop channel, not a context: the collector's lifetime is the
+// server's (Close stops it), and there is no caller deadline to
+// inherit — internal/lint's ctxflow rule bans manufacturing a
+// context.Background() for what is really object lifetime.
+type Collector struct {
+	interval time.Duration
+	sample   func()
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// StartCollector starts sampling every interval. The first sample
+// fires one interval after start, so every sample covers a full
+// interval of deltas. sample runs on the collector goroutine only —
+// it needs no internal locking against itself.
+func StartCollector(interval time.Duration, sample func()) *Collector {
+	c := &Collector{
+		interval: interval,
+		sample:   sample,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+func (c *Collector) loop() {
+	defer close(c.done)
+	tick := time.NewTicker(c.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			c.sample()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Interval returns the sampling cadence. Nil-safe.
+func (c *Collector) Interval() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.interval
+}
+
+// Stop halts sampling and waits for an in-flight sample to finish.
+// Idempotent and nil-safe, so a server with collection disabled can
+// call it unconditionally on Close.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}

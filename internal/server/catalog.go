@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"whatifolap/internal/chunk"
 	"whatifolap/internal/cube"
 	"whatifolap/internal/workload"
 )
@@ -268,6 +269,35 @@ func (c *Catalog) List() []CubeInfo {
 		})
 	}
 	return out
+}
+
+// PoolStats sums buffer-pool statistics over the current version of
+// every cube with chunk-backed storage — the live resident set behind
+// the /metrics pool gauges and the history collector's pressure
+// tracking. Superseded versions still leased by in-flight queries are
+// not counted; their pools drain as the leases release.
+func (c *Catalog) PoolStats() chunk.SpillStats {
+	c.mu.RLock()
+	curs := make([]*cubeVersion, 0, len(c.entries))
+	for _, e := range c.entries {
+		curs = append(curs, e.cur)
+	}
+	c.mu.RUnlock()
+	var total chunk.SpillStats
+	for _, cv := range curs {
+		st, ok := cv.cube.Store().(*chunk.Store)
+		if !ok {
+			continue
+		}
+		ps := st.SpillStats()
+		total.Resident += ps.Resident
+		total.Spilled += ps.Spilled
+		total.Faults += ps.Faults
+		total.Evictions += ps.Evictions
+		total.Pinned += ps.Pinned
+		total.ResidentBytes += ps.ResidentBytes
+	}
+	return total
 }
 
 // Names returns the registered cube names, sorted.

@@ -1,0 +1,363 @@
+package server
+
+// Tests for the continuous-observability surface: interval quantiles,
+// /metrics/history sampling, tail-sampled trace retention end to end,
+// slowlog linkage, and lifecycle events.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"whatifolap/internal/chunk"
+)
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty recorder: every quantile is 0.
+	h := newHistogram([]float64{10, 20})
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.quantile(q); got != 0 {
+			t.Fatalf("empty quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// No bounds at all: quantileCounts must not panic.
+	if got := quantileCounts(nil, nil, 0.5); got != 0 {
+		t.Fatalf("quantile of boundless histogram = %v, want 0", got)
+	}
+
+	// Single finite bucket: everything interpolates within (0, 10].
+	h1 := newHistogram([]float64{10})
+	h1.observe(3)
+	h1.observe(7)
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h1.quantile(q); got <= 0 || got > 10 {
+			t.Fatalf("single-bucket quantile(%v) = %v, want within (0,10]", q, got)
+		}
+	}
+
+	// All samples beyond the last finite bound land in +Inf: the
+	// estimate clamps to the last finite bound instead of inventing an
+	// upper edge.
+	h2 := newHistogram([]float64{10, 20})
+	for i := 0; i < 5; i++ {
+		h2.observe(1e6)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h2.quantile(q); got != 20 {
+			t.Fatalf("+Inf-bucket quantile(%v) = %v, want clamp to 20", q, got)
+		}
+	}
+
+	// Interval deltas: a second snapshot minus the first isolates the
+	// new observations, and the shared kernel prices only those.
+	h3 := newHistogram([]float64{10, 20})
+	h3.observe(5)
+	before := h3.countsSnapshot()
+	h3.observe(15)
+	h3.observe(15)
+	after := h3.countsSnapshot()
+	delta := make([]int64, len(after))
+	for i := range after {
+		delta[i] = after[i] - before[i]
+	}
+	if got := quantileCounts(h3.bounds, delta, 0.5); got <= 10 || got > 20 {
+		t.Fatalf("interval quantile = %v, want within (10,20] (delta %v)", got, delta)
+	}
+}
+
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	// Collector disabled: the test drives sampling deterministically.
+	s := newPaperServer(t, Config{CacheBytes: 1 << 20, ObsInterval: -1})
+	h := s.Handler()
+
+	// One miss, one hit of the same query.
+	for i := 0; i < 2; i++ {
+		if rec := postQuery(t, h, queryRequest{Query: paperQuery}); rec.Code != http.StatusOK {
+			t.Fatalf("query = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	s.sampler.sample()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/history", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics/history = %d: %s", rec.Code, rec.Body)
+	}
+	var hist HistoryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Total != 1 || len(hist.Samples) != 1 {
+		t.Fatalf("history = total %d, %d samples; want 1", hist.Total, len(hist.Samples))
+	}
+	sm := hist.Samples[0]
+	if sm.Queries != 2 || sm.CacheHits != 1 || sm.CacheMisses != 1 {
+		t.Fatalf("sample flow = %+v, want 2 queries, 1 hit, 1 miss", sm)
+	}
+	if math.Abs(sm.CacheHitRatio-0.5) > 1e-9 {
+		t.Fatalf("cache hit ratio = %v, want 0.5", sm.CacheHitRatio)
+	}
+	if sm.CellsScanned <= 0 || sm.CellsReturned <= 0 {
+		t.Fatalf("cells scanned/returned = %d/%d, want positive", sm.CellsScanned, sm.CellsReturned)
+	}
+	if want := float64(sm.CellsScanned) / float64(sm.CellsReturned); math.Abs(sm.ScanAmplification-want) > 1e-9 {
+		t.Fatalf("scan amplification = %v, want %v", sm.ScanAmplification, want)
+	}
+	if sm.P50Ms <= 0 || sm.P99Ms < sm.P50Ms {
+		t.Fatalf("interval quantiles p50=%v p99=%v", sm.P50Ms, sm.P99Ms)
+	}
+	if sm.QPS <= 0 || sm.IntervalMs <= 0 {
+		t.Fatalf("qps=%v interval=%vms, want positive", sm.QPS, sm.IntervalMs)
+	}
+	if sm.PoolResidentChunks <= 0 {
+		t.Fatalf("pool resident chunks = %d, want positive (chunked cube)", sm.PoolResidentChunks)
+	}
+
+	// A quiet second interval: deltas zero, ratios use the -1 sentinel
+	// so "no traffic" is distinguishable from "all misses".
+	s.sampler.sample()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/history", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Samples) != 2 {
+		t.Fatalf("history has %d samples, want 2", len(hist.Samples))
+	}
+	quiet := hist.Samples[1]
+	if quiet.Queries != 0 || quiet.CacheHitRatio != -1 || quiet.ScanAmplification != -1 {
+		t.Fatalf("quiet sample = %+v, want zero flow and -1 ratios", quiet)
+	}
+}
+
+func TestRetainedTraceEndToEnd(t *testing.T) {
+	// Threshold so low every query is slow, hence always retained.
+	s := newPaperServer(t, Config{SlowQueryMs: 0.000001})
+	h := s.Handler()
+
+	rec := postQuery(t, h, queryRequest{Query: paperQuery})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %s", rec.Code, rec.Body)
+	}
+	id := rec.Header().Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("slow query response lacks X-Trace-Id")
+	}
+	var qresp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qresp); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ID resolves to the full span tree.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace/"+id, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace/%s = %d: %s", id, rec.Code, rec.Body)
+	}
+	var tresp TraceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tresp); err != nil {
+		t.Fatal(err)
+	}
+	if tresp.ID != id || tresp.Reason != "slow" || tresp.Cube != "paper" {
+		t.Fatalf("trace = %+v, want id %s, reason slow", tresp, id)
+	}
+	if tresp.LatencyMs <= 0 || len(tresp.Spans) == 0 {
+		t.Fatalf("trace lacks substance: latency %v, %d spans", tresp.LatencyMs, len(tresp.Spans))
+	}
+	// The retained spans reconcile with the query's own stats: the scan
+	// span recorded the same chunk reads the response reported.
+	var sawScan bool
+	for _, sp := range tresp.Spans {
+		if sp.Name != "scan" {
+			continue
+		}
+		sawScan = true
+		if got := sp.Attrs["chunks_read"]; got != int64(qresp.Stats.ChunksRead) {
+			t.Fatalf("scan span chunks_read = %d, response stats = %d", got, qresp.Stats.ChunksRead)
+		}
+		if sp.Attrs["cells_scanned"] <= 0 {
+			t.Fatalf("scan span cells_scanned = %d, want positive", sp.Attrs["cells_scanned"])
+		}
+	}
+	if !sawScan {
+		t.Fatalf("no scan span among %d retained spans", len(tresp.Spans))
+	}
+	for _, name := range []string{"eval", "scan"} {
+		if !strings.Contains(tresp.Rendered, name) {
+			t.Fatalf("rendered tree missing %q:\n%s", name, tresp.Rendered)
+		}
+	}
+
+	// The listing shows it; an unknown ID 404s.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace", nil))
+	var list traceListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Stats.Count != 1 || len(list.Traces) != 1 || list.Traces[0].ID != id {
+		t.Fatalf("trace list = %+v, want exactly %s", list, id)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/debug/trace/nope = %d, want 404", rec.Code)
+	}
+
+	// Retention disabled: no header, nothing resolvable.
+	s2 := newPaperServer(t, Config{SlowQueryMs: 0.000001, RetainTraceBytes: -1})
+	h2 := s2.Handler()
+	rec = postQuery(t, h2, queryRequest{Query: paperQuery})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != "" {
+		t.Fatalf("retention disabled but X-Trace-Id = %q", got)
+	}
+}
+
+func TestSlowlogTraceIDAndRevision(t *testing.T) {
+	s, _ := newWorkforceServer(t, Config{SlowQueryMs: 0.000001})
+	h := s.Handler()
+
+	var sc scenarioInfoJSON
+	decode(t, do(t, h, "POST", "/scenarios", map[string]string{"name": "slow"}), http.StatusCreated, &sc)
+	decode(t, do(t, h, "POST", "/scenarios/"+sc.ID+"/edit", map[string]interface{}{
+		"edits": []map[string]interface{}{
+			{"op": "new_member", "dim": "Account", "parent": "AllAccounts", "name": "Bonus"},
+			{"op": "set", "cell": map[string]string{"Department": "Emp00010", "Period": "Jan", "Account": "Bonus"}, "value": 500},
+		},
+	}), http.StatusOK, nil)
+
+	rec := do(t, h, "POST", "/scenarios/"+sc.ID+"/query", queryRequest{Query: rollupQuery})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scenario query = %d: %s", rec.Code, rec.Body)
+	}
+	headerID := rec.Header().Get("X-Trace-Id")
+	if headerID == "" {
+		t.Fatal("slow scenario query lacks X-Trace-Id")
+	}
+
+	records, total := s.slowlog.snapshot()
+	if total != 1 || len(records) != 1 {
+		t.Fatalf("slowlog = %d records, want 1", total)
+	}
+	r := records[0]
+	if r.Scenario != sc.ID || r.ScenarioRev != 1 {
+		t.Fatalf("slowlog record = %+v, want scenario %s at revision 1", r, sc.ID)
+	}
+	if r.TraceID != headerID {
+		t.Fatalf("slowlog trace id %q != response header %q", r.TraceID, headerID)
+	}
+
+	// The linked trace carries the same scenario coordinates.
+	var tresp TraceResponse
+	decode(t, do(t, h, "GET", "/debug/trace/"+r.TraceID, nil), http.StatusOK, &tresp)
+	if tresp.Scenario != sc.ID || tresp.ScenarioRev != 1 {
+		t.Fatalf("retained trace = %+v, want scenario %s rev 1", tresp, sc.ID)
+	}
+}
+
+func TestEventLogLifecycleEvents(t *testing.T) {
+	s, _ := newWorkforceServer(t, Config{})
+	h := s.Handler()
+
+	var a, b scenarioInfoJSON
+	decode(t, do(t, h, "POST", "/scenarios", map[string]string{"name": "a"}), http.StatusCreated, &a)
+	decode(t, do(t, h, "POST", "/scenarios", map[string]string{"name": "b"}), http.StatusCreated, &b)
+	decode(t, do(t, h, "POST", "/scenarios/"+a.ID+"/edit", map[string]interface{}{
+		"edits": []map[string]interface{}{
+			{"op": "new_member", "dim": "Account", "parent": "AllAccounts", "name": "Bonus"},
+			{"op": "set", "cell": map[string]string{"Department": "Emp00010", "Period": "Jan", "Account": "Bonus"}, "value": 500},
+		},
+	}), http.StatusOK, nil)
+	decode(t, do(t, h, "POST", "/scenarios/"+a.ID+"/commit", nil), http.StatusOK, nil)
+	// b pinned the pre-commit version: its commit must conflict.
+	decode(t, do(t, h, "POST", "/scenarios/"+b.ID+"/commit", nil), http.StatusConflict, nil)
+	decode(t, do(t, h, "DELETE", "/scenarios/"+b.ID, nil), http.StatusOK, nil)
+
+	rec := do(t, h, "GET", "/debug/events", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/events = %d", rec.Code)
+	}
+	var resp eventsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	byType := map[string]int{}
+	for _, e := range resp.Events {
+		byType[e.Type]++
+	}
+	if byType["scenario_create"] != 2 {
+		t.Fatalf("scenario_create events = %d, want 2 (%v)", byType["scenario_create"], byType)
+	}
+	for _, typ := range []string{"scenario_commit", "scenario_conflict", "scenario_delete"} {
+		if byType[typ] != 1 {
+			t.Fatalf("%s events = %d, want 1 (%v)", typ, byType[typ], byType)
+		}
+	}
+	// Events carry their coordinates.
+	for _, e := range resp.Events {
+		if e.Type == "scenario_commit" && (e.Fields["scenario"] != a.ID || e.Fields["cube"] != "wf") {
+			t.Fatalf("scenario_commit fields = %v", e.Fields)
+		}
+	}
+}
+
+func TestHistoryEvictionPressureEvents(t *testing.T) {
+	s := newPaperServer(t, Config{ObsInterval: -1})
+
+	// Substitute a synthetic pool so the test controls eviction deltas.
+	evictions := 0
+	s.metrics.poolStats = func() chunk.SpillStats {
+		return chunk.SpillStats{Evictions: evictions, ResidentBytes: 1 << 20}
+	}
+	s.sampler.prime()
+
+	count := func(typ string) int {
+		events, _ := s.events.Snapshot()
+		n := 0
+		for _, e := range events {
+			if e.Type == typ {
+				n++
+			}
+		}
+		return n
+	}
+
+	evictions = 5
+	s.sampler.sample() // delta 5 > 0: pressure starts
+	evictions = 9
+	s.sampler.sample() // still evicting: no second event (edge-triggered)
+	if got := count("eviction_pressure"); got != 1 {
+		t.Fatalf("eviction_pressure events = %d, want 1", got)
+	}
+	if got := count("eviction_pressure_cleared"); got != 0 {
+		t.Fatalf("premature eviction_pressure_cleared (%d)", got)
+	}
+
+	s.sampler.sample() // delta 0: pressure clears
+	s.sampler.sample() // stays clear: no second event
+	if got := count("eviction_pressure_cleared"); got != 1 {
+		t.Fatalf("eviction_pressure_cleared events = %d, want 1", got)
+	}
+	if got := count("eviction_pressure"); got != 1 {
+		t.Fatalf("eviction_pressure re-fired without an edge (%d)", got)
+	}
+
+	// The samples themselves carry the per-interval eviction deltas.
+	samples := s.history.Snapshot()
+	if len(samples) != 4 {
+		t.Fatalf("history has %d samples, want 4", len(samples))
+	}
+	wantDeltas := []int64{5, 4, 0, 0}
+	for i, want := range wantDeltas {
+		if samples[i].PoolEvictions != want {
+			t.Fatalf("sample %d eviction delta = %d, want %d", i, samples[i].PoolEvictions, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"whatifolap/internal/chunk"
 	"whatifolap/internal/core"
 	"whatifolap/internal/trace"
 )
@@ -60,15 +61,43 @@ func (h *histogram) observeDuration(d time.Duration) {
 
 func (h *histogram) sum() float64 { return float64(h.sumMicro.Load()) / 1e6 }
 
-// quantile estimates the q-th quantile (0 < q < 1) from the bucket
-// counts with linear interpolation inside the winning bucket (the
-// Prometheus histogram_quantile convention): the estimate moves
-// smoothly with the rank instead of jumping between bucket bounds. The
-// first bucket interpolates from 0; a rank landing in the +Inf bucket
-// clamps to the largest finite bound, since no upper edge exists to
-// interpolate toward.
+// quantile estimates the q-th quantile over the histogram's lifetime
+// counts. Exposition-time only; the per-read snapshot allocation is
+// off the query path.
 func (h *histogram) quantile(q float64) float64 {
-	total := h.count.Load()
+	return quantileCounts(h.bounds, h.countsSnapshot(), q)
+}
+
+// countsSnapshot copies the per-bucket counts (len(bounds)+1, last is
+// +Inf). The collector differences two such snapshots to compute
+// interval quantiles.
+func (h *histogram) countsSnapshot() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// quantileCounts estimates the q-th quantile (0 < q < 1) from
+// per-bucket counts (len(bounds)+1, the last bucket +Inf) with linear
+// interpolation inside the winning bucket (the Prometheus
+// histogram_quantile convention): the estimate moves smoothly with the
+// rank instead of jumping between bucket bounds. The first bucket
+// interpolates from 0; a rank landing in the +Inf bucket clamps to the
+// largest finite bound, since no upper edge exists to interpolate
+// toward. Zero total — an empty recorder, or an interval delta with no
+// observations — returns 0. It is the shared quantile kernel: lifetime
+// quantiles pass a histogram's counts, the history collector passes
+// the bucket deltas of one sampling interval.
+func quantileCounts(bounds []float64, counts []int64, q float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
@@ -77,21 +106,21 @@ func (h *histogram) quantile(q float64) float64 {
 		rank = 1
 	}
 	var cum float64
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
+	for i := range counts {
+		n := float64(counts[i])
 		if cum+n >= rank {
-			if i >= len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			return lo + (h.bounds[i]-lo)*(rank-cum)/n
+			return lo + (bounds[i]-lo)*(rank-cum)/n
 		}
 		cum += n
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // LatencySnapshot summarizes the latency histogram.
@@ -120,6 +149,12 @@ type Metrics struct {
 	CacheMisses   atomic.Int64
 	SlowQueries   atomic.Int64 // queries recorded in the slow-query log
 
+	// CellsScanned / CellsReturned feed the scan-amplification ratio:
+	// source cells visited by chunk scans vs. result-grid cells
+	// returned to clients (cache hits return without scanning).
+	CellsScanned  atomic.Int64
+	CellsReturned atomic.Int64
+
 	latency *histogram
 
 	// Trace-derived histograms, fed by ObserveTrace from each query's
@@ -147,12 +182,14 @@ type Metrics struct {
 	// exposition cardinality.
 	byScenario map[string]*scenarioStat
 
-	// queueDepth, cacheBytes and writebackPending are sampled at
-	// snapshot time. writebackPending is nil unless a persister is
-	// attached (whatifd -data-dir).
+	// queueDepth, cacheBytes, writebackPending and poolStats are
+	// sampled at snapshot time. writebackPending is nil unless a
+	// persister is attached (whatifd -data-dir); poolStats sums the
+	// buffer pools of the catalog's current cube versions.
 	queueDepth       func() int
 	cacheBytes       func() int
 	writebackPending func() int64
+	poolStats        func() chunk.SpillStats
 }
 
 // scenarioStat accumulates one scenario's query attribution.
@@ -185,6 +222,13 @@ func NewMetrics() *Metrics {
 
 // ObserveLatency records one successful query execution time.
 func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observeDuration(d) }
+
+// ObserveCells records one query's scan amplification inputs: source
+// cells the engine visited and result cells returned to the client.
+func (m *Metrics) ObserveCells(scanned, returned int64) {
+	m.CellsScanned.Add(scanned)
+	m.CellsReturned.Add(returned)
+}
 
 // ObserveStages records one query's staged-pipeline timings
 // (plan / scan / merge / project) from the engine stats.
@@ -272,9 +316,17 @@ type MetricsSnapshot struct {
 	CacheBytes    int     `json:"cache_bytes"`
 	QueueDepth    int     `json:"queue_depth"`
 	SlowQueries   int64   `json:"slow_queries"`
+	// CellsScanned/CellsReturned are lifetime totals;
+	// ScanAmplification their ratio (0 until something was returned).
+	CellsScanned      int64   `json:"cells_scanned"`
+	CellsReturned     int64   `json:"cells_returned"`
+	ScanAmplification float64 `json:"scan_amplification"`
 	// WritebackPending counts segment write-backs queued or in flight;
 	// always 0 without a data directory.
 	WritebackPending int64 `json:"writeback_pending"`
+	// Pool aggregates buffer-pool state over the catalog's current
+	// cube versions.
+	Pool PoolSnapshot `json:"pool"`
 	// SegmentRead summarizes durable segment fault-in latency.
 	SegmentRead LatencySnapshot  `json:"segment_read_ms"`
 	Latency     LatencySnapshot  `json:"latency"`
@@ -283,6 +335,17 @@ type MetricsSnapshot struct {
 	// ByScenario attributes scenario-path queries per scenario id;
 	// absent when no scenario query has been served.
 	ByScenario map[string]ScenarioSnapshot `json:"by_scenario,omitempty"`
+}
+
+// PoolSnapshot is the buffer-pool aggregate in MetricsSnapshot:
+// chunk.SpillStats summed across cubes, with JSON names.
+type PoolSnapshot struct {
+	ResidentChunks int `json:"resident_chunks"`
+	SpilledChunks  int `json:"spilled_chunks"`
+	Faults         int `json:"faults"`
+	Evictions      int `json:"evictions"`
+	Pinned         int `json:"pinned"`
+	ResidentBytes  int `json:"resident_bytes"`
 }
 
 // Snapshot captures the current metric values.
@@ -297,10 +360,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CacheHits:     m.CacheHits.Load(),
 		CacheMisses:   m.CacheMisses.Load(),
 		SlowQueries:   m.SlowQueries.Load(),
+		CellsScanned:  m.CellsScanned.Load(),
+		CellsReturned: m.CellsReturned.Load(),
 		BySemantics:   make(map[string]int64),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRatio = float64(s.CacheHits) / float64(lookups)
+	}
+	if s.CellsReturned > 0 {
+		s.ScanAmplification = float64(s.CellsScanned) / float64(s.CellsReturned)
 	}
 	if n := m.latency.count.Load(); n > 0 {
 		s.Latency = LatencySnapshot{
@@ -355,6 +423,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if m.writebackPending != nil {
 		s.WritebackPending = m.writebackPending()
+	}
+	if m.poolStats != nil {
+		ps := m.poolStats()
+		s.Pool = PoolSnapshot{
+			ResidentChunks: ps.Resident,
+			SpilledChunks:  ps.Spilled,
+			Faults:         ps.Faults,
+			Evictions:      ps.Evictions,
+			Pinned:         ps.Pinned,
+			ResidentBytes:  ps.ResidentBytes,
+		}
 	}
 	return s
 }

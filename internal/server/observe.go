@@ -1,0 +1,368 @@
+package server
+
+// Continuous observability, server side: the sampler closure the
+// obs.Collector drives (counter differencing lives here, next to the
+// counters), the tail-sampling retention hook the query handlers call,
+// and the HTTP handlers for /metrics/history, /debug/trace[/{id}] and
+// /debug/events. The mechanisms (rings, ticker, budget accounting)
+// live in internal/obs; this file is the policy glue.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"whatifolap/internal/obs"
+	"whatifolap/internal/trace"
+)
+
+// obsSampler holds the previous tick's counter state so each
+// obs.Sample reports interval deltas, not lifetime totals. sample runs
+// on the collector goroutine only (or, in tests, called directly with
+// the collector disabled), so the prev fields need no locking.
+type obsSampler struct {
+	s *Server
+
+	prevTime time.Time
+
+	prevQueries     int64
+	prevErrors      int64
+	prevSlow        int64
+	prevCacheHits   int64
+	prevCacheMisses int64
+	prevScanned     int64
+	prevReturned    int64
+
+	// prevLat are the latency histogram's per-bucket counts at the last
+	// tick; differencing two snapshots gives the interval's bucket
+	// counts, which quantileCounts turns into interval quantiles.
+	prevLat []int64
+
+	// prevSegSumMicro/prevSegCount difference the segment-read
+	// histogram's sum and count into an interval mean.
+	prevSegSumMicro int64
+	prevSegCount    int64
+
+	prevEvictions int64
+	prevFaults    int64
+
+	// underPressure is the eviction-pressure edge detector: a tick with
+	// evictions starts pressure, a tick without ends it. Edge-triggered
+	// events, not one per tick — sustained pressure is one event pair.
+	underPressure bool
+}
+
+// newObsSampler primes the baseline so the first tick reports a full
+// interval of deltas from server start.
+func newObsSampler(s *Server) *obsSampler {
+	sm := &obsSampler{s: s}
+	sm.prime()
+	return sm
+}
+
+func (sm *obsSampler) prime() {
+	m := sm.s.metrics
+	sm.prevTime = time.Now()
+	sm.prevQueries = m.QueriesServed.Load()
+	sm.prevErrors = m.QueryErrors.Load()
+	sm.prevSlow = m.SlowQueries.Load()
+	sm.prevCacheHits = m.CacheHits.Load()
+	sm.prevCacheMisses = m.CacheMisses.Load()
+	sm.prevScanned = m.CellsScanned.Load()
+	sm.prevReturned = m.CellsReturned.Load()
+	sm.prevLat = m.latency.countsSnapshot()
+	sm.prevSegSumMicro = m.segmentReadMs.sumMicro.Load()
+	sm.prevSegCount = m.segmentReadMs.count.Load()
+	if m.poolStats != nil {
+		ps := m.poolStats()
+		sm.prevEvictions = int64(ps.Evictions)
+		sm.prevFaults = int64(ps.Faults)
+	}
+}
+
+// sample reads the counters, differences them against the previous
+// tick, pushes one obs.Sample into the history ring, and emits
+// eviction-pressure edge events.
+func (sm *obsSampler) sample() {
+	m := sm.s.metrics
+	now := time.Now()
+	interval := now.Sub(sm.prevTime)
+
+	out := obs.Sample{
+		UnixMs:     now.UnixMilli(),
+		IntervalMs: float64(interval) / float64(time.Millisecond),
+	}
+
+	queries := m.QueriesServed.Load()
+	errors := m.QueryErrors.Load()
+	slow := m.SlowQueries.Load()
+	hits := m.CacheHits.Load()
+	misses := m.CacheMisses.Load()
+	scanned := m.CellsScanned.Load()
+	returned := m.CellsReturned.Load()
+
+	out.Queries = queries - sm.prevQueries
+	out.Errors = errors - sm.prevErrors
+	out.SlowQueries = slow - sm.prevSlow
+	out.CacheHits = hits - sm.prevCacheHits
+	out.CacheMisses = misses - sm.prevCacheMisses
+	out.CellsScanned = scanned - sm.prevScanned
+	out.CellsReturned = returned - sm.prevReturned
+	if interval > 0 {
+		out.QPS = float64(out.Queries) / interval.Seconds()
+	}
+	if lookups := out.CacheHits + out.CacheMisses; lookups > 0 {
+		out.CacheHitRatio = float64(out.CacheHits) / float64(lookups)
+	} else {
+		out.CacheHitRatio = -1
+	}
+	if out.CellsReturned > 0 {
+		out.ScanAmplification = float64(out.CellsScanned) / float64(out.CellsReturned)
+	} else {
+		out.ScanAmplification = -1
+	}
+
+	lat := m.latency.countsSnapshot()
+	delta := make([]int64, len(lat))
+	for i := range lat {
+		delta[i] = lat[i]
+		if i < len(sm.prevLat) {
+			delta[i] -= sm.prevLat[i]
+		}
+	}
+	out.P50Ms = quantileCounts(m.latency.bounds, delta, 0.50)
+	out.P95Ms = quantileCounts(m.latency.bounds, delta, 0.95)
+	out.P99Ms = quantileCounts(m.latency.bounds, delta, 0.99)
+
+	segSum := m.segmentReadMs.sumMicro.Load()
+	segCount := m.segmentReadMs.count.Load()
+	if dn := segCount - sm.prevSegCount; dn > 0 {
+		out.SegmentReadMs = float64(segSum-sm.prevSegSumMicro) / 1e6 / float64(dn)
+	}
+
+	if m.queueDepth != nil {
+		out.QueueDepth = m.queueDepth()
+	}
+	if m.cacheBytes != nil {
+		out.CacheBytes = m.cacheBytes()
+	}
+	if m.writebackPending != nil {
+		out.WritebackPending = m.writebackPending()
+	}
+
+	var evictions, faults int64
+	if m.poolStats != nil {
+		ps := m.poolStats()
+		out.PoolResidentBytes = ps.ResidentBytes
+		out.PoolResidentChunks = ps.Resident
+		out.PoolSpilledChunks = ps.Spilled
+		out.PoolPinned = ps.Pinned
+		evictions = int64(ps.Evictions)
+		faults = int64(ps.Faults)
+		out.PoolEvictions = evictions - sm.prevEvictions
+		out.PoolFaults = faults - sm.prevFaults
+	}
+
+	rs := sm.s.traces.Stats()
+	out.RetainedTraces = rs.Count
+	out.RetainedTraceBytes = rs.Bytes
+
+	sm.s.history.Add(out)
+
+	// Eviction-pressure edges: the pool started (or stopped) evicting
+	// this interval.
+	if out.PoolEvictions > 0 && !sm.underPressure {
+		sm.underPressure = true
+		sm.s.events.Log("eviction_pressure", map[string]string{
+			"evictions":      strconv.FormatInt(out.PoolEvictions, 10),
+			"resident_bytes": strconv.Itoa(out.PoolResidentBytes),
+		})
+	} else if out.PoolEvictions == 0 && sm.underPressure {
+		sm.underPressure = false
+		sm.s.events.Log("eviction_pressure_cleared", map[string]string{
+			"resident_bytes": strconv.Itoa(out.PoolResidentBytes),
+		})
+	}
+
+	sm.prevTime = now
+	sm.prevQueries = queries
+	sm.prevErrors = errors
+	sm.prevSlow = slow
+	sm.prevCacheHits = hits
+	sm.prevCacheMisses = misses
+	sm.prevScanned = scanned
+	sm.prevReturned = returned
+	sm.prevLat = lat
+	sm.prevSegSumMicro = segSum
+	sm.prevSegCount = segCount
+	sm.prevEvictions = evictions
+	sm.prevFaults = faults
+}
+
+// retainTrace applies the tail-sampling policy to one finished query:
+// it packages the outcome into an obs.TraceMeta (computing the Slow
+// flag from the server's slowlog threshold — one policy, two
+// consumers) and hands it to the ring. Returns the retained trace ID,
+// or "" (retention disabled, or the query was not sampled).
+func (s *Server) retainTrace(tr *trace.Trace, cubeName, scenarioID string, rev int64, norm string, elapsed time.Duration, qerr error) string {
+	if s.traces == nil {
+		return ""
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	m := obs.TraceMeta{
+		Time:        time.Now(),
+		Cube:        cubeName,
+		Scenario:    scenarioID,
+		ScenarioRev: rev,
+		Query:       norm,
+		LatencyMs:   ms,
+		Slow:        s.cfg.SlowQueryMs >= 0 && ms >= s.cfg.SlowQueryMs,
+	}
+	if qerr != nil {
+		m.Err = qerr.Error()
+	}
+	return s.traces.MaybeRetain(m, tr.Spans)
+}
+
+// HistoryResponse is the GET /metrics/history body. Exported so the
+// whatif -top client can decode it.
+type HistoryResponse struct {
+	// IntervalMs is the configured collector cadence (0 when the
+	// collector is disabled); each sample carries its measured interval.
+	IntervalMs float64      `json:"interval_ms"`
+	Cap        int          `json:"cap"`
+	Total      int64        `json:"total"`
+	Samples    []obs.Sample `json:"samples"`
+}
+
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HistoryResponse{
+		IntervalMs: float64(s.collector.Interval()) / float64(time.Millisecond),
+		Cap:        s.history.Cap(),
+		Total:      s.history.Total(),
+		Samples:    s.history.Snapshot(),
+	})
+}
+
+// TraceSpan is the wire shape of one retained span.
+type TraceSpan struct {
+	ID      int              `json:"id"`
+	Parent  int              `json:"parent"`
+	Name    string           `json:"name"`
+	StartMs float64          `json:"start_ms"`
+	EndMs   float64          `json:"end_ms"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+}
+
+// TraceResponse is the GET /debug/trace/{id} body: the query's
+// identity, outcome, raw spans, and the rendered tree for humans.
+type TraceResponse struct {
+	ID          string      `json:"id"`
+	Time        time.Time   `json:"time"`
+	Cube        string      `json:"cube"`
+	Scenario    string      `json:"scenario,omitempty"`
+	ScenarioRev int64       `json:"scenario_revision,omitempty"`
+	Query       string      `json:"query"`
+	LatencyMs   float64     `json:"latency_ms"`
+	Reason      string      `json:"reason"`
+	Error       string      `json:"error,omitempty"`
+	Spans       []TraceSpan `json:"spans"`
+	Rendered    string      `json:"rendered"`
+}
+
+func toTraceResponse(rt *obs.RetainedTrace) TraceResponse {
+	resp := TraceResponse{
+		ID:          rt.ID,
+		Time:        rt.Meta.Time,
+		Cube:        rt.Meta.Cube,
+		Scenario:    rt.Meta.Scenario,
+		ScenarioRev: rt.Meta.ScenarioRev,
+		Query:       rt.Meta.Query,
+		LatencyMs:   rt.Meta.LatencyMs,
+		Reason:      rt.Reason,
+		Error:       rt.Meta.Err,
+		Spans:       make([]TraceSpan, len(rt.Spans)),
+		Rendered:    trace.RenderSpans(rt.Spans),
+	}
+	for i, sp := range rt.Spans {
+		ts := TraceSpan{
+			ID:      sp.ID,
+			Parent:  sp.Parent,
+			Name:    sp.Name,
+			StartMs: float64(sp.Start) / float64(time.Millisecond),
+			EndMs:   float64(sp.End) / float64(time.Millisecond),
+		}
+		if len(sp.Attrs) > 0 {
+			ts.Attrs = make(map[string]int64, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ts.Attrs[a.Key] = a.Val
+			}
+		}
+		resp.Spans[i] = ts
+	}
+	return resp
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt, ok := s.traces.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no retained trace " + id + " (evicted, or retention disabled)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, toTraceResponse(rt))
+}
+
+// traceSummary is one entry of the GET /debug/trace listing.
+type traceSummary struct {
+	ID          string    `json:"id"`
+	Time        time.Time `json:"time"`
+	Cube        string    `json:"cube"`
+	Scenario    string    `json:"scenario,omitempty"`
+	ScenarioRev int64     `json:"scenario_revision,omitempty"`
+	Query       string    `json:"query"`
+	LatencyMs   float64   `json:"latency_ms"`
+	Reason      string    `json:"reason"`
+	Error       string    `json:"error,omitempty"`
+	Spans       int       `json:"spans"`
+}
+
+// traceListResponse is the GET /debug/trace body.
+type traceListResponse struct {
+	Stats  obs.RetainStats `json:"stats"`
+	Traces []traceSummary  `json:"traces"`
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	retained := s.traces.List()
+	resp := traceListResponse{
+		Stats:  s.traces.Stats(),
+		Traces: make([]traceSummary, len(retained)),
+	}
+	for i, rt := range retained {
+		resp.Traces[i] = traceSummary{
+			ID:          rt.ID,
+			Time:        rt.Meta.Time,
+			Cube:        rt.Meta.Cube,
+			Scenario:    rt.Meta.Scenario,
+			ScenarioRev: rt.Meta.ScenarioRev,
+			Query:       rt.Meta.Query,
+			LatencyMs:   rt.Meta.LatencyMs,
+			Reason:      rt.Reason,
+			Error:       rt.Meta.Err,
+			Spans:       len(rt.Spans),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// eventsResponse is the GET /debug/events body.
+type eventsResponse struct {
+	Total  int64       `json:"total"`
+	Events []obs.Event `json:"events"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events, total := s.events.Snapshot()
+	writeJSON(w, http.StatusOK, eventsResponse{Total: total, Events: events})
+}

@@ -12,6 +12,7 @@ import (
 
 	"whatifolap/internal/chunk"
 	"whatifolap/internal/cube"
+	"whatifolap/internal/obs"
 	"whatifolap/internal/segment"
 	"whatifolap/internal/workload"
 )
@@ -48,6 +49,10 @@ type Persister struct {
 	// errMu guards lastErr, the most recent write-back failure.
 	errMu   sync.Mutex
 	lastErr error
+
+	// events, when set, receives writeback / writeback_error lifecycle
+	// events. Set once at startup via SetEventLog; nil-safe to log to.
+	events *obs.EventLog
 }
 
 // DefaultResidentBudget is the buffer-pool byte budget for cubes
@@ -69,6 +74,10 @@ func OpenPersister(dir string, mmap bool) (*Persister, error) {
 
 // Dir returns the data directory path.
 func (p *Persister) Dir() string { return p.dir }
+
+// SetEventLog attaches the structured event log. Call before serving
+// (server.New does); write-backs completed earlier are not replayed.
+func (p *Persister) SetEventLog(l *obs.EventLog) { p.events = l }
 
 // Recovered reports that opening fell back to the previous manifest.
 func (p *Persister) Recovered() bool { return p.recovered }
@@ -179,7 +188,18 @@ func (p *Persister) Enqueue(name string, version int64, cb *cube.Cube) {
 			p.errMu.Lock()
 			p.lastErr = fmt.Errorf("server: write-back %s v%d: %w", name, version, err)
 			p.errMu.Unlock()
+			p.events.Log("writeback_error", map[string]string{
+				"cube":    name,
+				"version": fmt.Sprint(version),
+				"error":   err.Error(),
+			})
+			return
 		}
+		p.events.Log("writeback", map[string]string{
+			"cube":    name,
+			"version": fmt.Sprint(version),
+			"cells":   fmt.Sprint(cb.NumCells()),
+		})
 	}()
 }
 

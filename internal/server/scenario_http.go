@@ -58,6 +58,11 @@ func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
 		return
 	}
+	s.events.Log("scenario_create", map[string]string{
+		"scenario":     sc.ID(),
+		"cube":         sc.CubeName(),
+		"base_version": fmt.Sprint(sc.BaseVersion()),
+	})
 	writeJSON(w, http.StatusCreated, sc.Info())
 }
 
@@ -224,12 +229,17 @@ func (s *Server) handleScenarioQuery(w http.ResponseWriter, r *http.Request) {
 		return runErr
 	})
 	if err != nil {
+		if id := s.retainTrace(tr, sc.CubeName(), sc.ID(), rev, norm, time.Since(started), err); id != "" {
+			w.Header().Set("X-Trace-Id", id)
+		}
 		s.writeQueryError(w, err)
 		return
 	}
 	s.metrics.ObserveStages(stats)
 	s.metrics.ObserveTrace(tr.Spans())
-	s.observeSlow(sc.CubeName(), sc.ID(), norm, time.Since(started), tr)
+	s.metrics.ObserveCells(int64(stats.CellsScanned), gridCells(grid))
+	traceID := s.retainTrace(tr, sc.CubeName(), sc.ID(), rev, norm, time.Since(started), nil)
+	s.observeSlow(sc.CubeName(), sc.ID(), rev, norm, time.Since(started), tr, traceID)
 
 	body, err := json.Marshal(scenarioQueryResponse{
 		Cube:             sc.CubeName(),
@@ -260,6 +270,9 @@ func (s *Server) handleScenarioQuery(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(started)
 	s.metrics.ObserveLatency(elapsed)
 	s.metrics.ObserveScenario(sc.ID(), elapsed)
+	if traceID != "" {
+		w.Header().Set("X-Trace-Id", traceID)
+	}
 	writeCached(w, sc.BaseVersion(), body, false)
 }
 
@@ -340,6 +353,11 @@ func (s *Server) handleScenarioCommit(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, ErrVersionConflict) {
 			status = http.StatusConflict
+			s.events.Log("scenario_conflict", map[string]string{
+				"scenario":     sc.ID(),
+				"cube":         sc.CubeName(),
+				"base_version": fmt.Sprint(sc.BaseVersion()),
+			})
 		}
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
@@ -347,6 +365,11 @@ func (s *Server) handleScenarioCommit(w http.ResponseWriter, r *http.Request) {
 	sc.MarkCommitted(v)
 	s.cache.InvalidateCube(sc.CubeName())
 	s.cache.InvalidateScenario(sc.ID())
+	s.events.Log("scenario_commit", map[string]string{
+		"scenario": sc.ID(),
+		"cube":     sc.CubeName(),
+		"version":  fmt.Sprint(v),
+	})
 	writeJSON(w, http.StatusOK, scenarioCommitResponse{
 		Scenario: sc.ID(), Cube: sc.CubeName(), Version: v,
 	})
@@ -359,6 +382,7 @@ func (s *Server) handleScenarioDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.InvalidateScenario(id)
+	s.events.Log("scenario_delete", map[string]string{"scenario": id})
 	writeJSON(w, http.StatusOK, struct {
 		Deleted string `json:"deleted"`
 	}{id})

@@ -27,6 +27,7 @@ import (
 	"whatifolap/internal/core"
 	"whatifolap/internal/cube"
 	"whatifolap/internal/mdx"
+	"whatifolap/internal/obs"
 	"whatifolap/internal/result"
 	"whatifolap/internal/scenario"
 	"whatifolap/internal/trace"
@@ -69,6 +70,31 @@ type Config struct {
 	// trace.DefaultMaxSpans). Spans beyond the cap are dropped, never
 	// allocated.
 	TraceSpans int
+	// ObsInterval is the metrics-history collector cadence: every tick
+	// one obs.Sample of counter deltas and gauge levels is appended to
+	// the ring served at /metrics/history. 0 uses DefaultObsInterval;
+	// negative disables the collector (tests drive sampling directly).
+	ObsInterval time.Duration
+	// HistoryCap bounds the metrics-history ring (default
+	// obs.DefaultHistoryCap samples — ten minutes at one per second).
+	HistoryCap int
+	// RetainTraceBytes is the tail-sampled trace ring's byte budget:
+	// slow, errored and 1-in-N queries keep their full span trees,
+	// addressable at /debug/trace/{id}. 0 uses DefaultRetainTraceBytes;
+	// negative disables retention.
+	RetainTraceBytes int
+	// TraceSampleEvery retains every Nth query regardless of latency so
+	// the ring always holds representative healthy traces. 0 uses
+	// DefaultTraceSampleEvery; negative keeps only slow/errored queries.
+	TraceSampleEvery int
+	// EventLogCap bounds the structured component-event ring served at
+	// /debug/events (default obs.DefaultEventLogCap). Ignored when
+	// Events is set.
+	EventLogCap int
+	// Events, when non-nil, replaces the server's own event log — the
+	// daemon passes one with an os.Stderr sink so lifecycle events reach
+	// the operator as JSON lines as well as /debug/events.
+	Events *obs.EventLog
 }
 
 // DefaultCacheBytes is the daemon's default result-cache budget.
@@ -80,6 +106,18 @@ const DefaultSlowQueryMs = 250
 
 const defaultSlowlogCap = 128
 
+// DefaultObsInterval is the metrics-history sampling cadence when
+// Config leaves ObsInterval zero.
+const DefaultObsInterval = time.Second
+
+// DefaultRetainTraceBytes is the tail-sampled trace ring's byte budget
+// when Config leaves RetainTraceBytes zero.
+const DefaultRetainTraceBytes = 4 << 20
+
+// DefaultTraceSampleEvery retains one healthy query in this many when
+// Config leaves TraceSampleEvery zero.
+const DefaultTraceSampleEvery = 64
+
 // Server wires catalog, executor, cache and metrics together behind an
 // http.Handler. Create with New, serve Handler(), stop with Close.
 type Server struct {
@@ -90,6 +128,16 @@ type Server struct {
 	slowlog   *slowlog
 	scenarios *scenario.Manager
 	cfg       Config
+
+	// Observability: history ring + its collector, tail-sampled trace
+	// retention, structured event log, and the sampler holding the
+	// previous tick's counter state. traces and events are nil-safe, so
+	// disabled configurations cost one pointer check on the query path.
+	history   *obs.History
+	collector *obs.Collector
+	traces    *obs.TraceRing
+	events    *obs.EventLog
+	sampler   *obsSampler
 
 	// tracePool recycles span buffers across queries: every engine-backed
 	// query runs traced (the recorder is allocation-free once its buffer
@@ -123,8 +171,40 @@ func New(catalog *Catalog, cfg Config) *Server {
 	s.tracePool.New = func() interface{} { return trace.New(cfg.TraceSpans) }
 	s.metrics.queueDepth = s.exec.QueueDepth
 	s.metrics.cacheBytes = s.cache.Bytes
+	s.metrics.poolStats = catalog.PoolStats
 	if p := catalog.Persister(); p != nil {
 		s.metrics.writebackPending = p.Pending
+	}
+
+	s.events = cfg.Events
+	if s.events == nil {
+		s.events = obs.NewEventLog(cfg.EventLogCap, nil)
+	}
+	if p := catalog.Persister(); p != nil {
+		p.SetEventLog(s.events)
+	}
+	if cfg.RetainTraceBytes >= 0 {
+		budget := cfg.RetainTraceBytes
+		if budget == 0 {
+			budget = DefaultRetainTraceBytes
+		}
+		every := cfg.TraceSampleEvery
+		if every == 0 {
+			every = DefaultTraceSampleEvery
+		}
+		if every < 0 {
+			every = 0 // slow/errored only
+		}
+		s.traces = obs.NewTraceRing(budget, every)
+	}
+	s.history = obs.NewHistory(cfg.HistoryCap)
+	s.sampler = newObsSampler(s)
+	if cfg.ObsInterval >= 0 {
+		interval := cfg.ObsInterval
+		if interval == 0 {
+			interval = DefaultObsInterval
+		}
+		s.collector = obs.StartCollector(interval, s.sampler.sample)
 	}
 	return s
 }
@@ -135,10 +215,11 @@ func (s *Server) Catalog() *Catalog { return s.catalog }
 // Metrics returns the server's metrics set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close stops the worker pool after draining admitted queries, then
-// waits for any pending segment write-backs so a clean shutdown never
-// loses a published version.
+// Close stops the history collector and the worker pool (draining
+// admitted queries), then waits for any pending segment write-backs so
+// a clean shutdown never loses a published version.
 func (s *Server) Close() {
+	s.collector.Stop()
 	s.exec.Close()
 	if p := s.catalog.Persister(); p != nil {
 		_ = p.Flush()
@@ -156,17 +237,25 @@ func (s *Server) UpdateCube(name string, mutate func(c *cube.Cube) (*cube.Cube, 
 		return 0, err
 	}
 	s.cache.InvalidateCube(name)
+	s.events.Log("cube_update", map[string]string{
+		"cube":    name,
+		"version": fmt.Sprint(v),
+	})
 	return v, nil
 }
 
 // Handler returns the HTTP surface:
 //
-//	POST /query          {"cube": "...", "query": "...", "timeout_ms": 0}
-//	GET  /cubes          catalog listing
-//	GET  /metrics        counters + histogram snapshot (JSON; ?format=prom
-//	                     for Prometheus text exposition)
-//	GET  /debug/slowlog  recent slow queries with their span traces
-//	GET  /healthz        liveness
+//	POST /query            {"cube": "...", "query": "...", "timeout_ms": 0}
+//	GET  /cubes            catalog listing
+//	GET  /metrics          counters + histogram snapshot (JSON; ?format=prom
+//	                       for Prometheus text exposition)
+//	GET  /metrics/history  metrics time-series ring (per-interval deltas)
+//	GET  /debug/slowlog    recent slow queries with their span traces
+//	GET  /debug/trace      retained trace summaries (tail sampling)
+//	GET  /debug/trace/{id} one retained trace's full span tree
+//	GET  /debug/events     structured component lifecycle events
+//	GET  /healthz          liveness
 //
 // plus the scenario workspace surface:
 //
@@ -183,7 +272,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/cubes", s.handleCubes)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/history", s.handleMetricsHistory)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("GET /debug/trace", s.handleTraceList)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /scenarios", s.handleScenarioCreate)
 	mux.HandleFunc("GET /scenarios", s.handleScenarioList)
@@ -337,12 +430,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return runErr
 	})
 	if err != nil {
+		if id := s.retainTrace(tr, snap.Name, "", 0, norm, time.Since(started), err); id != "" {
+			w.Header().Set("X-Trace-Id", id)
+		}
 		s.writeQueryError(w, err)
 		return
 	}
 	s.metrics.ObserveStages(stats)
 	s.metrics.ObserveTrace(tr.Spans())
-	s.observeSlow(snap.Name, "", norm, time.Since(started), tr)
+	s.metrics.ObserveCells(int64(stats.CellsScanned), gridCells(grid))
+	elapsed := time.Since(started)
+	traceID := s.retainTrace(tr, snap.Name, "", 0, norm, elapsed, nil)
+	s.observeSlow(snap.Name, "", 0, norm, elapsed, tr, traceID)
 
 	body, err := json.Marshal(buildResponse(snap, grid, stats))
 	if err != nil {
@@ -353,14 +452,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.cache.Put(key, body)
 	s.metrics.QueriesServed.Add(1)
 	s.metrics.ObserveLatency(time.Since(started))
+	// The retained trace ID travels in a header, like cache state: the
+	// cached body must stay byte-identical across hits and misses.
+	if traceID != "" {
+		w.Header().Set("X-Trace-Id", traceID)
+	}
 	writeCached(w, snap.Version, body, false)
+}
+
+// gridCells counts result cells — the denominator of the scan
+// amplification ratio tracked at /metrics and /metrics/history.
+func gridCells(g *result.Grid) int64 {
+	if g == nil {
+		return 0
+	}
+	var n int64
+	for _, row := range g.Values {
+		n += int64(len(row))
+	}
+	return n
 }
 
 // observeSlow records the query in the slow-query log when it crossed
 // the configured threshold. The span trace is rendered eagerly: the
 // trace buffer goes back to the pool when the handler returns, but the
-// log entry must outlive it.
-func (s *Server) observeSlow(cubeName, scenarioID, norm string, elapsed time.Duration, tr *trace.Trace) {
+// log entry must outlive it. traceID, when non-empty, links the entry
+// to the retained trace at /debug/trace/{id} (slow queries always
+// qualify for retention, so the link is present whenever the trace
+// ring is enabled).
+func (s *Server) observeSlow(cubeName, scenarioID string, rev int64, norm string, elapsed time.Duration, tr *trace.Trace, traceID string) {
 	if s.cfg.SlowQueryMs < 0 {
 		return
 	}
@@ -370,12 +490,14 @@ func (s *Server) observeSlow(cubeName, scenarioID, norm string, elapsed time.Dur
 	}
 	s.metrics.SlowQueries.Add(1)
 	s.slowlog.record(SlowQueryRecord{
-		Time:      time.Now(),
-		Cube:      cubeName,
-		Scenario:  scenarioID,
-		Query:     norm,
-		LatencyMs: ms,
-		Trace:     tr.Render(),
+		Time:        time.Now(),
+		Cube:        cubeName,
+		Scenario:    scenarioID,
+		ScenarioRev: rev,
+		Query:       norm,
+		LatencyMs:   ms,
+		Trace:       tr.Render(),
+		TraceID:     traceID,
 	})
 }
 

@@ -11,11 +11,17 @@ type SlowQueryRecord struct {
 	Time time.Time `json:"time"`
 	Cube string    `json:"cube"`
 	// Scenario is the scenario id for scenario-path queries, empty for
-	// plain cube queries.
-	Scenario  string  `json:"scenario,omitempty"`
-	Query     string  `json:"query"`
-	LatencyMs float64 `json:"latency_ms"`
-	Trace     string  `json:"trace,omitempty"`
+	// plain cube queries; ScenarioRev is the workspace revision the
+	// query ran against, so an operator can line a slow query up with
+	// the edit batch that made it slow.
+	Scenario    string  `json:"scenario,omitempty"`
+	ScenarioRev int64   `json:"scenario_revision,omitempty"`
+	Query       string  `json:"query"`
+	LatencyMs   float64 `json:"latency_ms"`
+	Trace       string  `json:"trace,omitempty"`
+	// TraceID addresses the retained span tree at /debug/trace/{id}
+	// while it survives tail-sampling eviction.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // slowlog is a fixed-capacity ring buffer of the most recent slow

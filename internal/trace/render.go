@@ -82,8 +82,12 @@ type Node struct {
 
 // Tree reconstructs the span forest (roots in start order, children in
 // recording order). Spans whose parent was dropped become roots.
-func (t *Trace) Tree() []*Node {
-	spans := t.Spans()
+func (t *Trace) Tree() []*Node { return TreeOf(t.Spans()) }
+
+// TreeOf reconstructs the span forest from an already-snapshotted span
+// slice — the retained-trace path, where the recorder that produced
+// the spans has long since been reset and pooled.
+func TreeOf(spans []Span) []*Node {
 	nodes := make([]*Node, len(spans))
 	for i := range spans {
 		nodes[i] = &Node{Span: spans[i]}
@@ -115,13 +119,26 @@ func (t *Trace) Render() string {
 		return ""
 	}
 	var b strings.Builder
-	for _, root := range t.Tree() {
-		renderNode(&b, root, 0)
-	}
+	renderSpans(&b, t.Spans())
 	if d := t.Dropped(); d > 0 {
 		fmt.Fprintf(&b, "(+%d spans dropped: buffer full)\n", d)
 	}
 	return b.String()
+}
+
+// RenderSpans renders an already-snapshotted span slice in the same
+// tree format — used by /debug/trace/{id}, whose spans outlive the
+// pooled recorder they were captured from.
+func RenderSpans(spans []Span) string {
+	var b strings.Builder
+	renderSpans(&b, spans)
+	return b.String()
+}
+
+func renderSpans(b *strings.Builder, spans []Span) {
+	for _, root := range TreeOf(spans) {
+		renderNode(b, root, 0)
+	}
 }
 
 func renderNode(b *strings.Builder, n *Node, depth int) {

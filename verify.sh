@@ -12,7 +12,7 @@ go vet ./...
 #   hotpathfmt    - no fmt/reflect/log on declared hot-path files
 #                   (internal/trace/trace.go, internal/core/exec.go,
 #                   internal/chunk/overlay.go, internal/chunk/chain.go,
-#                   internal/chunk/run.go),
+#                   internal/chunk/run.go, internal/obs/retain.go),
 #                   including transitively
 #                   re-exported formatting and per-call errors.New
 #   semexhaustive - switches over the five query semantics (paper §3)
@@ -39,13 +39,15 @@ go test ./...
 # stress, cache and httptest endpoint tests, the engine's parallel
 # merge-group scan and overlay-kernel equivalence tests, the buffer
 # pool's concurrent fault-in tests, the observability layer (span
-# recorder, trace-derived histograms, slow-query log, EXPLAIN), the
-# scenario workspace fork/edit/query races, the storage tier (segment
-# reads, manifest commits, background write-back), the lint suite's
-# analyzer/driver tests, and the run-encoded representation (run-aware
-# scan kernel equivalence, sub-task splitting, daemon RLE restart).
-echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback|Run|Rle|Subtask' ./..."
-go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback|Run|Rle|Subtask' ./...
+# recorder, trace-derived histograms, slow-query log, EXPLAIN, the
+# metrics-history collector, tail-sampled trace retention, the event
+# log, and the whatif -top view), the scenario workspace
+# fork/edit/query races, the storage tier (segment reads, manifest
+# commits, background write-back), the lint suite's analyzer/driver
+# tests, and the run-encoded representation (run-aware scan kernel
+# equivalence, sub-task splitting, daemon RLE restart).
+echo ">> go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback|Run|Rle|Subtask|History|Retain|Event|Top' ./..."
+go test -race -run 'Concurrent|Server|Cache|Parallel|Pool|Overlay|Kernel|Trace|Slowlog|Explain|Lint|Scenario|Segment|Manifest|Writeback|Run|Rle|Subtask|History|Retain|Event|Top' ./...
 
 # Advisory (non-fatal): known-vulnerability scan, skipped when the
 # toolchain image does not ship govulncheck or has no network.
