@@ -1,4 +1,4 @@
-.PHONY: verify test lint lint-fix bench bench-smoke prof scenario-demo segment-smoke obs-demo
+.PHONY: verify test lint lint-fix lint-stats bench bench-smoke prof scenario-demo segment-smoke obs-demo
 
 verify:
 	./verify.sh
@@ -15,12 +15,20 @@ lint:
 	go vet -vettool=bin/whatiflint ./...
 
 # Standalone driver mode with -fix: applies the safe suggested fixes
-# (monotonic's Round(0)/Truncate(0) strips). The unitchecker protocol
-# cannot apply fixes, so fixing goes through the offline driver.
+# (monotonic's Round(0)/Truncate(0) strips, releasepair's insertion of
+# the missing release before a must-held early return). The unitchecker
+# protocol cannot apply fixes, so fixing goes through the offline
+# driver; the vettool pass afterwards confirms the tree is clean.
 lint-fix:
 	go build -o bin/whatiflint ./cmd/whatiflint
 	./bin/whatiflint -fix || true
 	go vet -vettool=bin/whatiflint ./...
+
+# Escape-hatch inventory: every //lint: directive with its location,
+# reason and per-rule counts. verify.sh runs the --check mode, which
+# fails on justification directives that carry no reason.
+lint-stats:
+	sh scripts/lint-stats.sh
 
 # Live curl session against an ephemeral whatifd on 127.0.0.1:18080
 # (override with SCENARIO_DEMO_PORT): create a scenario on the

@@ -1,6 +1,6 @@
 // Command whatiflint runs the engine's go/analysis suite
-// (internal/lint): hotpathfmt, semexhaustive, ctxflow, lockguard and
-// monotonic.
+// (internal/lint): hotpathfmt, semexhaustive, ctxflow, lockguard,
+// monotonic, allocguard, releasepair and atomicfield.
 //
 // It speaks two protocols:
 //
@@ -10,15 +10,19 @@
 //     delegated to unitchecker. This is the production gate wired into
 //     verify.sh and `make lint`.
 //
-//   - Standalone: `whatiflint [-dir root] [-fix] [packages...]`. The
-//     offline driver loads the module (vendored deps included) without
-//     go/packages and runs the same analyzers. -fix applies the safe
-//     suggested fixes (monotonic's Round(0)/Truncate(0) strips).
-//     Analyzer flags use vet's namespacing, e.g.
-//     -hotpathfmt.files=... -semexhaustive.enums=....
+//   - Standalone: `whatiflint [-dir root] [-fix] [-json] [packages...]`.
+//     The offline driver loads the module (vendored deps included)
+//     without go/packages and runs the same analyzers. -fix applies
+//     the safe suggested fixes (monotonic's Round(0)/Truncate(0)
+//     strips, releasepair's release-before-return inserts). -json
+//     writes machine-readable diagnostics (file/line/col/analyzer/
+//     message) to stdout for CI and editor integration. Analyzer flags
+//     use vet's namespacing, e.g. -hotpathfmt.files=...
+//     -semexhaustive.enums=....
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -45,8 +49,18 @@ func main() {
 	os.Exit(standalone())
 }
 
+// jsonDiag is one -json output record.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func standalone() int {
 	fix := flag.Bool("fix", false, "apply safe suggested fixes in place")
+	jsonOut := flag.Bool("json", false, "write diagnostics as a JSON array on stdout")
 	dir := flag.String("dir", ".", "module root to analyze")
 	analyzers := lint.Analyzers()
 	for _, a := range analyzers {
@@ -82,8 +96,28 @@ func standalone() int {
 		fmt.Fprintln(os.Stderr, "whatiflint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Position(l.Fset), d.Message, d.Analyzer.Name)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			pos := l.Fset.Position(d.Pos)
+			out = append(out, jsonDiag{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer.Name,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "whatiflint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Position(l.Fset), d.Message, d.Analyzer.Name)
+		}
 	}
 	if *fix {
 		n, err := driver.ApplyFixes(l.Fset, diags)

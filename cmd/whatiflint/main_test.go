@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"whatifolap/internal/lint/driver"
+)
+
+// TestJSONRoundTrip encodes driver diagnostics the way -json does and
+// decodes them back, pinning the wire shape (file/line/col/analyzer/
+// message) that CI and editor integrations parse.
+func TestJSONRoundTrip(t *testing.T) {
+	srcRoot := filepath.Join(t.TempDir(), "src")
+	pkgDir := filepath.Join(srcRoot, "jx")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package jx\n\nfunc f() int {\n\treturn 1\n}\n"
+	if err := os.WriteFile(filepath.Join(pkgDir, "jx.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny analyzer with a deterministic diagnostic keeps the test
+	// independent of the real rules' configuration.
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "reports one diagnostic per package for wire-format testing",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			pass.Reportf(pass.Files[0].Package, "probe diagnostic")
+			return nil, nil
+		},
+	}
+
+	l := driver.NewTestdata(srcRoot)
+	if _, err := l.Load("jx"); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(l.Fset, l.Order(), []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		out = append(out, jsonDiag{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer.Name,
+			Message:  d.Message,
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+
+	var back []jsonDiag
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decoding -json output: %v", err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("decoded %d records, want 1", len(back))
+	}
+	got := back[0]
+	wantPos := l.Fset.Position(diags[0].Pos)
+	if got.File != wantPos.Filename || got.Line != wantPos.Line || got.Col != wantPos.Column {
+		t.Fatalf("position mismatch: got %s:%d:%d, want %s:%d:%d",
+			got.File, got.Line, got.Col, wantPos.Filename, wantPos.Line, wantPos.Column)
+	}
+	if got.Analyzer != "probe" || got.Message != "probe diagnostic" {
+		t.Fatalf("payload mismatch: %+v", got)
+	}
+	if got.Line != 1 || got.File == "" {
+		t.Fatalf("diagnostic should anchor at the package clause: %+v", got)
+	}
+}

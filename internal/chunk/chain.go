@@ -26,7 +26,15 @@ import (
 type Layer struct {
 	values  *Overlay
 	deletes *Overlay
+	sealed  bool
 }
+
+// sealedError is the panic value for edits on a sealed layer: a
+// zero-sized sentinel, so raising it never allocates on this hot-path
+// file.
+type sealedError struct{}
+
+func (sealedError) Error() string { return "chunk: Set/Delete on a sealed Layer" }
 
 // NewLayer creates an empty layer under the geometry.
 func NewLayer(g *Geometry) *Layer {
@@ -36,8 +44,20 @@ func NewLayer(g *Geometry) *Layer {
 // Geometry returns the layer's chunking geometry.
 func (l *Layer) Geometry() *Geometry { return l.values.geom }
 
+// Seal freezes the layer: further Set/Delete calls panic. Sealing is
+// idempotent. Scenarios seal every layer before linking it into a
+// chain, so a chain snapshot can never observe mutation — whatiflint's
+// releasepair rule pairs each NewLayer with a Seal on every path.
+func (l *Layer) Seal() { l.sealed = true }
+
+// Sealed reports whether the layer is frozen.
+func (l *Layer) Sealed() bool { return l.sealed }
+
 // Set writes v at addr. Setting NaN is a delete.
 func (l *Layer) Set(addr []int, v float64) {
+	if l.sealed {
+		panic(sealedError{})
+	}
 	if math.IsNaN(v) {
 		l.Delete(addr)
 		return
@@ -49,6 +69,9 @@ func (l *Layer) Set(addr []int, v float64) {
 // Delete writes a tombstone at addr: the cell reads as absent through
 // the chain even when an older layer or the base holds a value.
 func (l *Layer) Delete(addr []int) {
+	if l.sealed {
+		panic(sealedError{})
+	}
 	l.values.Set(addr, math.NaN())
 	l.deletes.Set(addr, 1)
 }
@@ -216,6 +239,7 @@ func (c *Chain) NonNull(fn func(addr []int, v float64) bool) {
 	stopped := false
 	for i := len(c.layers) - 1; i >= 0 && !stopped; i-- {
 		li := i
+		//lint:allocok one closure per layer per NonNull call (it captures the layer index); layers are few, cells are many
 		c.layers[i].values.NonNull(func(addr []int, v float64) bool {
 			if c.touchedAbove(li, addr) {
 				return true
@@ -323,6 +347,7 @@ func (c *Chain) ForEachMerged(id int, base *Chunk, fn func(off int, v float64) b
 			continue
 		}
 		li := i
+		//lint:allocok one closure per layer per merged-chunk scan (it captures the layer index); layers are few
 		vch.ForEach(func(off int, v float64) bool {
 			if base != nil && !math.IsNaN(base.Get(off)) {
 				return true // resolved in the base pass above

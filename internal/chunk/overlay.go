@@ -115,6 +115,7 @@ func (o *Overlay) Absorb(src *Overlay) {
 		}
 		before := dst.Len()
 		wasSparse := dst.dense == nil
+		//lint:allocok one closure per absorbed chunk during the merge fold, not per cell; it captures the per-chunk destination
 		sc.ForEach(func(off int, v float64) bool {
 			dst.Set(off, v)
 			return true
@@ -137,18 +138,21 @@ func (o *Overlay) NonNull(fn func(addr []int, v float64) bool) {
 	sort.Ints(ids)
 	addr := make([]int, o.geom.NumDims())
 	ccoord := make([]int, o.geom.NumDims())
+	stop := false
+	// One closure per NonNull call, hoisted out of the chunk loop: it
+	// captures only loop-invariant state (ccoord is updated in place).
+	emit := func(off int, v float64) bool {
+		o.geom.Join(ccoord, off, addr)
+		if !fn(addr, v) {
+			stop = true
+			return false
+		}
+		return true
+	}
 	for _, id := range ids {
 		c := o.chunks[id]
 		o.geom.CoordOf(id, ccoord)
-		stop := false
-		c.ForEach(func(off int, v float64) bool {
-			o.geom.Join(ccoord, off, addr)
-			if !fn(addr, v) {
-				stop = true
-				return false
-			}
-			return true
-		})
+		c.ForEach(emit)
 		if stop {
 			return
 		}
@@ -212,7 +216,7 @@ func (p *PartitionedOverlay) Attach(maskedID int, ov *Overlay) {
 		panic("chunk: masked ID " + strconv.Itoa(maskedID) + " attached twice")
 	}
 	p.parts[maskedID] = ov
-	p.order = append(p.order, ov)
+	p.order = append(p.order, ov) //lint:allocok one append per attached merge group at plan time, not per cell
 }
 
 // NumParts returns the number of attached overlays.
@@ -242,14 +246,17 @@ func (p *PartitionedOverlay) Set(addr []int, v float64) {
 // engine attaches merge groups in plan order, which is deterministic).
 func (p *PartitionedOverlay) NonNull(fn func(addr []int, v float64) bool) {
 	stopped := false
+	// Hoisted out of the part loop: the closure's captures are
+	// loop-invariant, so one allocation serves every part.
+	emit := func(addr []int, v float64) bool {
+		if !fn(addr, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
 	for _, ov := range p.order {
-		ov.NonNull(func(addr []int, v float64) bool {
-			if !fn(addr, v) {
-				stopped = true
-				return false
-			}
-			return true
-		})
+		ov.NonNull(emit)
 		if stopped {
 			return
 		}

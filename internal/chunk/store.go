@@ -203,6 +203,7 @@ func (s *Store) Clone() cube.Store {
 	s.mu.Lock()
 	var nt Tier
 	if ct, ok := s.pool.tier.(CloneableTier); ok {
+		//lint:pairok a nil clone has nothing to close, and a non-nil one hands its ownership to newBufferPool below
 		nt, _ = ct.CloneTier()
 	}
 	if nt == nil {

@@ -273,7 +273,8 @@ func (e *Engine) execute(ec ExecContext, p *PhysicalPlan, newDims []*dimension.D
 	// instances whose ordinals lie beyond the base extent.
 	og := e.store.Geometry()
 	if newDims != nil {
-		ext := append([]int(nil), og.Extents...)
+		ext := make([]int, len(og.Extents))
+		copy(ext, og.Extents)
 		if n := newDims[e.vi].NumLeaves(); n > ext[e.vi] {
 			ext[e.vi] = n
 		}
@@ -401,6 +402,7 @@ func newPinTracker(store *chunk.Store, schedule []int, neighbors map[int][]int) 
 // satisfies.
 func (pt *pinTracker) scanned(id int) {
 	if pt.outstanding[id] > 0 {
+		//lint:pairok pins intentionally outlive scanned(): partner reads release them as outstanding counts drain, and the deferred releaseAll sweeps stragglers
 		pt.store.Pin(id)
 		pt.pinned[id] = true
 	}
@@ -464,6 +466,28 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 		defer pins.releaseAll()
 	}
 
+	// The per-cell relocation closure is hoisted out of the schedule
+	// loop: every capture (scratch buffers, plan tables, the overlay)
+	// is loop-invariant — ccoord is updated in place per chunk — so one
+	// allocation serves the whole scan instead of one per chunk.
+	relocate := func(off int, v float64) bool {
+		tally.cellsScanned++
+		g.Join(ccoord, off, addr)
+		row := p.Target[addr[e.vi]]
+		if row == nil {
+			return true
+		}
+		dst := row[addr[e.pi]]
+		if dst < 0 {
+			return true
+		}
+		copy(out, addr)
+		out[e.vi] = dst
+		overlay.Set(out, v)
+		tally.cellsRelocated++
+		return true
+	}
+
 	for _, id := range schedule {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -493,23 +517,6 @@ func (e *Engine) scanInto(ctx context.Context, schedule []int, p *PhysicalPlan,
 			continue
 		}
 		g.CoordOf(id, ccoord)
-		relocate := func(off int, v float64) bool {
-			tally.cellsScanned++
-			g.Join(ccoord, off, addr)
-			row := p.Target[addr[e.vi]]
-			if row == nil {
-				return true
-			}
-			dst := row[addr[e.pi]]
-			if dst < 0 {
-				return true
-			}
-			copy(out, addr)
-			out[e.vi] = dst
-			overlay.Set(out, v)
-			tally.cellsRelocated++
-			return true
-		}
 		if e.chain != nil {
 			// Scenario scan: resolve the chunk's cells through the layer
 			// chain (newest layer wins, tombstones skip) — including
@@ -581,6 +588,7 @@ func (e *Engine) scanParallel(ec ExecContext, p *PhysicalPlan, og *chunk.Geometr
 			defer wg.Done()
 			for ti := range work {
 				task := tasks[ti]
+				//lint:allocok one overlay per merge-group task by design; the task, not the cell, is the unit of work
 				ov := chunk.NewOverlay(og)
 				gsp := tr.Start(scanSp, "group")
 				gsp.Int("group", int64(task.group))

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AtomicField closes the race class `go vet`'s atomic checker misses:
+// vet verifies each sync/atomic call in isolation, but says nothing
+// when the *same field* is updated through sync/atomic on one path and
+// read or written plainly on another — a data race with no syntactic
+// tell at either site. The rule here is total: a struct field accessed
+// through a sync/atomic function anywhere in the module must be
+// accessed atomically everywhere.
+//
+// Per package the analyzer collects every field whose address feeds a
+// sync/atomic Load/Store/Add/Swap/CompareAndSwap/And/Or call, exports
+// an AtomicallyAccessed object fact per field plus an AtomicFieldSet
+// package fact (the summary importers check), then reports every plain
+// selector access to such a field — local or imported. Value arguments
+// of atomic calls are plain reads and are checked too:
+// atomic.StoreInt64(&s.n, s.n+1) is exactly the bug.
+//
+// Fields of the typed atomic.Int64/Bool/Pointer family need none of
+// this (the type system already forbids plain access) — which is why
+// the engine uses them; this analyzer keeps the function-style escape
+// hatch from quietly reopening the hole. //lint:atomicok <reason>
+// marks a reviewed exception (e.g. a constructor writing before
+// publication).
+var AtomicField = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "a field accessed through sync/atomic anywhere must be accessed atomically everywhere; mixed plain/atomic access is an undetected data race",
+	Run:       runAtomicField,
+	FactTypes: []analysis.Fact{(*AtomicallyAccessed)(nil), (*AtomicFieldSet)(nil)},
+}
+
+// AtomicallyAccessed is an object fact on a struct field: somewhere in
+// the module its address feeds a sync/atomic call.
+type AtomicallyAccessed struct{}
+
+// AFact marks AtomicallyAccessed as a serializable analysis fact.
+func (*AtomicallyAccessed) AFact() {}
+
+func (*AtomicallyAccessed) String() string { return "accessed atomically" }
+
+// AtomicFieldSet is the package fact summarizing a package's
+// atomically-accessed fields as Type.Field names, so cross-package
+// accessors are caught even when an object fact cannot be resolved.
+type AtomicFieldSet struct {
+	Fields []string
+}
+
+// AFact marks AtomicFieldSet as a serializable analysis fact.
+func (*AtomicFieldSet) AFact() {}
+
+func (a *AtomicFieldSet) String() string {
+	return "atomic fields: " + strings.Join(a.Fields, ",")
+}
+
+func runAtomicField(pass *analysis.Pass) (interface{}, error) {
+	ix := newDirectiveIndex(pass)
+
+	// Pass 1: collect fields whose address feeds a sync/atomic call,
+	// and the address-selector occurrences themselves (exempt below).
+	local := make(map[*types.Var]token.Pos) // field -> first atomic site
+	addrSels := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.FileStart) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := typeutilCallee(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicOpName(fn.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v := fieldOf(pass, sel); v != nil {
+				addrSels[sel] = true
+				if _, seen := local[v]; !seen {
+					local[v] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+
+	// Export facts: one per field, plus the package summary. Only this
+	// package's own fields are exportable (the facts API forbids
+	// foreign objects); atomic access to an imported field still feeds
+	// the local map, so same-package mixing is caught either way.
+	var names []string
+	for v := range local {
+		if v.Pkg() != pass.Pkg {
+			continue
+		}
+		pass.ExportObjectFact(v, &AtomicallyAccessed{})
+		names = append(names, qualifiedFieldName(v))
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		pass.ExportPackageFact(&AtomicFieldSet{Fields: names})
+	}
+
+	// Pass 2: every remaining plain selector access to an atomic field.
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.FileStart) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || addrSels[sel] {
+				return true
+			}
+			v := fieldOf(pass, sel)
+			if v == nil {
+				return true
+			}
+			where := ""
+			if pos, ok := local[v]; ok {
+				where = "at " + pass.Fset.Position(pos).String()
+			} else if atomicElsewhere(pass, v) {
+				where = "in package " + v.Pkg().Path()
+			} else {
+				return true
+			}
+			if ok, present := ix.justified(sel.Sel.Pos(), "atomicok"); ok {
+				return true
+			} else if present {
+				pass.Reportf(sel.Sel.Pos(), "//lint:atomicok needs a reason for a plain access to an atomic field")
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed through sync/atomic (%s) but plainly here: mixed access is a data race; use atomic.Load/Store (or a typed atomic), or annotate //lint:atomicok <reason>",
+				qualifiedFieldName(v), where)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// atomicOpName reports whether name is a sync/atomic accessor function.
+func atomicOpName(name string) bool {
+	for _, p := range [...]string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Qualified access to a field of a package-level struct var goes
+	// through Uses.
+	if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// atomicElsewhere reports whether another package exported atomicity
+// facts for v — by object fact, falling back to the package summary.
+func atomicElsewhere(pass *analysis.Pass, v *types.Var) bool {
+	var of AtomicallyAccessed
+	if pass.ImportObjectFact(v, &of) {
+		return true
+	}
+	if v.Pkg() == nil || v.Pkg() == pass.Pkg {
+		return false
+	}
+	var pf AtomicFieldSet
+	if !pass.ImportPackageFact(v.Pkg(), &pf) {
+		return false
+	}
+	name := qualifiedFieldName(v)
+	for _, f := range pf.Fields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedFieldName renders v as Type.Field when the owning struct is
+// a named type, else just the field name.
+func qualifiedFieldName(v *types.Var) string {
+	// The owner is recoverable through the field's position inside its
+	// struct type; types.Var does not link back, so scan the package
+	// scope for a named struct declaring exactly this object.
+	if pkg := v.Pkg(); pkg != nil {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return tn.Name() + "." + v.Name()
+				}
+			}
+		}
+	}
+	return v.Name()
+}

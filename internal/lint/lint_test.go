@@ -1,10 +1,13 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/gob"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -40,7 +43,7 @@ func TestLintCtxFlow(t *testing.T) {
 
 func TestLintLockGuard(t *testing.T) {
 	override(t, &lockguardPkgs, "lockx")
-	override(t, &lockguardBlockPkgs, "diskx")
+	override(t, &lockguardBlockPkgs, "diskx,obsx")
 	linttest.Run(t, "testdata", LockGuard, "lockx")
 }
 
@@ -91,5 +94,99 @@ func TestLintMonotonicFix(t *testing.T) {
 	}
 	if _, err := parser.ParseFile(token.NewFileSet(), "mono.go", fixed, 0); err != nil {
 		t.Fatalf("fixed file no longer parses: %v", err)
+	}
+}
+
+func TestLintAllocGuard(t *testing.T) {
+	// allocx/hot.go is marked //lint:hotpath; allochelp is the
+	// fact-exporting dependency (Allocates flows through the driver).
+	linttest.Run(t, "testdata", AllocGuard, "allocx")
+}
+
+func TestLintReleasePair(t *testing.T) {
+	override(t, &releasepairPkgs, "pairx")
+	override(t, &releasepairPairs,
+		"pairx.Mu.Lock:Unlock,pairx.Pool.Pin:Unpin@1,pairx.T.Start:End,pairx.NewRes:Seal")
+	linttest.Run(t, "testdata", ReleasePair, "pairx")
+}
+
+func TestLintAtomicField(t *testing.T) {
+	// atomuse holds no sync/atomic call: its diagnostic only fires if
+	// atomx's facts crossed the package boundary.
+	linttest.Run(t, "testdata", AtomicField, "atomx", "atomuse")
+}
+
+// TestLintReleasePairFix applies releasepair's suggested fixes (insert
+// the release before a must-held early return) on a scratch copy of the
+// pairx testdata and checks the patched files still parse with the
+// releases inserted.
+func TestLintReleasePairFix(t *testing.T) {
+	override(t, &releasepairPkgs, "pairx")
+	override(t, &releasepairPairs,
+		"pairx.Mu.Lock:Unlock,pairx.Pool.Pin:Unpin@1,pairx.T.Start:End,pairx.NewRes:Seal")
+	srcRoot := filepath.Join(t.TempDir(), "src")
+	pairDir := filepath.Join(srcRoot, "pairx")
+	if err := os.MkdirAll(pairDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"api.go", "use.go"} {
+		data, err := os.ReadFile(filepath.Join("testdata", "src", "pairx", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(pairDir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l := driver.NewTestdata(srcRoot)
+	if _, err := l.Load("pairx"); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(l.Fset, l.Order(), []*analysis.Analyzer{ReleasePair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := driver.ApplyFixes(l.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected releasepair to offer at least one safe fix")
+	}
+	fixed, err := os.ReadFile(filepath.Join(pairDir, "use.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "m.Unlock(); ") {
+		t.Fatalf("lockLeak's early return was not patched:\n%s", fixed)
+	}
+	if _, err := parser.ParseFile(token.NewFileSet(), "use.go", fixed, 0); err != nil {
+		t.Fatalf("fixed file no longer parses: %v", err)
+	}
+}
+
+// TestLintFactGobRoundTrip pins that every fact type the new analyzers
+// export survives gob encoding — the serialization go vet's
+// unitchecker uses to ship facts between packages — so the offline
+// driver and the -vettool gate see identical cross-package behavior.
+func TestLintFactGobRoundTrip(t *testing.T) {
+	facts := []analysis.Fact{
+		&Allocates{Why: "map/channel allocation in the entry block"},
+		&AtomicallyAccessed{},
+		&AtomicFieldSet{Fields: []string{"Counter.N"}},
+	}
+	for _, f := range facts {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+			t.Fatalf("encoding %T: %v", f, err)
+		}
+		out := reflect.New(reflect.TypeOf(f).Elem()).Interface()
+		if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+			t.Fatalf("decoding %T: %v", f, err)
+		}
+		if !reflect.DeepEqual(f, out) {
+			t.Fatalf("%T round-trip mismatch: %#v != %#v", f, f, out)
+		}
 	}
 }

@@ -43,7 +43,8 @@ var LockGuard = &analysis.Analyzer{
 
 var (
 	lockguardPkgs      = ModulePath + "/internal/chunk," + ModulePath + "/internal/segment"
-	lockguardBlockPkgs = ModulePath + "/internal/simdisk," + ModulePath + "/internal/segment"
+	lockguardBlockPkgs = ModulePath + "/internal/simdisk," + ModulePath + "/internal/segment," +
+		ModulePath + "/internal/obs"
 )
 
 func init() {

@@ -1,0 +1,405 @@
+package ssax
+
+// Heap-allocation site enumeration: the ssax equivalent of scanning an
+// SSA function for MakeInterface / MakeClosure / MakeMap / Convert /
+// Slice-of-variadic instructions. Detection is type-driven, so only
+// ops that actually force a heap allocation are recorded — converting
+// a pointer (or any other single-word, pointer-shaped value) to an
+// interface builds the interface header inline and is not an
+// allocation; boxing a struct, slice or string is.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// collectAllocs walks the function body (skipping nested function
+// literals, which get their own Func) and records allocation sites.
+func (b *builder) collectAllocs(f *Func, body *ast.BlockStmt) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if caps := b.captures(m); len(caps) > 0 && !immediatelyInvoked(body, m) {
+					f.addAlloc(Alloc{Kind: AllocClosure, Pos: m.Pos(), Node: m})
+				}
+				return false
+			case *ast.CallExpr:
+				b.callAllocs(f, m)
+			case *ast.CompositeLit:
+				if t := b.pass.TypesInfo.TypeOf(m); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						f.addAlloc(Alloc{Kind: AllocMake, Pos: m.Pos(), Node: m})
+					}
+				}
+				b.compositeBoxes(f, m)
+			case *ast.AssignStmt:
+				b.assignBoxes(f, m)
+			case *ast.ValueSpec:
+				b.specBoxes(f, m)
+			case *ast.ReturnStmt:
+				b.returnBoxes(f, m)
+			case *ast.SendStmt:
+				if ch := b.pass.TypesInfo.TypeOf(m.Chan); ch != nil {
+					if c, ok := ch.Underlying().(*types.Chan); ok {
+						b.boxAt(f, m.Value, c.Elem())
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+func (f *Func) addAlloc(a Alloc) {
+	a.InLoop = f.InLoop(a.Pos)
+	a.InEntry = f.InEntry(a.Pos)
+	f.Allocs = append(f.Allocs, a)
+}
+
+// callAllocs records the allocations a call expression forces:
+// conversions (string copies, boxing), append growth, map/chan makes,
+// variadic slices, and boxing of interface-typed arguments.
+func (b *builder) callAllocs(f *Func, call *ast.CallExpr) {
+	info := b.pass.TypesInfo
+
+	// Conversion T(x)?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case isStringCopyConv(dst, src):
+			f.addAlloc(Alloc{Kind: AllocConvString, Pos: call.Pos(), Node: call, From: src})
+		default:
+			b.boxAt(f, call.Args[0], dst)
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "append":
+				a := Alloc{Kind: AllocAppend, Pos: call.Pos(), Node: call}
+				if len(call.Args) > 0 {
+					if tid, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if v, ok := info.Uses[tid].(*types.Var); ok && !v.IsField() {
+							a.Target = v
+						}
+					}
+				}
+				f.addAlloc(a)
+			case "make":
+				if t := info.TypeOf(call); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Map, *types.Chan:
+						f.addAlloc(Alloc{Kind: AllocMake, Pos: call.Pos(), Node: call})
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Ordinary call: variadic slice construction, and boxing of
+	// arguments passed to interface-typed parameters.
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= np {
+		f.addAlloc(Alloc{Kind: AllocVariadic, Pos: call.Pos(), Node: call, Callee: staticCallee(info, call)})
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < np-1 || (i < np && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			pt = params.At(np - 1).Type().(*types.Slice).Elem()
+		case sig.Variadic() && call.Ellipsis.IsValid() && i == np-1:
+			pt = params.At(np - 1).Type() // spread: slice passed through
+		}
+		if pt != nil {
+			b.boxAt(f, arg, pt)
+		}
+	}
+}
+
+// assignBoxes records boxing conversions in assignments.
+func (b *builder) assignBoxes(f *Func, m *ast.AssignStmt) {
+	if len(m.Lhs) != len(m.Rhs) {
+		return // multi-value call: result types already match targets
+	}
+	for i := range m.Lhs {
+		if t := b.pass.TypesInfo.TypeOf(m.Lhs[i]); t != nil {
+			b.boxAt(f, m.Rhs[i], t)
+		}
+	}
+}
+
+func (b *builder) specBoxes(f *Func, m *ast.ValueSpec) {
+	if m.Type == nil || len(m.Values) == 0 {
+		return
+	}
+	t := b.pass.TypesInfo.TypeOf(m.Type)
+	for _, v := range m.Values {
+		b.boxAt(f, v, t)
+	}
+}
+
+// returnBoxes records boxing at return statements against the
+// function's result types.
+func (b *builder) returnBoxes(f *Func, m *ast.ReturnStmt) {
+	if f.Sig == nil {
+		return
+	}
+	res := f.Sig.Results()
+	if res.Len() != len(m.Results) {
+		return
+	}
+	for i, e := range m.Results {
+		b.boxAt(f, e, res.At(i).Type())
+	}
+}
+
+// compositeBoxes records boxing of composite-literal elements into
+// interface-typed slots.
+func (b *builder) compositeBoxes(f *Func, lit *ast.CompositeLit) {
+	t := b.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		b.elementBoxes(f, lit, u.Elem())
+	case *types.Array:
+		b.elementBoxes(f, lit, u.Elem())
+	case *types.Map:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				b.boxAt(f, kv.Key, u.Key())
+				b.boxAt(f, kv.Value, u.Elem())
+			}
+		}
+	case *types.Struct:
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					for j := 0; j < u.NumFields(); j++ {
+						if u.Field(j).Name() == id.Name {
+							b.boxAt(f, kv.Value, u.Field(j).Type())
+							break
+						}
+					}
+				}
+			} else if i < u.NumFields() {
+				b.boxAt(f, el, u.Field(i).Type())
+			}
+		}
+	}
+}
+
+func (b *builder) elementBoxes(f *Func, lit *ast.CompositeLit, elem types.Type) {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		b.boxAt(f, el, elem)
+	}
+}
+
+// boxAt records an AllocBox when assigning expr to a slot of type dst
+// heap-allocates: dst is an interface, expr's concrete type is not
+// pointer-shaped and not zero-sized, and expr is not nil or already an
+// interface.
+func (b *builder) boxAt(f *Func, expr ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := b.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if basic, ok := src.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return
+	}
+	if types.IsInterface(src) || pointerShaped(src) || zeroSized(b.pass.TypesSizes, src) {
+		return
+	}
+	f.addAlloc(Alloc{Kind: AllocBox, Pos: expr.Pos(), Node: expr, From: src})
+}
+
+// pointerShaped reports whether values of t fit the interface data
+// word directly (no heap copy when boxed).
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func zeroSized(sizes types.Sizes, t types.Type) bool {
+	if sizes == nil {
+		return false
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return true // generic: unknowable, stay quiet
+	}
+	// Sizeof panics on types it cannot size (deeply generic shapes);
+	// treat those as not-provably-allocating rather than crashing vet.
+	defer func() { recover() }()
+	return sizes.Sizeof(t) == 0
+}
+
+// isStringCopyConv reports whether a conversion dst(src) copies string
+// contents: string↔[]byte, string↔[]rune, rune/byte-slice fan-outs.
+func isStringCopyConv(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	dstStr := isString(dst)
+	srcStr := isString(src)
+	switch {
+	case dstStr && (isByteOrRuneSlice(src) || isRune(src)):
+		return true
+	case srcStr && isByteOrRuneSlice(dst):
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Rune || b.Kind() == types.Int32 || b.Kind() == types.UntypedRune)
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// captures returns the variables a function literal captures from its
+// enclosing function: non-field variables declared outside the
+// literal's extent but not at package scope.
+func (b *builder) captures(lit *ast.FuncLit) []*types.Var {
+	info := b.pass.TypesInfo
+	seen := make(map[*types.Var]bool)
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == b.pass.Pkg.Scope() || v.Parent().Parent() == types.Universe {
+			return true // package-level or universe: accessed directly
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own parameter or local
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// immediatelyInvoked reports whether lit is called in place
+// (func(){...}()), which the compiler can keep off the heap.
+func immediatelyInvoked(root ast.Node, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == lit {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// resolveAppendEvidence fills Alloc.Capacity for append sites: the
+// target has preallocation evidence when it is a parameter (the caller
+// provisions the buffer) or any definition is a three-argument make
+// (explicit capacity). A closure appending to a captured variable
+// inherits the enclosing function's evidence through the builder-wide
+// definition and parameter records — the parent is always built before
+// its literals.
+func (b *builder) resolveAppendEvidence(f *Func) {
+	for i := range f.Allocs {
+		a := &f.Allocs[i]
+		if a.Kind != AllocAppend || a.Target == nil {
+			continue
+		}
+		if isParamOf(f.Sig, a.Target) || b.paramVars[a.Target] {
+			a.Capacity = true
+			continue
+		}
+		// allDefs spans the enclosing function too: a closure appending
+		// to a captured variable sees the parent's make(T, 0, n).
+		for _, def := range b.allDefs[a.Target] {
+			if isMakeWithCap(b.pass.TypesInfo, def) {
+				a.Capacity = true
+				break
+			}
+		}
+	}
+}
+
+func isParamOf(sig *types.Signature, v *types.Var) bool {
+	if sig == nil {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == v {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil && recv == v {
+		return true
+	}
+	return false
+}
+
+func isMakeWithCap(info *types.Info, def ast.Expr) bool {
+	call, ok := ast.Unparen(def).(*ast.CallExpr)
+	if !ok || len(call.Args) != 3 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := info.Uses[id].(*types.Builtin)
+	return ok && bi.Name() == "make"
+}

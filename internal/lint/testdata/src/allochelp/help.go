@@ -1,0 +1,13 @@
+// Package allochelp provides a function whose entry block provably
+// allocates, so allocguard's Allocates fact must flow across the
+// package boundary to hot-path callers.
+package allochelp
+
+// MakeThing allocates a map unconditionally: every call pays it.
+func MakeThing() map[int]int {
+	m := make(map[int]int)
+	return m
+}
+
+// Cheap allocates nothing on entry; calling it from a hot loop is fine.
+func Cheap(x int) int { return x + 1 }

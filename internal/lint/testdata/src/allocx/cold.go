@@ -1,0 +1,18 @@
+package allocx
+
+// This file carries no //lint:hotpath marker: the same allocating
+// shapes are legal here.
+
+var coldSink interface{}
+
+func coldBox(p payload) {
+	coldSink = p
+}
+
+func coldAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

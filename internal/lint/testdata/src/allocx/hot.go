@@ -1,0 +1,125 @@
+// Package allocx is allocguard's testdata: this file is marked
+// //lint:hotpath, so every allocating SSA op below is policed; cold.go
+// holds the same shapes unmarked and must stay silent.
+package allocx
+
+//lint:hotpath
+
+import "allochelp"
+
+type payload struct{ a, b int }
+
+var sink interface{}
+
+// Boxing a struct into an interface heap-escapes the value.
+func boxStruct(p payload) {
+	sink = p // want `interface boxing`
+}
+
+// Converting a pointer is free: the data word holds the pointer.
+func boxPointer(p *payload) {
+	sink = p
+}
+
+// nil carries no value to box.
+func boxNil() {
+	sink = nil
+}
+
+func convString(s string) int {
+	b := []byte(s) // want `string conversion`
+	return len(b)
+}
+
+func closureInLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		x := x
+		f := func() int { return total + x } // want `capturing closure`
+		total = f()
+	}
+	return total
+}
+
+func closureHoisted(xs []int) int {
+	total := 0
+	f := func(x int) int { return total + x }
+	for _, x := range xs {
+		total = f(x)
+	}
+	return total
+}
+
+func mapInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := make(map[int]int) // want `map/channel allocation`
+		m[i] = i
+		total += m[i]
+	}
+	return total
+}
+
+func mapOnce() map[int]int {
+	return make(map[int]int)
+}
+
+func appendNoEvidence(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append without preallocated-capacity evidence`
+	}
+	return out
+}
+
+func appendWithCap(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func appendToParam(buf []int, x int) []int {
+	buf = append(buf, x)
+	return buf
+}
+
+func sum(xs ...int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func callVariadic() int {
+	return sum(1, 2, 3) // want `variadic`
+}
+
+func callSpread(xs []int) int {
+	return sum(xs...)
+}
+
+// The Allocates fact crosses the package boundary: MakeThing's entry
+// block allocates, so calling it from a hot loop is reported even
+// though the allocation lives in allochelp.
+func helperInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := allochelp.MakeThing() // want `allocates`
+		m[i] = i
+		total += len(m) + allochelp.Cheap(i)
+	}
+	return total
+}
+
+func annotated(p payload) {
+	//lint:allocok boxing here is reviewed per-query setup
+	sink = p
+}
+
+func bareDirective(p payload) {
+	//lint:allocok
+	sink = p // want `needs a reason`
+}

@@ -1,0 +1,15 @@
+// Package atomuse contains no sync/atomic call of its own: the only
+// way the diagnostic below can fire is through the AtomicallyAccessed
+// object fact (and AtomicFieldSet package fact) exported by atomx —
+// proving cross-package fact flow through the driver.
+package atomuse
+
+import "atomx"
+
+func ReadRace(c *atomx.Counter) int64 {
+	return c.N // want `mixed access is a data race`
+}
+
+func Fine(c *atomx.Counter) *atomx.Counter {
+	return c
+}

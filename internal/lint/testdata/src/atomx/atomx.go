@@ -1,0 +1,43 @@
+// Package atomx is atomicfield's testdata: Counter.N is updated
+// through sync/atomic, so every plain access to it — here or in
+// importing packages — is a mixed-access data race.
+package atomx
+
+import "sync/atomic"
+
+type Counter struct {
+	N     int64
+	plain int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.N, 1)
+}
+
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.N)
+}
+
+func (c *Counter) Mixed() int64 {
+	return c.N // want `mixed access is a data race`
+}
+
+// The value operand is a plain read even when the store is atomic.
+func (c *Counter) StoreRace(v int64) {
+	atomic.StoreInt64(&c.N, c.N+v) // want `mixed access is a data race`
+}
+
+func (c *Counter) PlainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+func (c *Counter) InitOK() {
+	//lint:atomicok pre-publication initialization, no concurrent readers yet
+	c.N = 0
+}
+
+func (c *Counter) BareDirective() {
+	//lint:atomicok
+	c.N = 1 // want `needs a reason`
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"diskx"
+	"obsx"
 )
 
 type pool struct {
@@ -103,6 +104,30 @@ func (p *tiered) faultOutsideLock(id int) ([]byte, error) {
 	p.mu.Lock()
 	p.mu.Unlock()
 	return b, err
+}
+
+// Observability sinks flush to their writers: emitting an event while
+// holding the pool lock serializes readers behind the sink.
+func (p *pool) emitUnderLock(l *obsx.Log) {
+	p.mu.Lock()
+	l.Emit("evict") // want `obsx I/O \(obsx.Emit\) while p.mu may be held`
+	p.mu.Unlock()
+}
+
+func (p *pool) flushUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	obsx.Flush() // want `obsx I/O \(obsx.Flush\) while p.mu may be held`
+}
+
+// emitOutsideLock snapshots under the lock, emits after release.
+func (p *pool) emitOutsideLock(l *obsx.Log) {
+	p.mu.Lock()
+	busy := p.ch != nil
+	p.mu.Unlock()
+	if busy {
+		l.Emit("busy")
+	}
 }
 
 func (p *pool) annotated() int {

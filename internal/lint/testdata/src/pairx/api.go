@@ -1,0 +1,30 @@
+// Package pairx is releasepair's testdata: keyed pairs (Mu.Lock/Unlock,
+// Pool.Pin/Unpin keyed by the chunk ID) and result pairs (T.Start/End
+// spans, NewRes/Seal), plus callers that leak them on early returns,
+// panics, and discarded results.
+package pairx
+
+type Mu struct{}
+
+func (m *Mu) Lock()   {}
+func (m *Mu) Unlock() {}
+
+type Pool struct{}
+
+func (p *Pool) Pin(id int)   {}
+func (p *Pool) Unpin(id int) {}
+
+type Span struct{ ok bool }
+
+func (s Span) End()  {}
+func (s Span) Note() {}
+
+type T struct{}
+
+func (t *T) Start() Span { return Span{ok: true} }
+
+type Res struct{ sealed bool }
+
+func NewRes() *Res { return &Res{} }
+
+func (r *Res) Seal() { r.sealed = true }

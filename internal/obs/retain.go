@@ -130,7 +130,7 @@ func (r *TraceRing) MaybeRetain(m TraceMeta, spans func() []trace.Span) string {
 		rt.bytes += spanCost + attrCost*len(rt.Spans[i].Attrs)
 	}
 	r.mu.Lock()
-	r.queue = append(r.queue, rt)
+	r.queue = append(r.queue, rt) //lint:allocok retention is per-trace and already snapshots spans; queue growth is amortized and bounded by the byte budget
 	r.byID[rt.ID] = rt
 	r.bytes += rt.bytes
 	// Evict oldest-first down to budget, but always keep the newest

@@ -335,6 +335,7 @@ func (s *Scenario) Apply(edits []Edit) (int64, error) {
 		case OpSet, OpDelete:
 			addr, err := s.resolveCell(e.Cell)
 			if err != nil {
+				layer.Seal()
 				restore()
 				return 0, err
 			}
@@ -345,6 +346,9 @@ func (s *Scenario) Apply(edits []Edit) (int64, error) {
 			}
 		}
 	}
+	// Seal before publishing: a chain snapshot must never observe a
+	// mutable layer (releasepair pairs NewLayer with Seal).
+	layer.Seal()
 	if layer.Cells() > 0 {
 		// A brand-new slice per batch: forks share the old backing
 		// array, so appending in place could clobber a sibling's
